@@ -1,0 +1,76 @@
+// Ablation: spatial defect clustering. The methodology's coverage
+// numbers are per-fault probabilities and do not change, but clustering
+// changes the ECONOMICS: fault counts per die become over-dispersed
+// (negative binomial), raising yield at equal defect density and
+// shifting the shipped-defect level.
+#include "bench_common.hpp"
+#include "defect/simulate.hpp"
+#include "flashadc/comparator.hpp"
+#include "testgen/quality.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dot;
+  const auto args = bench::BenchArgs::parse(argc, argv, 1000);
+
+  bench::print_header("Ablation -- clustered defects");
+  const auto cell = flashadc::build_comparator_layout();
+  const defect::DefectAnalyzer analyzer(cell, {.vdd_net = "vdda"});
+
+  util::TextTable table({"sprinkle model", "mean faults/die",
+                         "variance/mean", "faults total"});
+  struct Model {
+    const char* name;
+    double fraction, extra, radius;
+  };
+  for (const Model model :
+       {Model{"Poisson (no clustering)", 0.0, 0.0, 0.0},
+        Model{"10% clustered, ~5 spots", 0.1, 5.0, 2.0},
+        Model{"30% clustered, ~10 spots", 0.3, 10.0, 2.0}}) {
+    defect::DefectStatistics stats;
+    stats.clustering.cluster_fraction = model.fraction;
+    stats.clustering.mean_extra = model.extra;
+    stats.clustering.radius = model.radius;
+    util::RunningStats counts;
+    std::size_t total = 0;
+    for (int die = 0; die < 150; ++die) {
+      defect::CampaignOptions opt;
+      opt.statistics = stats;
+      opt.defect_count = args.config.defect_count;
+      opt.seed = args.config.seed + static_cast<std::uint64_t>(die);
+      opt.vdd_net = "vdda";
+      const auto r = defect::run_campaign(analyzer, opt);
+      counts.add(static_cast<double>(r.faults_extracted));
+      total += r.faults_extracted;
+    }
+    table.add_row({model.name, util::fmt(counts.mean(), 2),
+                   util::fmt(counts.variance() / counts.mean(), 2),
+                   std::to_string(total)});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // Yield / shipped-quality consequences at the paper's coverage.
+  testgen::ProcessQuality q;
+  q.defect_density_per_cm2 = 1.2;
+  q.die_area_cm2 = 0.25;
+  util::TextTable quality({"yield model", "yield %", "DPM @93.3%",
+                           "DPM @99.1%"});
+  const double y_poisson = testgen::poisson_yield(q);
+  quality.add_row({"Poisson", util::pct(y_poisson),
+                   util::fmt(1e6 * testgen::defect_level(y_poisson, 0.933), 0),
+                   util::fmt(1e6 * testgen::defect_level(y_poisson, 0.991),
+                             0)});
+  for (double alpha : {2.0, 0.5}) {
+    const double y = testgen::clustered_yield(q, alpha);
+    quality.add_row({"neg. binomial a=" + util::fmt(alpha, 1),
+                     util::pct(y),
+                     util::fmt(1e6 * testgen::defect_level(y, 0.933), 0),
+                     util::fmt(1e6 * testgen::defect_level(y, 0.991), 0)});
+  }
+  std::printf("%s\n", quality.str().c_str());
+  std::printf("reading: clustering concentrates defects on fewer dies --\n"
+              "higher yield, and (for the same coverage) fewer shipped\n"
+              "defective parts; the DfT coverage gain (93.3%% -> 99.1%%)\n"
+              "cuts DPM by an order of magnitude in every yield model.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: convergence of the fault-class statistics with the number of
+// sprinkled defects -- the reason the paper re-ran VLASIC with 10M
+// defects ("to determine a statistically significant magnitude of the
+// fault classes").
+#include "bench_common.hpp"
+#include "defect/simulate.hpp"
+#include "flashadc/comparator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dot;
+  const auto args = bench::BenchArgs::parse(argc, argv, 1000000);
+
+  bench::print_header("Ablation -- defect-count convergence (comparator)");
+  const auto cell = flashadc::build_comparator_layout();
+  const defect::DefectAnalyzer analyzer(cell, {.vdd_net = "vdda"});
+
+  util::TextTable table({"defects", "faults", "yield %", "classes",
+                         "top-class share %", "shorts %"});
+  for (std::size_t count = 25000; count <= args.config.defect_count;
+       count *= 4) {
+    defect::CampaignOptions opt;
+    opt.statistics = args.config.statistics;
+    opt.defect_count = count;
+    opt.seed = args.config.seed;
+    const auto r = defect::run_campaign(analyzer, opt);
+    const double top_share =
+        r.classes.empty()
+            ? 0.0
+            : static_cast<double>(r.classes.front().count) /
+                  static_cast<double>(r.faults_extracted);
+    const double shorts =
+        static_cast<double>(
+            r.faults_by_kind[static_cast<std::size_t>(
+                fault::FaultKind::kShort)]) /
+        static_cast<double>(r.faults_extracted);
+    table.add_row({std::to_string(count),
+                   std::to_string(r.faults_extracted),
+                   util::fmt(100.0 * r.fault_yield(), 2),
+                   std::to_string(r.classes.size()),
+                   util::pct(top_share), util::pct(shorts)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "expectation: the class count grows slowly (rare classes keep\n"
+      "appearing) while the per-kind fault shares stabilize -- small\n"
+      "sprinkles give the class LIST, large sprinkles give MAGNITUDES.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: missing-code test sample count. The paper takes 1000
+// samples of a triangular input; fewer samples start to miss codes even
+// on a fault-free converter, more samples only cost test time.
+#include "bench_common.hpp"
+#include "flashadc/behavioral.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dot;
+  (void)bench::BenchArgs::parse(argc, argv);
+
+  bench::print_header("Ablation -- missing-code test sample count");
+  util::TextTable table({"samples", "false alarms (fault-free)",
+                         "detected stuck (of 64)", "detected 2LSB offset",
+                         "test time"});
+
+  util::Rng rng(2024);
+  for (int samples : {128, 256, 512, 768, 1000, 2000, 4000}) {
+    flashadc::MissingCodeTestConfig config;
+    config.samples = samples;
+
+    const flashadc::FlashAdcModel good;
+    const bool false_alarm = flashadc::has_missing_code(good, config);
+
+    int stuck_detected = 0, offset_detected = 0;
+    const int trials = 64;
+    for (int t = 0; t < trials; ++t) {
+      const int index = static_cast<int>(rng.below(256));
+      flashadc::FlashAdcModel stuck;
+      stuck.set_comparator(index,
+                           {flashadc::ComparatorMode::kStuckLow, 0.0});
+      if (flashadc::has_missing_code(stuck, config)) ++stuck_detected;
+      flashadc::FlashAdcModel offset;
+      offset.set_comparator(
+          index, {flashadc::ComparatorMode::kOffset, 2.0 * flashadc::lsb()});
+      if (flashadc::has_missing_code(offset, config)) ++offset_detected;
+    }
+    table.add_row({std::to_string(samples), false_alarm ? "YES" : "no",
+                   std::to_string(stuck_detected),
+                   std::to_string(offset_detected),
+                   util::si(flashadc::missing_code_test_time(config), "s")});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "expectation: below ~2 samples per code the fault-free converter\n"
+      "itself shows missing codes (false alarms); 1000 samples is safely\n"
+      "past that knee at minimal test time -- the paper's choice.\n");
+  return 0;
+}

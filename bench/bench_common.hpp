@@ -1,0 +1,74 @@
+// Shared helpers for the table/figure regeneration harnesses.
+//
+// Each bench binary reproduces one table or figure of the paper: it runs
+// the corresponding campaign and prints the measured rows next to the
+// paper's published values. Command-line knobs:
+//   --defects=N    defects to sprinkle per macro (default per bench)
+//   --envelope=N   Monte-Carlo samples for the good-signature envelope
+//   --classes=N    cap on evaluated fault classes (0 = all)
+//   --seed=N       master seed
+//   --quick        small preset for smoke runs
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "flashadc/campaign.hpp"
+#include "util/table.hpp"
+
+namespace dot::bench {
+
+struct BenchArgs {
+  flashadc::CampaignConfig config;
+  std::string json_path;  ///< --json=<file>: machine-readable output.
+
+  static BenchArgs parse(int argc, char** argv,
+                         std::size_t default_defects = 500000,
+                         int default_envelope = 25) {
+    BenchArgs args;
+    args.config.defect_count = default_defects;
+    args.config.envelope_samples = default_envelope;
+    // Default cap: classes are likelihood-sorted, so the tail carries
+    // little weight; evaluating the top 250 keeps a full bench sweep
+    // within ~15 minutes. Pass --classes=0 for the exhaustive run.
+    args.config.max_classes = 250;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&](const char* prefix) -> const char* {
+        const std::size_t n = std::strlen(prefix);
+        return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+      };
+      if (const char* v = value("--defects=")) {
+        args.config.defect_count = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = value("--envelope=")) {
+        args.config.envelope_samples = std::atoi(v);
+      } else if (const char* v = value("--classes=")) {
+        args.config.max_classes = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = value("--seed=")) {
+        args.config.seed = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = value("--json=")) {
+        args.json_path = v;
+      } else if (arg == "--quick") {
+        args.config.defect_count = 60000;
+        args.config.envelope_samples = 10;
+        args.config.max_classes = 40;
+      } else if (arg == "--help") {
+        std::printf(
+            "options: --defects=N --envelope=N --classes=N --seed=N "
+            "--json=FILE --quick\n");
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+};
+
+inline void print_header(const char* what) {
+  std::printf("====================================================\n");
+  std::printf("%s\n", what);
+  std::printf("====================================================\n");
+}
+
+}  // namespace dot::bench

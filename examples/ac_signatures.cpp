@@ -1,0 +1,103 @@
+// AC fault signatures: the third simple test of the defect-oriented
+// repertoire (paper reference [6]: "simple DC, Transient and AC
+// measurements"). A two-stage amplifier is imported from a SPICE-style
+// deck, a handful of representative faults are injected, and the gain /
+// bandwidth deviations they cause are tabulated.
+#include <cmath>
+#include <cstdio>
+
+#include "fault/model.hpp"
+#include "spice/ac.hpp"
+#include "spice/netlist_io.hpp"
+#include "util/table.hpp"
+
+using namespace dot;
+
+namespace {
+
+constexpr const char* kAmplifierDeck = R"(
+* two-stage miller amplifier, unity-feedback bench
+VDD vdd 0 DC 5
+VB  vb  0 DC 1
+VIN inp 0 DC 2.5
+EFB inn 0 out 0 1.0
+M1 x1 inn tail 0 NMOS W=20u L=1u
+M2 x2 inp tail 0 NMOS W=20u L=1u
+M3 x1 x1 vdd vdd PMOS W=10u L=1u KP=40u VT0=0.75
+M4 x2 x1 vdd vdd PMOS W=10u L=1u KP=40u VT0=0.75
+M5 tail vb 0 0 NMOS W=10u L=1u
+M6 out x2 vdd vdd PMOS W=40u L=1u KP=40u VT0=0.75
+M7 out vb 0 0 NMOS W=20u L=1u
+CC x2 out 2p
+CL out 0 5p
+)";
+
+double gain_db_at(const spice::Netlist& netlist, double hz) {
+  spice::AcOptions opt;
+  opt.source = "VIN";
+  opt.frequencies = {hz};
+  return spice::ac_analysis(netlist, opt).magnitude_db(0, "out");
+}
+
+}  // namespace
+
+int main() {
+  const spice::Netlist good = spice::parse_deck(kAmplifierDeck);
+  std::printf("parsed amplifier deck: %zu devices\n", good.devices().size());
+
+  const double f_lo = 1e3, f_hi = 100e6;
+  const double good_lo = gain_db_at(good, f_lo);
+  const double good_hi = gain_db_at(good, f_hi);
+  std::printf("fault-free closed-loop gain: %.2f dB @1kHz, %.2f dB @100MHz\n\n",
+              good_lo, good_hi);
+
+  struct Candidate {
+    const char* description;
+    fault::CircuitFault fault;
+  };
+  auto short_fault = [](const char* a, const char* b) {
+    fault::CircuitFault f;
+    f.kind = fault::FaultKind::kShort;
+    f.nets = {std::min(std::string(a), std::string(b)),
+              std::max(std::string(a), std::string(b))};
+    f.material = fault::BridgeMaterial::kPoly;
+    return f;
+  };
+  fault::CircuitFault gos;
+  gos.kind = fault::FaultKind::kGateOxidePinhole;
+  gos.device = "M6";
+  fault::CircuitFault open_cc;
+  open_cc.kind = fault::FaultKind::kOpen;
+  open_cc.nets = {"x2"};
+  open_cc.isolated_taps = {{"CC", 0}};
+
+  const Candidate candidates[] = {
+      {"short x1-x2 (mirror gate to output of stage 1)",
+       short_fault("x1", "x2")},
+      {"short tail-0 (tail current source bypassed)",
+       short_fault("0", "tail")},
+      {"gate-oxide pinhole in output PMOS M6", gos},
+      {"compensation cap CC disconnected from x2", open_cc},
+  };
+
+  util::TextTable table({"fault", "gain @1kHz dB", "gain @100MHz dB",
+                         "AC-detected"});
+  fault::FaultModelOptions models;
+  models.vdd_net = "vdd";
+  for (const auto& candidate : candidates) {
+    const auto faulty = fault::apply_fault(good, candidate.fault, models);
+    const double lo = gain_db_at(faulty, f_lo);
+    const double hi = gain_db_at(faulty, f_hi);
+    const bool detected =
+        std::fabs(lo - good_lo) > 1.0 || std::fabs(hi - good_hi) > 1.0;
+    table.add_row({candidate.description, util::fmt(lo, 2), util::fmt(hi, 2),
+                   detected ? "yes" : "no"});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "detection criterion: > 1 dB deviation at either frequency.\n"
+      "note how the opened compensation cap leaves the low-frequency gain\n"
+      "untouched but removes the high-frequency roll-off -- a fault only\n"
+      "an AC measurement sees.\n");
+  return 0;
+}

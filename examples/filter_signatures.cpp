@@ -1,0 +1,144 @@
+// Defect-oriented AC testing of an active filter -- the circuit family
+// of the paper's reference [4] (Soma, "A Design For Test Methodology for
+// Active Analog Filters"). A Tow-Thomas biquad's passive network is laid
+// out, sprinkled with defects, and every collapsed fault class is judged
+// by a three-tone AC test against the fault-free 3-sigma envelope.
+//
+// Usage: filter_signatures [--quick]
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "defect/simulate.hpp"
+#include "fault/model.hpp"
+#include "layout/synth.hpp"
+#include "macro/envelope.hpp"
+#include "spice/ac.hpp"
+#include "spice/montecarlo.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+using namespace dot;
+
+namespace {
+
+/// Passive network of a Tow-Thomas biquad (f0 ~ 1.6 kHz, Q ~ 2).
+spice::Netlist build_passives() {
+  spice::Netlist n;
+  n.add_resistor("R1", "in", "sum", 10e3);     // input
+  n.add_resistor("RQ", "bp", "sum", 20e3);     // Q-setting feedback
+  n.add_resistor("R2", "lpinv", "sum", 10e3);  // loop feedback
+  n.add_capacitor("C1", "sum", "bp", 10e-9);   // integrator 1
+  n.add_resistor("R3", "bp", "x2", 10e3);
+  n.add_capacitor("C2", "x2", "lp", 10e-9);    // integrator 2
+  n.add_resistor("R4", "lp", "x3", 10e3);      // unity inverter
+  n.add_resistor("R5", "x3", "lpinv", 10e3);
+  return n;
+}
+
+/// Adds the three ideal op-amps (VCVS) and the stimulus.
+spice::Netlist with_bench(const spice::Netlist& passives) {
+  spice::Netlist n = passives;
+  const double a0 = 2e4;  // open-loop gain
+  // Integrator 1: inverting input "sum", output "bp".
+  n.add_vcvs("EOP1", "bp", "0", "0", "sum", a0);
+  // Integrator 2: inverting input "x2", output "lp".
+  n.add_vcvs("EOP2", "lp", "0", "0", "x2", a0);
+  // Inverter: input "x3", output "lpinv".
+  n.add_vcvs("EOP3", "lpinv", "0", "0", "x3", a0);
+  n.add_vsource("VIN", "in", "0", spice::SourceSpec::dc(0.0));
+  return n;
+}
+
+/// Three-tone AC measurement: below / at / above the centre frequency.
+std::vector<double> measure(const spice::Netlist& passives, bool* ok) {
+  const spice::Netlist bench = with_bench(passives);
+  spice::AcOptions opt;
+  opt.source = "VIN";
+  opt.frequencies = {200.0, 1.6e3, 12e3};
+  *ok = true;
+  try {
+    const auto r = spice::ac_analysis(bench, opt);
+    return {r.magnitude_db(0, "lp"), r.magnitude_db(1, "lp"),
+            r.magnitude_db(2, "lp")};
+  } catch (const util::ConvergenceError&) {
+    *ok = false;
+    return {0.0, 0.0, 0.0};
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t defect_count = 300000;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) defect_count = 60000;
+
+  const spice::Netlist passives = build_passives();
+  layout::SynthOptions synth;
+  synth.pins = {"in", "lp", "bp", "sum", "0"};
+  const auto cell = layout::synthesize_layout(passives, "biquad", synth);
+
+  bool ok = false;
+  const auto nominal = measure(passives, &ok);
+  std::printf("Tow-Thomas biquad, fault-free response: %.1f dB @200 Hz, "
+              "%.1f dB @1.6 kHz, %.1f dB @12 kHz\n",
+              nominal[0], nominal[1], nominal[2]);
+
+  // Fault-free envelope over R/C process spread.
+  macro::MeasurementLayout layout;
+  layout.add("lf_db", macro::MeasurementKind::kOther);
+  layout.add("f0_db", macro::MeasurementKind::kOther);
+  layout.add("hf_db", macro::MeasurementKind::kOther);
+  spice::ProcessSpread spread;
+  util::Rng rng(21);
+  std::vector<std::vector<double>> samples;
+  for (int s = 0; s < 30; ++s) {
+    const auto env = spice::sample_environment(spread, rng);
+    bool sample_ok = false;
+    auto sample =
+        measure(spice::perturb(passives, spread, env, {}, rng), &sample_ok);
+    if (sample_ok) samples.push_back(std::move(sample));
+  }
+  macro::BandPolicy policy;
+  policy.abs_floor = 0.5;  // dB resolution of the AC tester
+  const auto envelope = macro::build_envelope(layout, samples, policy);
+
+  // Defect campaign on the passive network's layout.
+  defect::CampaignOptions campaign;
+  campaign.defect_count = defect_count;
+  campaign.seed = 404;
+  const auto defects = defect::run_campaign(cell, campaign);
+  std::printf("%zu faults in %zu classes from %zu defects\n\n",
+              defects.faults_extracted, defects.classes.size(),
+              defects.defects_sprinkled);
+
+  fault::FaultModelOptions models;
+  std::size_t detected = 0, total = 0;
+  for (const auto& cls : defects.classes) {
+    total += cls.count;
+    bool caught = false;
+    for (int v = 0; v < fault::model_variant_count(cls.representative);
+         ++v) {
+      bool sim_ok = false;
+      const auto faulty = measure(
+          fault::apply_fault(passives, cls.representative, models, v),
+          &sim_ok);
+      caught = !sim_ok || !envelope.inside(faulty);
+      if (caught) break;
+    }
+    if (caught) detected += cls.count;
+  }
+
+  util::TextTable table({"quantity", "value"});
+  table.add_row({"AC test tones", "3 (0.2 / 1.6 / 12 kHz)"});
+  table.add_row({"fault coverage",
+                 util::pct(static_cast<double>(detected) /
+                           static_cast<double>(total)) +
+                     " %"});
+  std::printf("%s\n", table.str().c_str());
+  std::printf("a three-tone AC signature catches most spot defects in the\n"
+              "biquad's passive network -- the filter counterpart of the\n"
+              "paper's simple-test philosophy.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// A complete 3-bit flash ADC at TRANSISTOR level: seven instances of the
+// case study's clocked comparator against a resistor ladder, converting
+// a ramp. This is exactly what the paper says is infeasible for the
+// 8-bit part ("a circuit-level simulation of the entire circuit is not
+// possible") -- at 3 bits it fits in seconds and shows the macro
+// assembly machinery (spice::instantiate) end to end.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "flashadc/comparator.hpp"
+#include "flashadc/tech.hpp"
+#include "spice/subcircuit.hpp"
+#include "spice/transient.hpp"
+
+using namespace dot;
+
+namespace {
+
+constexpr int kMiniLevels = 8;  // 3 bits -> 7 comparators
+
+/// Assembles ladder + comparators + clock drivers + supplies.
+spice::Netlist build_mini_adc(double vin_volts) {
+  using spice::SourceSpec;
+  spice::Netlist top;
+
+  top.add_vsource("VDDA", "vdda", "0", SourceSpec::dc(flashadc::kVdda));
+  top.add_vsource("VDDD", "vddd", "0", SourceSpec::dc(flashadc::kVddd));
+  top.add_vsource("VIN", "vin", "0", SourceSpec::dc(vin_volts));
+  top.add_vsource("VRP", "vrefp", "0", SourceSpec::dc(flashadc::kVrefHi));
+  top.add_vsource("VRM", "vrefm", "0", SourceSpec::dc(flashadc::kVrefLo));
+  top.add_vsource("VBN_SRC", "vbn_src", "0", SourceSpec::dc(flashadc::kVbn));
+  top.add_resistor("RVBN", "vbn_src", "vbn", 1e3);
+  top.add_vsource("VBC_SRC", "vbc_src", "0", SourceSpec::dc(flashadc::kVbc));
+  top.add_resistor("RVBC", "vbc_src", "vbc", 1e3);
+
+  // 8-segment reference ladder with 7 taps.
+  for (int i = 0; i < kMiniLevels; ++i) {
+    const std::string lower =
+        i == 0 ? "vrefm" : "tap" + std::to_string(i - 1);
+    const std::string upper =
+        i == kMiniLevels - 1 ? "vrefp" : "tap" + std::to_string(i);
+    top.add_resistor("RL" + std::to_string(i), lower, upper, 100.0);
+  }
+
+  // Clock drivers (one buffer triple shared by all comparators).
+  const auto nm = flashadc::nmos_model();
+  const auto pm = flashadc::pmos_model();
+  struct Phase {
+    const char* name;
+    double start, end;
+  };
+  const Phase phases[] = {
+      {"clk1", flashadc::kSampleStart, flashadc::kSampleEnd},
+      {"clk2", flashadc::kAmpStart, flashadc::kAmpEnd},
+      {"clk3", flashadc::kLatchStart, flashadc::kLatchEnd}};
+  int k = 0;
+  for (const auto& ph : phases) {
+    ++k;
+    spice::PulseParams p;
+    p.initial = flashadc::kVddd;  // inverted pre-drive
+    p.pulsed = 0.0;
+    p.delay = ph.start;
+    p.rise = flashadc::kClockEdge;
+    p.fall = flashadc::kClockEdge;
+    p.width = (ph.end - ph.start) - flashadc::kClockEdge;
+    p.period = flashadc::kCyclePeriod;
+    top.add_vsource("VPRE" + std::to_string(k), std::string("pre") + ph.name,
+                    "0", SourceSpec::pulse(p));
+    top.add_mosfet("MBP" + std::to_string(k), spice::MosType::kPmos,
+                   ph.name, std::string("pre") + ph.name, "vddd", "vddd",
+                   60e-6, 1e-6, pm);
+    top.add_mosfet("MBN" + std::to_string(k), spice::MosType::kNmos,
+                   ph.name, std::string("pre") + ph.name, "0", "0", 30e-6,
+                   1e-6, nm);
+  }
+
+  // Seven comparator instances, each referenced to its ladder tap.
+  const spice::Netlist comparator = flashadc::build_comparator_netlist();
+  for (int i = 0; i < kMiniLevels - 1; ++i) {
+    instantiate(top, comparator, "cmp" + std::to_string(i),
+                {{"vin", "vin"},
+                 {"vref", "tap" + std::to_string(i)},
+                 {"clk1", "clk1"},
+                 {"clk2", "clk2"},
+                 {"clk3", "clk3"},
+                 {"vbn", "vbn"},
+                 {"vbc", "vbc"},
+                 {"vdda", "vdda"}});
+  }
+  return top;
+}
+
+/// One full conversion: two clock cycles, read the 7 flipflops.
+int convert(double vin) {
+  const auto adc = build_mini_adc(vin);
+  spice::TranOptions opt;
+  opt.t_stop = 2.0 * flashadc::kCyclePeriod;
+  opt.dt = 1e-9;
+  const auto result = spice::transient(adc, opt);
+  const double t_read =
+      flashadc::kCyclePeriod +
+      (flashadc::kAmpStart + flashadc::kAmpEnd) / 2.0;
+  int thermometer = 0;
+  for (int i = 0; i < kMiniLevels - 1; ++i) {
+    const std::string q = "cmp" + std::to_string(i) + ".q";
+    const std::string qb = "cmp" + std::to_string(i) + ".qb";
+    if (result.voltage_at(t_read, q) > result.voltage_at(t_read, qb))
+      ++thermometer;
+  }
+  return thermometer;
+}
+
+}  // namespace
+
+int main() {
+  const auto probe = build_mini_adc(2.5);
+  std::printf("3-bit flash ADC, transistor level: %zu devices, %zu nodes\n\n",
+              probe.devices().size(), probe.node_count());
+
+  std::printf("  vin [V]   ideal  measured\n");
+  int correct = 0, total = 0;
+  for (int step = 0; step < 8; ++step) {
+    // Mid-code inputs: least sensitive to the comparator threshold.
+    const double vin = flashadc::kVrefLo +
+                       (step + 0.5) * (flashadc::kVrefHi - flashadc::kVrefLo) /
+                           kMiniLevels;
+    const int code = convert(vin);
+    ++total;
+    correct += code == step;
+    std::printf("  %7.4f   %5d  %8d %s\n", vin, step, code,
+                code == step ? "" : "  <-- WRONG");
+  }
+  std::printf("\n%d / %d codes correct -- a full mixed-signal conversion\n"
+              "simulated at transistor level (the macro approach exists\n"
+              "because this does not scale to 256 comparators).\n",
+              correct, total);
+  return correct == total ? 0 : 1;
+}

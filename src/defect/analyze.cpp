@@ -1,0 +1,516 @@
+#include "defect/analyze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "layout/extract.hpp"
+#include "util/error.hpp"
+
+namespace dot::defect {
+
+using fault::BridgeMaterial;
+using fault::CircuitFault;
+using fault::FaultKind;
+using layout::CellLayout;
+using layout::Layer;
+using layout::Point;
+using layout::Rect;
+using layout::Shape;
+
+Defect sample_defect(const DefectStatistics& stats, const Rect& area,
+                     util::Rng& rng) {
+  Defect d;
+  d.type = stats.sample_type(rng);
+  d.center = {rng.uniform(area.x_lo, area.x_hi),
+              rng.uniform(area.y_lo, area.y_hi)};
+  d.size = stats.sample_size(rng);
+  return d;
+}
+
+namespace {
+
+BridgeMaterial material_of(Layer layer) {
+  switch (layer) {
+    case Layer::kMetal1:
+    case Layer::kMetal2:
+      return BridgeMaterial::kMetal;
+    case Layer::kPoly:
+      return BridgeMaterial::kPoly;
+    case Layer::kActive:
+      return BridgeMaterial::kDiffusion;
+    default:
+      return BridgeMaterial::kNone;
+  }
+}
+
+/// Axis-aligned subtraction: r minus cut, as up to four rectangles. The
+/// top/bottom strips are widened by a hair so that an L-shaped remnant
+/// stays connected under the open-interval intersection test.
+std::vector<Rect> subtract(const Rect& r, const Rect& cut) {
+  if (!r.intersects(cut)) return {r};
+  std::vector<Rect> out;
+  constexpr double kEps = 0.01;
+  if (cut.x_lo > r.x_lo)
+    out.push_back(Rect{r.x_lo, r.y_lo, cut.x_lo, r.y_hi});
+  if (cut.x_hi < r.x_hi)
+    out.push_back(Rect{cut.x_hi, r.y_lo, r.x_hi, r.y_hi});
+  const double strip_lo = std::max(r.x_lo, cut.x_lo - kEps);
+  const double strip_hi = std::min(r.x_hi, cut.x_hi + kEps);
+  if (cut.y_lo > r.y_lo && strip_hi > strip_lo)
+    out.push_back(Rect{strip_lo, r.y_lo, strip_hi, cut.y_lo});
+  if (cut.y_hi < r.y_hi && strip_hi > strip_lo)
+    out.push_back(Rect{strip_lo, cut.y_hi, strip_hi, r.y_hi});
+  std::erase_if(out, [](const Rect& p) { return p.empty(); });
+  return out;
+}
+
+bool cut_connects(Layer cut, Layer conductor) {
+  if (cut == Layer::kContact)
+    return conductor == Layer::kMetal1 || conductor == Layer::kPoly ||
+           conductor == Layer::kActive;
+  if (cut == Layer::kVia1)
+    return conductor == Layer::kMetal1 || conductor == Layer::kMetal2;
+  return false;
+}
+
+}  // namespace
+
+DefectAnalyzer::DefectAnalyzer(const CellLayout& cell,
+                               AnalyzerOptions options)
+    : cell_(cell), options_(std::move(options)) {
+  bbox_ = cell.bounding_box().expanded(1.0);
+  bins_x_ = std::max(1, static_cast<int>(bbox_.width() / options_.bin_size));
+  bins_y_ = std::max(1, static_cast<int>(bbox_.height() / options_.bin_size));
+  grid_.assign(layout::kLayerCount, {});
+  for (auto& layer_bins : grid_)
+    layer_bins.assign(static_cast<std::size_t>(bins_x_ * bins_y_), {});
+
+  const auto& shapes = cell.shapes();
+  auto bin_range = [&](const Rect& r, int& x0, int& x1, int& y0, int& y1) {
+    auto clampi = [](int v, int lo, int hi) {
+      return std::max(lo, std::min(v, hi));
+    };
+    x0 = clampi(static_cast<int>((r.x_lo - bbox_.x_lo) / bbox_.width() *
+                                 bins_x_),
+                0, bins_x_ - 1);
+    x1 = clampi(static_cast<int>((r.x_hi - bbox_.x_lo) / bbox_.width() *
+                                 bins_x_),
+                0, bins_x_ - 1);
+    y0 = clampi(static_cast<int>((r.y_lo - bbox_.y_lo) / bbox_.height() *
+                                 bins_y_),
+                0, bins_y_ - 1);
+    y1 = clampi(static_cast<int>((r.y_hi - bbox_.y_lo) / bbox_.height() *
+                                 bins_y_),
+                0, bins_y_ - 1);
+  };
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    int x0, x1, y0, y1;
+    bin_range(shapes[i].rect, x0, x1, y0, y1);
+    for (int by = y0; by <= y1; ++by)
+      for (int bx = x0; bx <= x1; ++bx)
+        grid_[static_cast<std::size_t>(shapes[i].layer)]
+             [static_cast<std::size_t>(by * bins_x_ + bx)]
+                 .push_back(i);
+  }
+
+  // Per-net shape and tap indexes.
+  std::map<std::string, int> net_of;
+  auto net_slot = [&](const std::string& net) {
+    auto [it, inserted] =
+        net_of.emplace(net, static_cast<int>(net_names_.size()));
+    if (inserted) {
+      net_names_.push_back(net);
+      net_shapes_.emplace_back();
+      net_taps_.emplace_back();
+    }
+    return it->second;
+  };
+  for (std::size_t i = 0; i < shapes.size(); ++i)
+    if (!shapes[i].net.empty())
+      net_shapes_[static_cast<std::size_t>(net_slot(shapes[i].net))]
+          .push_back(i);
+  for (std::size_t t = 0; t < cell.taps().size(); ++t)
+    net_taps_[static_cast<std::size_t>(net_slot(cell.taps()[t].net))]
+        .push_back(t);
+}
+
+int DefectAnalyzer::net_index(const std::string& net) const {
+  for (std::size_t i = 0; i < net_names_.size(); ++i)
+    if (net_names_[i] == net) return static_cast<int>(i);
+  return -1;
+}
+
+std::vector<std::size_t> DefectAnalyzer::shapes_hit(Layer layer,
+                                                    const Rect& probe) const {
+  const auto& shapes = cell_.shapes();
+  std::vector<std::size_t> out;
+  auto clampi = [](int v, int lo, int hi) {
+    return std::max(lo, std::min(v, hi));
+  };
+  const int x0 = clampi(
+      static_cast<int>((probe.x_lo - bbox_.x_lo) / bbox_.width() * bins_x_),
+      0, bins_x_ - 1);
+  const int x1 = clampi(
+      static_cast<int>((probe.x_hi - bbox_.x_lo) / bbox_.width() * bins_x_),
+      0, bins_x_ - 1);
+  const int y0 = clampi(
+      static_cast<int>((probe.y_lo - bbox_.y_lo) / bbox_.height() * bins_y_),
+      0, bins_y_ - 1);
+  const int y1 = clampi(
+      static_cast<int>((probe.y_hi - bbox_.y_lo) / bbox_.height() * bins_y_),
+      0, bins_y_ - 1);
+  const auto& layer_bins = grid_[static_cast<std::size_t>(layer)];
+  for (int by = y0; by <= y1; ++by) {
+    for (int bx = x0; bx <= x1; ++bx) {
+      for (std::size_t i :
+           layer_bins[static_cast<std::size_t>(by * bins_x_ + bx)]) {
+        if (shapes[i].rect.intersects(probe) &&
+            std::find(out.begin(), out.end(), i) == out.end())
+          out.push_back(i);
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<CircuitFault> DefectAnalyzer::analyze(
+    const Defect& defect) const {
+  switch (defect.type) {
+    case DefectType::kExtraMetal1:
+      return analyze_extra_material(defect, Layer::kMetal1);
+    case DefectType::kExtraMetal2:
+      return analyze_extra_material(defect, Layer::kMetal2);
+    case DefectType::kExtraPoly:
+      return analyze_extra_material(defect, Layer::kPoly);
+    case DefectType::kExtraActive:
+      return analyze_extra_material(defect, Layer::kActive);
+    case DefectType::kMissingMetal1:
+      return analyze_missing_material(defect, Layer::kMetal1);
+    case DefectType::kMissingMetal2:
+      return analyze_missing_material(defect, Layer::kMetal2);
+    case DefectType::kMissingPoly:
+      return analyze_missing_material(defect, Layer::kPoly);
+    case DefectType::kMissingActive:
+      return analyze_missing_material(defect, Layer::kActive);
+    case DefectType::kExtraContact:
+      return analyze_extra_cut(defect, Layer::kContact);
+    case DefectType::kExtraVia:
+      return analyze_extra_cut(defect, Layer::kVia1);
+    case DefectType::kMissingContact:
+      return analyze_missing_cut(defect, Layer::kContact);
+    case DefectType::kMissingVia:
+      return analyze_missing_cut(defect, Layer::kVia1);
+    case DefectType::kGateOxidePinhole:
+      return analyze_gate_oxide(defect);
+    case DefectType::kThickOxidePinhole:
+      return analyze_thick_oxide(defect);
+    case DefectType::kJunctionPinhole:
+      return analyze_junction(defect);
+  }
+  return std::nullopt;
+}
+
+std::optional<CircuitFault> DefectAnalyzer::analyze_extra_material(
+    const Defect& defect, Layer layer) const {
+  const Rect foot = Rect::square(defect.center, defect.size);
+  const auto hits = shapes_hit(layer, foot);
+  std::vector<std::string> nets;
+  for (std::size_t i : hits) {
+    const auto& net = cell_.shapes()[i].net;
+    if (std::find(nets.begin(), nets.end(), net) == nets.end())
+      nets.push_back(net);
+  }
+  if (nets.size() < 2) return std::nullopt;
+  std::sort(nets.begin(), nets.end());
+
+  if (layer == Layer::kActive) {
+    // Extra diffusion under existing poly makes a parasitic transistor
+    // instead of a hard short (VLASIC "new device"); bridging the source
+    // and drain of one transistor next to its own gate is a "shorted
+    // device".
+    const auto poly_hits = shapes_hit(Layer::kPoly, foot);
+    if (!poly_hits.empty()) {
+      for (const auto& region : cell_.mos_regions()) {
+        if (!region.channel.intersects(foot)) continue;
+        const bool bridges_own_sd =
+            std::find(nets.begin(), nets.end(), region.source_net) !=
+                nets.end() &&
+            std::find(nets.begin(), nets.end(), region.drain_net) !=
+                nets.end();
+        if (bridges_own_sd) {
+          CircuitFault f;
+          f.kind = FaultKind::kShortedDevice;
+          f.device = region.device;
+          return f;
+        }
+      }
+      CircuitFault f;
+      f.kind = FaultKind::kNewDevice;
+      f.nets = {nets[0], nets[1]};
+      f.gate_net = cell_.shapes()[poly_hits.front()].net;
+      f.to_vdd = cell_.inside_nwell(defect.center);
+      return f;
+    }
+  }
+
+  CircuitFault f;
+  f.kind = FaultKind::kShort;
+  f.nets = std::move(nets);
+  f.material = material_of(layer);
+  return f;
+}
+
+std::optional<CircuitFault> DefectAnalyzer::open_fault_for(
+    const std::string& net, const std::vector<std::size_t>& removed,
+    const Rect& footprint) const {
+  const int ni = net_index(net);
+  if (ni < 0) return std::nullopt;
+  const auto& shapes = cell_.shapes();
+
+  // Build remnant geometry for this net: unaffected shapes stay whole,
+  // affected conducting shapes shrink to their remnants, removed cuts
+  // vanish entirely.
+  struct Piece {
+    Rect rect;
+    Layer layer;
+  };
+  std::vector<Piece> pieces;
+  for (std::size_t i : net_shapes_[static_cast<std::size_t>(ni)]) {
+    const Shape& s = shapes[i];
+    const bool is_removed =
+        std::find(removed.begin(), removed.end(), i) != removed.end();
+    if (!is_removed) {
+      pieces.push_back({s.rect, s.layer});
+      continue;
+    }
+    if (layout::is_cut(s.layer)) continue;  // cut destroyed entirely
+    for (const Rect& remnant : subtract(s.rect, footprint))
+      pieces.push_back({remnant, s.layer});
+  }
+
+  // Union-find over pieces with the electrical connection rules.
+  layout::UnionFind uf(pieces.size());
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+      if (!pieces[i].rect.intersects(pieces[j].rect)) continue;
+      const bool same_layer = pieces[i].layer == pieces[j].layer &&
+                              layout::is_conducting(pieces[i].layer);
+      const bool via_pair =
+          (layout::is_cut(pieces[i].layer) &&
+           cut_connects(pieces[i].layer, pieces[j].layer)) ||
+          (layout::is_cut(pieces[j].layer) &&
+           cut_connects(pieces[j].layer, pieces[i].layer));
+      if (same_layer || via_pair) uf.unite(i, j);
+    }
+  }
+
+  // Group taps by the component of a piece containing them.
+  const auto& taps = cell_.taps();
+  std::map<long, std::vector<std::size_t>> groups;
+  for (std::size_t t : net_taps_[static_cast<std::size_t>(ni)]) {
+    long key = -1 - static_cast<long>(t);
+    for (std::size_t p = 0; p < pieces.size(); ++p) {
+      if (pieces[p].layer != taps[t].layer) continue;
+      if (pieces[p].rect.contains(taps[t].at)) {
+        key = static_cast<long>(uf.find(p));
+        break;
+      }
+    }
+    groups[key].push_back(t);
+  }
+  if (groups.size() < 2) return std::nullopt;
+
+  // The side keeping the original node is the group holding the first
+  // pin tap; without pins, the largest group.
+  long keep_key = groups.begin()->first;
+  bool keep_found = false;
+  for (const auto& [key, tap_list] : groups) {
+    for (std::size_t t : tap_list) {
+      if (taps[t].device == "pin") {
+        keep_key = key;
+        keep_found = true;
+        break;
+      }
+    }
+    if (keep_found) break;
+  }
+  if (!keep_found) {
+    std::size_t best = 0;
+    for (const auto& [key, tap_list] : groups) {
+      if (tap_list.size() > best) {
+        best = tap_list.size();
+        keep_key = key;
+      }
+    }
+  }
+
+  CircuitFault f;
+  f.kind = FaultKind::kOpen;
+  f.nets = {net};
+  for (const auto& [key, tap_list] : groups) {
+    if (key == keep_key) continue;
+    for (std::size_t t : tap_list)
+      f.isolated_taps.push_back({taps[t].device, taps[t].terminal});
+  }
+  if (f.isolated_taps.empty()) return std::nullopt;
+  // Canonical order for collapsing.
+  std::sort(f.isolated_taps.begin(), f.isolated_taps.end(),
+            [](const fault::TapRef& a, const fault::TapRef& b) {
+              return std::tie(a.device, a.terminal) <
+                     std::tie(b.device, b.terminal);
+            });
+  return f;
+}
+
+std::optional<CircuitFault> DefectAnalyzer::analyze_missing_material(
+    const Defect& defect, Layer layer) const {
+  const Rect foot = Rect::square(defect.center, defect.size);
+  const auto hits = shapes_hit(layer, foot);
+  if (hits.empty()) return std::nullopt;
+
+  // Collect affected nets; try each for a split, report the first.
+  std::vector<std::string> nets;
+  for (std::size_t i : hits) {
+    const auto& net = cell_.shapes()[i].net;
+    if (std::find(nets.begin(), nets.end(), net) == nets.end())
+      nets.push_back(net);
+  }
+  for (const auto& net : nets) {
+    std::vector<std::size_t> removed;
+    for (std::size_t i : hits)
+      if (cell_.shapes()[i].net == net) removed.push_back(i);
+    if (auto f = open_fault_for(net, removed, foot)) return f;
+  }
+  return std::nullopt;
+}
+
+std::optional<CircuitFault> DefectAnalyzer::analyze_missing_cut(
+    const Defect& defect, Layer layer) const {
+  const Rect foot = Rect::square(defect.center, defect.size);
+  const auto hits = shapes_hit(layer, foot);
+  std::vector<std::size_t> removed;
+  std::vector<std::string> nets;
+  for (std::size_t i : hits) {
+    // A cut is destroyed when the defect blankets its centre.
+    if (!foot.contains(cell_.shapes()[i].rect.center())) continue;
+    removed.push_back(i);
+    const auto& net = cell_.shapes()[i].net;
+    if (std::find(nets.begin(), nets.end(), net) == nets.end())
+      nets.push_back(net);
+  }
+  for (const auto& net : nets) {
+    std::vector<std::size_t> net_removed;
+    for (std::size_t i : removed)
+      if (cell_.shapes()[i].net == net) net_removed.push_back(i);
+    if (auto f = open_fault_for(net, net_removed, foot)) return f;
+  }
+  return std::nullopt;
+}
+
+std::optional<CircuitFault> DefectAnalyzer::analyze_extra_cut(
+    const Defect& defect, Layer cut_layer) const {
+  const Rect foot = Rect::square(defect.center, defect.size);
+  const Layer upper = Layer::kMetal1;
+  const auto upper_hits = shapes_hit(upper, foot);
+  if (upper_hits.empty()) return std::nullopt;
+
+  std::vector<Layer> lowers;
+  if (cut_layer == Layer::kContact)
+    lowers = {Layer::kPoly, Layer::kActive};
+  else
+    lowers = {Layer::kMetal2};
+
+  std::vector<std::string> nets;
+  auto add_net = [&](const std::string& net) {
+    if (std::find(nets.begin(), nets.end(), net) == nets.end())
+      nets.push_back(net);
+  };
+  for (std::size_t ui : upper_hits) {
+    const Shape& u = cell_.shapes()[ui];
+    for (Layer lower : lowers) {
+      for (std::size_t li : shapes_hit(lower, foot)) {
+        const Shape& l = cell_.shapes()[li];
+        if (l.net == u.net) continue;
+        // The spurious cut must land where the two layers overlap.
+        const Rect overlap =
+            u.rect.intersection(l.rect).intersection(foot);
+        if (overlap.empty()) continue;
+        add_net(u.net);
+        add_net(l.net);
+      }
+    }
+  }
+  if (nets.size() < 2) return std::nullopt;
+  std::sort(nets.begin(), nets.end());
+  CircuitFault f;
+  f.kind = FaultKind::kExtraContact;
+  f.nets = std::move(nets);
+  f.material = BridgeMaterial::kContact;
+  return f;
+}
+
+std::optional<CircuitFault> DefectAnalyzer::analyze_gate_oxide(
+    const Defect& defect) const {
+  const auto* region = cell_.mos_region_at(defect.center);
+  if (region == nullptr) return std::nullopt;
+  CircuitFault f;
+  f.kind = FaultKind::kGateOxidePinhole;
+  f.device = region->device;
+  f.material = BridgeMaterial::kOxide;
+  return f;
+}
+
+std::optional<CircuitFault> DefectAnalyzer::analyze_thick_oxide(
+    const Defect& defect) const {
+  // A pinhole is a point-like vertical leak: metal1 over poly/active, or
+  // metal2 over metal1, at the defect location.
+  const Rect probe = Rect::square(defect.center, 0.05);
+  struct Pair {
+    Layer upper, lower;
+  };
+  static constexpr Pair kPairs[] = {
+      {Layer::kMetal1, Layer::kPoly},
+      {Layer::kMetal1, Layer::kActive},
+      {Layer::kMetal2, Layer::kMetal1},
+  };
+  for (const auto& pair : kPairs) {
+    const auto uppers = shapes_hit(pair.upper, probe);
+    if (uppers.empty()) continue;
+    const auto lowers = shapes_hit(pair.lower, probe);
+    for (std::size_t ui : uppers) {
+      for (std::size_t li : lowers) {
+        const Shape& u = cell_.shapes()[ui];
+        const Shape& l = cell_.shapes()[li];
+        if (u.net == l.net) continue;
+        CircuitFault f;
+        f.kind = FaultKind::kThickOxidePinhole;
+        f.nets = {std::min(u.net, l.net), std::max(u.net, l.net)};
+        f.material = BridgeMaterial::kOxide;
+        return f;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CircuitFault> DefectAnalyzer::analyze_junction(
+    const Defect& defect) const {
+  const Rect probe = Rect::square(defect.center, 0.05);
+  const auto hits = shapes_hit(Layer::kActive, probe);
+  if (hits.empty()) return std::nullopt;
+  const std::string& net = cell_.shapes()[hits.front()].net;
+  const bool to_vdd = cell_.inside_nwell(defect.center);
+  // Leaking a rail into its own bulk is not a fault.
+  if (!to_vdd && (net == "0" || net == "gnd")) return std::nullopt;
+  if (to_vdd && net == options_.vdd_net) return std::nullopt;
+  CircuitFault f;
+  f.kind = FaultKind::kJunctionPinhole;
+  f.nets = {net};
+  f.to_vdd = to_vdd;
+  f.material = BridgeMaterial::kOxide;
+  return f;
+}
+
+}  // namespace dot::defect

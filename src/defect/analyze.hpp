@@ -1,0 +1,91 @@
+// Defect-to-fault analysis: decides whether one sprinkled spot defect
+// causes a circuit-level fault, and extracts that fault. This is the
+// core of the VLASIC-equivalent catastrophic defect simulator.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "defect/statistics.hpp"
+#include "fault/fault.hpp"
+#include "layout/cell.hpp"
+#include "util/rng.hpp"
+
+namespace dot::defect {
+
+/// One sprinkled spot defect.
+struct Defect {
+  DefectType type = DefectType::kExtraMetal1;
+  layout::Point center;
+  double size = 1.0;  ///< Spot diameter (modelled as a square).
+};
+
+/// Samples a defect: type by statistics weight, position uniform over
+/// the cell bounding box, size by the power-law distribution.
+Defect sample_defect(const DefectStatistics& stats, const layout::Rect& area,
+                     util::Rng& rng);
+
+struct AnalyzerOptions {
+  std::string vdd_net = "vdd";
+  /// Grid bin size for the spatial index (um).
+  double bin_size = 5.0;
+};
+
+/// Precomputes spatial and per-net indexes over one cell layout, then
+/// answers defect queries. The analyzer borrows the cell; keep the cell
+/// alive while using it.
+class DefectAnalyzer {
+ public:
+  DefectAnalyzer(const layout::CellLayout& cell, AnalyzerOptions options);
+
+  /// Returns the circuit-level fault the defect causes, or nullopt when
+  /// the defect is harmless (lands on empty area, same-net material,
+  /// redundant wiring, ...).
+  std::optional<fault::CircuitFault> analyze(const Defect& defect) const;
+
+  const layout::CellLayout& cell() const { return cell_; }
+
+ private:
+  struct NetGraph;  // per-net shape adjacency for open analysis
+
+  std::vector<std::size_t> shapes_hit(layout::Layer layer,
+                                      const layout::Rect& probe) const;
+
+  std::optional<fault::CircuitFault> analyze_extra_material(
+      const Defect& defect, layout::Layer layer) const;
+  std::optional<fault::CircuitFault> analyze_missing_material(
+      const Defect& defect, layout::Layer layer) const;
+  std::optional<fault::CircuitFault> analyze_missing_cut(
+      const Defect& defect, layout::Layer layer) const;
+  std::optional<fault::CircuitFault> analyze_extra_cut(
+      const Defect& defect, layout::Layer cut_layer) const;
+  std::optional<fault::CircuitFault> analyze_gate_oxide(
+      const Defect& defect) const;
+  std::optional<fault::CircuitFault> analyze_thick_oxide(
+      const Defect& defect) const;
+  std::optional<fault::CircuitFault> analyze_junction(
+      const Defect& defect) const;
+
+  /// Open extraction on one net after deleting/shrinking material.
+  std::optional<fault::CircuitFault> open_fault_for(
+      const std::string& net, const std::vector<std::size_t>& removed,
+      const layout::Rect& footprint) const;
+
+  const layout::CellLayout& cell_;
+  AnalyzerOptions options_;
+
+  // Spatial grid: per layer, bin -> shape indices.
+  layout::Rect bbox_;
+  int bins_x_ = 1;
+  int bins_y_ = 1;
+  std::vector<std::vector<std::vector<std::size_t>>> grid_;  // [layer][bin]
+
+  // Per-net shape lists and tap lists for open analysis.
+  std::vector<std::string> net_names_;
+  std::vector<std::vector<std::size_t>> net_shapes_;
+  std::vector<std::vector<std::size_t>> net_taps_;
+  int net_index(const std::string& net) const;
+};
+
+}  // namespace dot::defect

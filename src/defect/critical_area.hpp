@@ -1,0 +1,40 @@
+// Critical-area analysis: the deterministic counterpart of Monte-Carlo
+// defect sprinkling. For a given defect type and spot size s, the
+// critical area A(s) is the set of spot centres that cause a fault;
+// integrating A(s)/A_cell against the spot-size distribution gives the
+// per-defect fault probability -- a closed-form cross-check of the
+// sprinkling campaign (classic inductive fault analysis, paper ref [1]).
+#pragma once
+
+#include <vector>
+
+#include "defect/analyze.hpp"
+#include "defect/statistics.hpp"
+
+namespace dot::defect {
+
+struct CriticalAreaCurve {
+  DefectType type = DefectType::kExtraMetal1;
+  std::vector<double> sizes;  ///< Spot diameters [um], ascending.
+  std::vector<double> areas;  ///< Critical area [um^2] per size.
+
+  /// Linear interpolation (clamped at the ends).
+  double area_at(double size) const;
+};
+
+/// Estimates A(s) for one defect type by scanning spot centres on a
+/// regular grid over the cell bounding box (grid quadrature of the
+/// indicator function "this defect causes a fault").
+CriticalAreaCurve critical_area_curve(const DefectAnalyzer& analyzer,
+                                      DefectType type,
+                                      const std::vector<double>& sizes,
+                                      double grid_pitch = 0.5);
+
+/// Per-defect fault probability for this type: the expectation of
+/// A(s)/A_cell over the spot-size distribution, evaluated by quantile
+/// quadrature of the power law.
+double fault_probability(const CriticalAreaCurve& curve,
+                         const DefectStatistics& statistics,
+                         double cell_area, int quadrature_points = 64);
+
+}  // namespace dot::defect

@@ -1,0 +1,77 @@
+#include "defect/simulate.hpp"
+
+#include <algorithm>
+
+namespace dot::defect {
+
+CampaignResult run_campaign(const layout::CellLayout& cell,
+                            const CampaignOptions& options) {
+  AnalyzerOptions analyzer_options;
+  analyzer_options.vdd_net = options.vdd_net;
+  const DefectAnalyzer analyzer(cell, analyzer_options);
+  return run_campaign(analyzer, options);
+}
+
+CampaignResult run_campaign(const DefectAnalyzer& analyzer,
+                            const CampaignOptions& options) {
+  util::Rng rng(options.seed);
+  const layout::Rect area = analyzer.cell().bounding_box();
+  const auto& clustering = options.statistics.clustering;
+
+  CampaignResult result;
+  result.defects_sprinkled = options.defect_count;
+
+  std::unordered_map<std::string, std::size_t> class_index;
+  // Cluster members waiting to be sprinkled; they count against the
+  // defect budget like any other spot, and inherit the seed's defect
+  // type (a scratch is all extra-metal, a splash all one material).
+  struct PendingMember {
+    layout::Point at;
+    DefectType type;
+  };
+  std::vector<PendingMember> pending_cluster;
+  for (std::size_t n = 0; n < options.defect_count; ++n) {
+    Defect defect = sample_defect(options.statistics, area, rng);
+    if (!pending_cluster.empty()) {
+      defect.center = pending_cluster.back().at;
+      defect.type = pending_cluster.back().type;
+      pending_cluster.pop_back();
+    } else if (clustering.enabled() &&
+               rng.chance(clustering.cluster_fraction)) {
+      // Geometric number of additional spots around this seed.
+      while (rng.chance(clustering.mean_extra /
+                        (clustering.mean_extra + 1.0))) {
+        layout::Point member{
+            defect.center.x + rng.normal(0.0, clustering.radius),
+            defect.center.y + rng.normal(0.0, clustering.radius)};
+        member.x = std::clamp(member.x, area.x_lo, area.x_hi);
+        member.y = std::clamp(member.y, area.y_lo, area.y_hi);
+        pending_cluster.push_back({member, defect.type});
+      }
+    }
+    ++result.defects_by_type[static_cast<std::size_t>(defect.type)];
+    const auto fault = analyzer.analyze(defect);
+    if (!fault) continue;
+    ++result.faults_extracted;
+    ++result.faulting_by_type[static_cast<std::size_t>(defect.type)];
+    ++result.faults_by_kind[static_cast<std::size_t>(fault->kind)];
+    const std::string key = fault->key();
+    auto [it, inserted] = class_index.emplace(key, result.classes.size());
+    if (inserted)
+      result.classes.push_back(fault::FaultClass{*fault, 1});
+    else
+      ++result.classes[it->second].count;
+  }
+
+  for (const auto& cls : result.classes)
+    ++result.classes_by_kind[static_cast<std::size_t>(
+        cls.representative.kind)];
+
+  std::stable_sort(result.classes.begin(), result.classes.end(),
+                   [](const fault::FaultClass& a, const fault::FaultClass& b) {
+                     return a.count > b.count;
+                   });
+  return result;
+}
+
+}  // namespace dot::defect

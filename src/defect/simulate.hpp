@@ -1,0 +1,58 @@
+// Monte-Carlo defect campaign: sprinkle N defects on a cell layout,
+// extract the circuit-level faults they cause, and collapse them into
+// fault classes -- the "defect simulator" + "fault collapsing" stages of
+// the paper's figure 1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "defect/analyze.hpp"
+#include "defect/statistics.hpp"
+#include "fault/fault.hpp"
+#include "layout/cell.hpp"
+
+namespace dot::defect {
+
+struct CampaignOptions {
+  DefectStatistics statistics;
+  std::size_t defect_count = 25000;
+  std::uint64_t seed = 1;
+  std::string vdd_net = "vdd";
+};
+
+struct CampaignResult {
+  std::size_t defects_sprinkled = 0;
+  std::size_t faults_extracted = 0;
+  /// Collapsed fault classes, descending count.
+  std::vector<fault::FaultClass> classes;
+  /// Fault counts per fault kind (Table 1, "% faults" column).
+  std::array<std::size_t, fault::kFaultKindCount> faults_by_kind{};
+  /// Class counts per fault kind (Table 1, "% fault classes" column).
+  std::array<std::size_t, fault::kFaultKindCount> classes_by_kind{};
+  /// How many defects of each type were sprinkled.
+  std::array<std::size_t, kDefectTypeCount> defects_by_type{};
+  /// How many defects of each type caused a fault.
+  std::array<std::size_t, kDefectTypeCount> faulting_by_type{};
+
+  double fault_yield() const {
+    return defects_sprinkled == 0
+               ? 0.0
+               : static_cast<double>(faults_extracted) /
+                     static_cast<double>(defects_sprinkled);
+  }
+};
+
+/// Runs the campaign. Fault collapsing happens on the fly, so memory
+/// stays proportional to the number of classes, not the defect count.
+CampaignResult run_campaign(const layout::CellLayout& cell,
+                            const CampaignOptions& options);
+
+/// Same, reusing an existing analyzer (cheaper when sweeping options).
+CampaignResult run_campaign(const DefectAnalyzer& analyzer,
+                            const CampaignOptions& options);
+
+}  // namespace dot::defect

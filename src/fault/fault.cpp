@@ -1,0 +1,70 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+namespace dot::fault {
+
+const std::string& fault_kind_name(FaultKind kind) {
+  static const std::array<std::string, kFaultKindCount> names = {
+      "short",          "extra contact",       "gate oxide pinhole",
+      "junction pinhole", "thick oxide pinhole", "open",
+      "new device",     "shorted device"};
+  return names[static_cast<std::size_t>(kind)];
+}
+
+std::string CircuitFault::key() const {
+  std::string k = std::to_string(static_cast<int>(kind));
+  k += '|';
+  // Nets are stored sorted; join them.
+  for (const auto& net : nets) {
+    k += net;
+    k += ',';
+  }
+  k += '|';
+  k += device;
+  k += '|';
+  k += gate_net;
+  k += '|';
+  k += to_vdd ? '1' : '0';
+  k += '|';
+  k += std::to_string(static_cast<int>(material));
+  k += '|';
+  // Opens with different tap partitions are distinct faults.
+  std::vector<std::string> tap_keys;
+  tap_keys.reserve(isolated_taps.size());
+  for (const auto& tap : isolated_taps)
+    tap_keys.push_back(tap.device + '#' + std::to_string(tap.terminal));
+  std::sort(tap_keys.begin(), tap_keys.end());
+  for (const auto& tk : tap_keys) {
+    k += tk;
+    k += ',';
+  }
+  return k;
+}
+
+std::vector<FaultClass> collapse_faults(
+    const std::vector<CircuitFault>& faults) {
+  std::unordered_map<std::string, std::size_t> index;
+  std::vector<FaultClass> classes;
+  for (const auto& fault : faults) {
+    const std::string key = fault.key();
+    auto [it, inserted] = index.emplace(key, classes.size());
+    if (inserted) classes.push_back(FaultClass{fault, 1});
+    else ++classes[it->second].count;
+  }
+  std::stable_sort(classes.begin(), classes.end(),
+                   [](const FaultClass& a, const FaultClass& b) {
+                     return a.count > b.count;
+                   });
+  return classes;
+}
+
+std::size_t total_fault_count(const std::vector<FaultClass>& classes) {
+  std::size_t total = 0;
+  for (const auto& c : classes) total += c.count;
+  return total;
+}
+
+}  // namespace dot::fault

@@ -1,0 +1,192 @@
+#include "fault/model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dot::fault {
+namespace {
+
+double bridge_resistance(const CircuitFault& fault,
+                         const FaultModelOptions& opt) {
+  switch (fault.kind) {
+    case FaultKind::kShort:
+      switch (fault.material) {
+        case BridgeMaterial::kMetal:
+          return opt.metal_short_ohms;
+        case BridgeMaterial::kPoly:
+          return opt.poly_short_ohms;
+        case BridgeMaterial::kDiffusion:
+          return opt.diffusion_short_ohms;
+        default:
+          return opt.poly_short_ohms;
+      }
+    case FaultKind::kExtraContact:
+      return opt.extra_contact_ohms;
+    case FaultKind::kGateOxidePinhole:
+    case FaultKind::kJunctionPinhole:
+    case FaultKind::kThickOxidePinhole:
+      return opt.pinhole_ohms;
+    case FaultKind::kShortedDevice:
+      return opt.shorted_device_ohms;
+    default:
+      throw util::InvalidInputError(
+          "bridge_resistance: fault has no bridge model");
+  }
+}
+
+/// Adds a bridge between two existing nodes: a resistor, or the
+/// near-miss RC pair for non-catastrophic variants.
+void add_bridge(spice::Netlist& netlist, const std::string& tag,
+                const std::string& node_a, const std::string& node_b,
+                double ohms, const FaultModelOptions& opt,
+                bool non_catastrophic) {
+  if (non_catastrophic) {
+    netlist.add_resistor("FLTR_" + tag, node_a, node_b, opt.noncat_ohms);
+    netlist.add_capacitor("FLTC_" + tag, node_a, node_b, opt.noncat_farads);
+  } else {
+    netlist.add_resistor("FLTR_" + tag, node_a, node_b, ohms);
+  }
+}
+
+void require_node(const spice::Netlist& netlist, const std::string& name) {
+  if (!netlist.find_node(name) && name != "0" && name != "gnd")
+    throw util::InvalidInputError("apply_fault: fault references net '" +
+                                  name + "' absent from the netlist");
+}
+
+const spice::Mosfet& find_mosfet(const spice::Netlist& netlist,
+                                 const std::string& name) {
+  const auto* device = netlist.find_device(name);
+  if (device == nullptr)
+    throw util::InvalidInputError("apply_fault: no device named " + name);
+  const auto* mos = std::get_if<spice::Mosfet>(device);
+  if (mos == nullptr)
+    throw util::InvalidInputError("apply_fault: " + name +
+                                  " is not a MOSFET");
+  return *mos;
+}
+
+}  // namespace
+
+int model_variant_count(const CircuitFault& fault) {
+  return fault.kind == FaultKind::kGateOxidePinhole ? 3 : 1;
+}
+
+bool supports_noncatastrophic(const CircuitFault& fault) {
+  return fault.kind == FaultKind::kShort ||
+         fault.kind == FaultKind::kExtraContact;
+}
+
+spice::Netlist apply_fault(const spice::Netlist& good,
+                           const CircuitFault& fault,
+                           const FaultModelOptions& opt, int variant,
+                           bool non_catastrophic) {
+  if (variant < 0 || variant >= model_variant_count(fault))
+    throw util::InvalidInputError("apply_fault: bad variant index");
+  if (non_catastrophic && !supports_noncatastrophic(fault))
+    throw util::InvalidInputError(
+        "apply_fault: fault kind has no non-catastrophic form");
+
+  spice::Netlist out = good;
+  switch (fault.kind) {
+    case FaultKind::kShort:
+    case FaultKind::kExtraContact:
+    case FaultKind::kThickOxidePinhole: {
+      if (fault.nets.size() < 2)
+        throw util::InvalidInputError("apply_fault: short needs >= 2 nets");
+      // Star of bridges from the first net to the others (multi-net
+      // shorts arise when one defect touches three or more wires).
+      for (const auto& net : fault.nets) require_node(out, net);
+      const double ohms = bridge_resistance(fault, opt);
+      for (std::size_t i = 1; i < fault.nets.size(); ++i) {
+        add_bridge(out, std::to_string(i), fault.nets[0], fault.nets[i],
+                   ohms, opt, non_catastrophic);
+      }
+      return out;
+    }
+
+    case FaultKind::kJunctionPinhole: {
+      if (fault.nets.size() != 1)
+        throw util::InvalidInputError(
+            "apply_fault: junction pinhole needs exactly 1 net");
+      require_node(out, fault.nets[0]);
+      const std::string rail = fault.to_vdd ? opt.vdd_net : "0";
+      add_bridge(out, "jp", fault.nets[0], rail, opt.pinhole_ohms, opt,
+                 false);
+      return out;
+    }
+
+    case FaultKind::kGateOxidePinhole: {
+      const auto& mos = find_mosfet(out, fault.device);
+      const std::string gate = out.node_name(mos.gate);
+      const std::string source = out.node_name(mos.source);
+      const std::string drain = out.node_name(mos.drain);
+      if (variant == 0) {
+        add_bridge(out, "gos_s", gate, source, opt.pinhole_ohms, opt, false);
+      } else if (variant == 1) {
+        add_bridge(out, "gos_d", gate, drain, opt.pinhole_ohms, opt, false);
+      } else {
+        // Gate-to-channel: the channel midpoint is approximated by a
+        // series tap halfway between source and drain.
+        const spice::NodeId mid = out.make_internal_node("gos_ch");
+        const std::string mid_name = out.node_name(mid);
+        out.add_resistor("FLTR_gos_ch", gate, mid_name, opt.pinhole_ohms);
+        out.add_resistor("FLTR_ch_s", mid_name, source,
+                         opt.pinhole_ohms / 2.0);
+        out.add_resistor("FLTR_ch_d", mid_name, drain,
+                         opt.pinhole_ohms / 2.0);
+      }
+      return out;
+    }
+
+    case FaultKind::kOpen: {
+      if (fault.nets.size() != 1)
+        throw util::InvalidInputError("apply_fault: open needs exactly 1 net");
+      const auto node = out.find_node(fault.nets[0]);
+      if (!node)
+        throw util::InvalidInputError("apply_fault: unknown net " +
+                                      fault.nets[0]);
+      const spice::NodeId split = out.make_internal_node("open");
+      for (const auto& tap : fault.isolated_taps) {
+        if (tap.device == "pin") continue;  // pins keep the original node
+        auto* device = out.find_device(tap.device);
+        if (device == nullptr)
+          throw util::InvalidInputError("apply_fault: open references "
+                                        "unknown device " + tap.device);
+        const auto nodes = spice::Netlist::terminal_nodes(*device);
+        if (tap.terminal < 0 ||
+            static_cast<std::size_t>(tap.terminal) >= nodes.size() ||
+            nodes[static_cast<std::size_t>(tap.terminal)] != *node)
+          throw util::InvalidInputError(
+              "apply_fault: open tap does not match netlist terminal");
+        spice::Netlist::set_terminal_node(*device, tap.terminal, split);
+      }
+      return out;
+    }
+
+    case FaultKind::kNewDevice: {
+      if (fault.nets.size() != 2)
+        throw util::InvalidInputError(
+            "apply_fault: new device needs exactly 2 nets");
+      const auto type =
+          fault.to_vdd ? spice::MosType::kPmos : spice::MosType::kNmos;
+      const std::string bulk = fault.to_vdd ? opt.vdd_net : "0";
+      out.add_mosfet("FLTM_new", type, fault.nets[0], fault.gate_net,
+                     fault.nets[1], bulk, opt.new_device_w, opt.new_device_l,
+                     opt.new_device_model);
+      return out;
+    }
+
+    case FaultKind::kShortedDevice: {
+      const auto& mos = find_mosfet(out, fault.device);
+      add_bridge(out, "sd", out.node_name(mos.drain),
+                 out.node_name(mos.source), opt.shorted_device_ohms, opt,
+                 false);
+      return out;
+    }
+  }
+  throw util::InvalidInputError("apply_fault: unhandled fault kind");
+}
+
+}  // namespace dot::fault

@@ -1,0 +1,67 @@
+// Circuit-level fault models: pure netlist transformations implementing
+// the paper's section 3.2 ("Circuit-level fault models").
+//
+//  - metal/poly/diffusion shorts      -> bridge resistor (material R)
+//  - extra contacts                   -> 2 Ohm bridge
+//  - gate-oxide / junction / thick-   -> 2 kOhm bridge; gate-oxide in
+//    oxide pinholes                      three variants (to source, to
+//                                        drain, to channel), worst case
+//                                        chosen by the fault simulator
+//  - opens                            -> node split
+//  - new devices                      -> minimum-size parasitic MOSFET
+//  - shorted devices                  -> drain-source bridge
+//  - non-catastrophic ("near-miss")   -> 500 Ohm parallel 1 fF, derived
+//    variants of shorts/extra contacts   from the catastrophic faults
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "spice/netlist.hpp"
+
+namespace dot::fault {
+
+struct FaultModelOptions {
+  double metal_short_ohms = 0.2;
+  double poly_short_ohms = 50.0;
+  double diffusion_short_ohms = 100.0;
+  double extra_contact_ohms = 2.0;
+  double pinhole_ohms = 2000.0;
+  double shorted_device_ohms = 100.0;
+
+  /// Non-catastrophic near-miss model (paper: 500 Ohm || 1 fF).
+  double noncat_ohms = 500.0;
+  double noncat_farads = 1e-15;
+
+  /// Parasitic new-device geometry.
+  double new_device_w = 1.6e-6;
+  double new_device_l = 1.0e-6;
+  spice::MosModel new_device_model{};
+
+  /// Net name of the positive supply (junction pinholes in the n-well
+  /// leak here; parasitic PMOS bulks tie here).
+  std::string vdd_net = "vdd";
+};
+
+/// Number of model variants for a fault (gate-oxide pinholes have 3:
+/// gate-source, gate-drain, gate-channel; everything else has 1). The
+/// fault simulator simulates all variants and keeps the worst case, as
+/// the paper does for gate-oxide pinholes.
+int model_variant_count(const CircuitFault& fault);
+
+/// True when a non-catastrophic near-miss variant exists (the paper
+/// evolves them from catastrophic shorts and extra contacts only; the
+/// other faults are already high-ohmic).
+bool supports_noncatastrophic(const CircuitFault& fault);
+
+/// Returns a faulty copy of `good`. `variant` selects among
+/// model_variant_count() alternatives; `non_catastrophic` switches
+/// shorts / extra contacts to the 500 Ohm || 1 fF near-miss model.
+/// Injected devices are named with the "FLT" prefix.
+spice::Netlist apply_fault(const spice::Netlist& good,
+                           const CircuitFault& fault,
+                           const FaultModelOptions& options, int variant = 0,
+                           bool non_catastrophic = false);
+
+}  // namespace dot::fault

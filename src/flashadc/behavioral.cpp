@@ -1,0 +1,112 @@
+#include "flashadc/behavioral.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dot::flashadc {
+
+FlashAdcModel::FlashAdcModel() {
+  taps_.resize(kLevels);
+  for (int i = 0; i < kLevels; ++i)
+    taps_[static_cast<std::size_t>(i)] =
+        kVrefLo + (i + 1) * (kVrefHi - kVrefLo) / kLevels;
+  behaviors_.resize(kLevels);
+  row_stuck_.assign(kLevels + 1, -1);
+}
+
+FlashAdcModel::FlashAdcModel(std::vector<double> taps)
+    : taps_(std::move(taps)) {
+  if (taps_.size() != static_cast<std::size_t>(kLevels))
+    throw util::InvalidInputError("FlashAdcModel: need 256 tap voltages");
+  behaviors_.resize(kLevels);
+  row_stuck_.assign(kLevels + 1, -1);
+}
+
+void FlashAdcModel::set_comparator(int index, ComparatorBehavior behavior) {
+  if (index < 0 || index >= kLevels)
+    throw util::InvalidInputError("set_comparator: index out of range");
+  behaviors_[static_cast<std::size_t>(index)] = behavior;
+}
+
+void FlashAdcModel::set_row_stuck(int row, bool active) {
+  if (row < 0 || row > kLevels)
+    throw util::InvalidInputError("set_row_stuck: row out of range");
+  row_stuck_[static_cast<std::size_t>(row)] = active ? 1 : 0;
+}
+
+std::vector<bool> FlashAdcModel::thermometer(double vin) const {
+  std::vector<bool> c(static_cast<std::size_t>(kLevels));
+  for (int i = 0; i < kLevels; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    const double threshold = taps_[iu];
+    bool decision = vin > threshold;
+    switch (behaviors_[iu].mode) {
+      case ComparatorMode::kNormal:
+        break;
+      case ComparatorMode::kStuckHigh:
+        decision = true;
+        break;
+      case ComparatorMode::kStuckLow:
+        decision = false;
+        break;
+      case ComparatorMode::kOffset:
+        decision = vin > threshold + behaviors_[iu].offset;
+        break;
+      case ComparatorMode::kErratic:
+        if (std::fabs(vin - threshold) < behaviors_[iu].offset)
+          decision = !decision;
+        break;
+    }
+    c[iu] = decision;
+  }
+  return c;
+}
+
+int FlashAdcModel::convert(double vin) const {
+  const auto c = thermometer(vin);
+  // Edge rows k = 0..256 with virtual c[-1] = 1 and c[256] = 0; row k
+  // encodes min(k, 255). All active rows wire-OR into the output code.
+  int code = 0;
+  bool any = false;
+  for (int k = 0; k <= kLevels; ++k) {
+    const bool below = k == 0 ? true : c[static_cast<std::size_t>(k - 1)];
+    const bool above = k == kLevels ? false : c[static_cast<std::size_t>(k)];
+    bool active = below && !above;
+    const int stuck = row_stuck_[static_cast<std::size_t>(k)];
+    if (stuck == 0) active = false;
+    if (stuck == 1) active = true;
+    if (active) {
+      code |= std::min(k, kLevels - 1);
+      any = true;
+    }
+  }
+  return any ? code : 0;
+}
+
+std::vector<bool> codes_seen(const FlashAdcModel& adc,
+                             const MissingCodeTestConfig& config) {
+  std::vector<bool> seen(static_cast<std::size_t>(kLevels), false);
+  for (int s = 0; s < config.samples; ++s) {
+    // Triangle: up in the first half, down in the second.
+    const double phase = static_cast<double>(s) / config.samples;
+    const double frac = phase < 0.5 ? 2.0 * phase : 2.0 * (1.0 - phase);
+    const double vin = config.v_lo + frac * (config.v_hi - config.v_lo);
+    const int code = adc.convert(vin);
+    if (code >= 0 && code < kLevels) seen[static_cast<std::size_t>(code)] = true;
+  }
+  return seen;
+}
+
+bool has_missing_code(const FlashAdcModel& adc,
+                      const MissingCodeTestConfig& config) {
+  for (bool s : codes_seen(adc, config))
+    if (!s) return true;
+  return false;
+}
+
+double missing_code_test_time(const MissingCodeTestConfig& config) {
+  return config.samples * kCyclePeriod;
+}
+
+}  // namespace dot::flashadc

@@ -1,0 +1,76 @@
+// Behavioral model of the full 8-bit flash ADC, used for the fault
+// signature sensitization/propagation step: a macro-level fault
+// signature is inserted into one comparator (or tap vector, or decoder
+// row) and the missing-code test decides whether it is visible at the
+// circuit edge.
+//
+// The decoder is an edge detector with a wired-OR ROM, the structure
+// real full-flash converters of this era used: row k fires when
+// comparator k-1 is high and comparator k is low; all firing rows' codes
+// are OR-ed. A thermometer bubble therefore activates two rows and
+// corrupts the output code -- which is why comparator offsets beyond
+// one LSB produce missing codes (paper: the "Offset (> 8 mV)" voltage
+// signature is missing-code detectable).
+#pragma once
+
+#include <vector>
+
+#include "flashadc/tech.hpp"
+
+namespace dot::flashadc {
+
+enum class ComparatorMode {
+  kNormal,
+  kStuckHigh,
+  kStuckLow,
+  kOffset,   ///< Threshold shifted by `offset` volts.
+  kErratic,  ///< Decision inverted within `offset` volts of threshold.
+};
+
+struct ComparatorBehavior {
+  ComparatorMode mode = ComparatorMode::kNormal;
+  double offset = 0.0;
+};
+
+class FlashAdcModel {
+ public:
+  /// Ideal converter: uniform taps over [kVrefLo, kVrefHi].
+  FlashAdcModel();
+  /// Converter with explicit tap (threshold) voltages, size 256.
+  explicit FlashAdcModel(std::vector<double> taps);
+
+  void set_comparator(int index, ComparatorBehavior behavior);
+  /// Forces decoder row `row` stuck active/inactive.
+  void set_row_stuck(int row, bool active);
+
+  /// Comparator outputs for one input sample.
+  std::vector<bool> thermometer(double vin) const;
+  /// One conversion through the edge-detect + wired-OR decoder.
+  int convert(double vin) const;
+
+ private:
+  std::vector<double> taps_;
+  std::vector<ComparatorBehavior> behaviors_;
+  std::vector<int> row_stuck_;  // -1 free, 0 stuck off, 1 stuck on
+};
+
+struct MissingCodeTestConfig {
+  int samples = 1000;
+  /// Triangle sweep slightly overdrives the reference range so the top
+  /// and bottom codes are reachable.
+  double v_lo = kVrefLo - 0.02;
+  double v_hi = kVrefHi + 0.02;
+};
+
+/// Which of the 256 codes appeared during the sampled triangle sweep.
+std::vector<bool> codes_seen(const FlashAdcModel& adc,
+                             const MissingCodeTestConfig& config = {});
+
+/// True when at least one code never appears (the fault is detected).
+bool has_missing_code(const FlashAdcModel& adc,
+                      const MissingCodeTestConfig& config = {});
+
+/// Test time: samples are taken at full conversion speed.
+double missing_code_test_time(const MissingCodeTestConfig& config = {});
+
+}  // namespace dot::flashadc

@@ -1,0 +1,79 @@
+#include "flashadc/biasgen.hpp"
+
+#include "flashadc/tech.hpp"
+#include "layout/synth.hpp"
+#include "spice/dc.hpp"
+#include "util/error.hpp"
+
+namespace dot::flashadc {
+
+using spice::MosType;
+using spice::Netlist;
+using spice::SourceSpec;
+
+Netlist build_biasgen_netlist() {
+  Netlist n;
+  const auto nm = nmos_model();
+  const auto pm = pmos_model();
+  const double L2 = 2e-6;
+
+  // Reference branch: the resistor to ground sets the master current
+  // through the diode-connected PMOS, I = v(pb) / RB1.
+  n.add_mosfet("MPM", MosType::kPmos, "pb", "pb", "vdda", "vdda", 8e-6, L2,
+               pm);
+  n.add_resistor("RB1", "pb", "0", 60e3);
+
+  // Branch 1: mirrored current into a diode-connected NMOS -> vbn.
+  n.add_mosfet("MP5", MosType::kPmos, "vbn", "pb", "vdda", "vdda", 8e-6, L2,
+               pm);
+  n.add_mosfet("MD1", MosType::kNmos, "vbn", "vbn", "0", "0", 12e-6, L2, nm);
+
+  // Branch 2: larger mirrored current into a smaller diode -> slightly
+  // higher cascode bias vbc.
+  n.add_mosfet("MP6", MosType::kPmos, "vbc", "pb", "vdda", "vdda", 12e-6, L2,
+               pm);
+  n.add_mosfet("MD2", MosType::kNmos, "vbc", "vbc", "0", "0", 10e-6, L2, nm);
+
+  // Decoupling capacitors on the bias lines.
+  n.add_capacitor("CB1", "vbn", "0", 2e-12);
+  n.add_capacitor("CB2", "vbc", "0", 2e-12);
+  return n;
+}
+
+std::vector<std::string> biasgen_pins() { return {"vbn", "vbc", "vdda", "0"}; }
+
+layout::CellLayout build_biasgen_layout() {
+  layout::SynthOptions opt;
+  opt.vdd_net = "vdda";
+  opt.pins = biasgen_pins();
+  return layout::synthesize_layout(build_biasgen_netlist(), "biasgen", opt);
+}
+
+macro::MacroCell build_biasgen_macro() {
+  return macro::MacroCell("biasgen", build_biasgen_netlist(),
+                          build_biasgen_layout(), biasgen_pins(), 1);
+}
+
+BiasgenSolution solve_biasgen(const Netlist& macro_netlist) {
+  Netlist n = macro_netlist;
+  n.add_vsource("VDDA", "vdda", "0", SourceSpec::dc(kVdda));
+  // Comparator-array load: 256 tail gates draw no DC current, but the
+  // distribution lines have leakage-scale loading.
+  n.add_resistor("RLOAD1", "vbn", "0", 5e6);
+  n.add_resistor("RLOAD2", "vbc", "0", 5e6);
+
+  BiasgenSolution out;
+  const spice::MnaMap map(n);
+  try {
+    const auto result = dc_operating_point(n, map);
+    out.vbn = map.voltage(result.x, *n.find_node("vbn"));
+    out.vbc = map.voltage(result.x, *n.find_node("vbc"));
+    out.ivdd = -map.branch_current(result.x, "VDDA");
+    out.converged = true;
+  } catch (const util::ConvergenceError&) {
+    out.converged = false;
+  }
+  return out;
+}
+
+}  // namespace dot::flashadc

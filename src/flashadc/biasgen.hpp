@@ -1,0 +1,32 @@
+// Bias generator macro: two resistor-loaded diode branches producing
+// the tail bias (vbn) and cascode bias (vbc) for all 256 comparators.
+// The two output voltages are deliberately close together -- the
+// property that makes shorts between the distributed bias lines nearly
+// undetectable (paper section 3.4).
+#pragma once
+
+#include <vector>
+
+#include "layout/cell.hpp"
+#include "macro/macro_cell.hpp"
+#include "spice/netlist.hpp"
+
+namespace dot::flashadc {
+
+/// Pins: vbn, vbc, vdda, 0.
+spice::Netlist build_biasgen_netlist();
+layout::CellLayout build_biasgen_layout();
+std::vector<std::string> biasgen_pins();
+macro::MacroCell build_biasgen_macro();
+
+/// DC evaluation of a (possibly faulty) bias generator under its
+/// nominal comparator-array load.
+struct BiasgenSolution {
+  double vbn = 0.0;
+  double vbc = 0.0;
+  double ivdd = 0.0;  ///< Delivered analog supply current.
+  bool converged = false;
+};
+BiasgenSolution solve_biasgen(const spice::Netlist& macro_netlist);
+
+}  // namespace dot::flashadc

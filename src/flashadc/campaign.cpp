@@ -1,0 +1,558 @@
+#include "flashadc/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "flashadc/behavioral.hpp"
+#include "flashadc/biasgen.hpp"
+#include "flashadc/clockgen.hpp"
+#include "flashadc/comparator_sim.hpp"
+#include "flashadc/decoder.hpp"
+#include "flashadc/ladder.hpp"
+#include "flashadc/tech.hpp"
+#include "macro/envelope.hpp"
+#include "macro/macro_cell.hpp"
+#include "spice/montecarlo.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dot::flashadc {
+
+using fault::FaultClass;
+using fault::FaultModelOptions;
+using macro::CurrentSignature;
+using macro::DetectionOutcome;
+using macro::VoltageSignature;
+using spice::Netlist;
+
+namespace {
+
+/// Missing-code propagation for comparator-style voltage signatures:
+/// stuck-at and >8 mV offsets produce missing codes through the edge
+/// decoder; clock-value / mixed / no-deviation do not (paper 3.2,
+/// validated against the behavioral model in the test suite).
+bool propagate_missing_code(VoltageSignature signature) {
+  return signature == VoltageSignature::kOutputStuckAt ||
+         signature == VoltageSignature::kOffset;
+}
+
+DetectionOutcome make_outcome(VoltageSignature voltage,
+                              const CurrentSignature& current) {
+  DetectionOutcome out;
+  out.missing_code = propagate_missing_code(voltage);
+  out.ivdd = current.ivdd;
+  out.iddq = current.iddq;
+  out.iinput = current.iinput;
+  return out;
+}
+
+/// Fewer detection mechanisms = harder to detect. The paper keeps the
+/// worst-case (hardest) gate-oxide pinhole variant.
+int detectability_score(const FaultOutcome& outcome) {
+  int score = 0;
+  if (outcome.detection.missing_code) score += 1;
+  if (outcome.detection.ivdd) score += 1;
+  if (outcome.detection.iddq) score += 1;
+  if (outcome.detection.iinput) score += 1;
+  return score;
+}
+
+std::vector<FaultClass> truncated_classes(
+    const defect::CampaignResult& defects, const CampaignConfig& config) {
+  std::vector<FaultClass> classes = defects.classes;
+  if (config.max_classes > 0 && classes.size() > config.max_classes)
+    classes.resize(config.max_classes);
+  return classes;
+}
+
+defect::CampaignResult sprinkle(const macro::MacroCell& cell,
+                                const CampaignConfig& config,
+                                std::uint64_t seed_offset) {
+  defect::CampaignOptions opt;
+  opt.statistics = config.statistics;
+  opt.defect_count = config.defect_count;
+  opt.seed = config.seed + seed_offset;
+  opt.vdd_net = cell.layout.name() == "clockgen" ||
+                        cell.layout.name() == "decoder"
+                    ? "vddd"
+                    : "vdda";
+  return defect::run_campaign(cell.layout, opt);
+}
+
+FaultModelOptions model_options(const CampaignConfig& config,
+                                const std::string& vdd_net) {
+  FaultModelOptions opt = config.fault_models;
+  opt.vdd_net = vdd_net;
+  opt.new_device_model = nmos_model();
+  return opt;
+}
+
+/// Shared evaluation skeleton: for each (possibly truncated) fault
+/// class, for each model variant and catastrophic/non-catastrophic
+/// form, run `evaluate` on the faulty macro netlist and keep the
+/// hardest-to-detect variant.
+template <typename Evaluate>
+void evaluate_classes(const Netlist& good, const std::vector<FaultClass>& classes,
+                      const FaultModelOptions& model_opt,
+                      const CampaignConfig& config, Evaluate&& evaluate,
+                      std::vector<FaultOutcome>& catastrophic,
+                      std::vector<FaultOutcome>& noncatastrophic) {
+  for (const auto& cls : classes) {
+    for (int pass = 0; pass < 2; ++pass) {
+      const bool noncat = pass == 1;
+      if (noncat && (!config.with_noncatastrophic ||
+                     !fault::supports_noncatastrophic(cls.representative)))
+        continue;
+      std::optional<FaultOutcome> worst;
+      const int variants = fault::model_variant_count(cls.representative);
+      for (int variant = 0; variant < variants; ++variant) {
+        Netlist faulty = fault::apply_fault(good, cls.representative,
+                                            model_opt, variant, noncat);
+        FaultOutcome outcome = evaluate(faulty);
+        outcome.cls = cls;
+        outcome.non_catastrophic = noncat;
+        if (!worst ||
+            detectability_score(outcome) < detectability_score(*worst))
+          worst = std::move(outcome);
+      }
+      (noncat ? noncatastrophic : catastrophic).push_back(*worst);
+    }
+  }
+}
+
+}  // namespace
+
+macro::MacroContribution MacroCampaignResult::contribution(
+    bool non_catastrophic) const {
+  macro::MacroContribution c;
+  c.name = macro_name;
+  c.cell_area = cell_area;
+  c.instance_count = instance_count;
+  for (const auto& outcome :
+       non_catastrophic ? noncatastrophic : catastrophic)
+    c.outcomes.push_back(
+        {outcome.detection, static_cast<double>(outcome.cls.count)});
+  return c;
+}
+
+std::vector<double> MacroCampaignResult::voltage_signature_fractions(
+    bool non_catastrophic) const {
+  std::vector<double> fractions(macro::kVoltageSignatureCount, 0.0);
+  double total = 0.0;
+  for (const auto& o : non_catastrophic ? noncatastrophic : catastrophic) {
+    fractions[static_cast<std::size_t>(o.voltage)] +=
+        static_cast<double>(o.cls.count);
+    total += static_cast<double>(o.cls.count);
+  }
+  if (total > 0.0)
+    for (auto& f : fractions) f /= total;
+  return fractions;
+}
+
+std::vector<double> MacroCampaignResult::current_signature_fractions(
+    bool non_catastrophic) const {
+  std::vector<double> fractions(4, 0.0);
+  double total = 0.0;
+  for (const auto& o : non_catastrophic ? noncatastrophic : catastrophic) {
+    const auto w = static_cast<double>(o.cls.count);
+    if (o.current.ivdd) fractions[0] += w;
+    if (o.current.iddq) fractions[1] += w;
+    if (o.current.iinput) fractions[2] += w;
+    if (!o.current.any()) fractions[3] += w;
+    total += w;
+  }
+  if (total > 0.0)
+    for (auto& f : fractions) f /= total;
+  return fractions;
+}
+
+double MacroCampaignResult::coverage(bool non_catastrophic) const {
+  double detected = 0.0, total = 0.0;
+  for (const auto& o : non_catastrophic ? noncatastrophic : catastrophic) {
+    const auto w = static_cast<double>(o.cls.count);
+    if (o.detection.detected()) detected += w;
+    total += w;
+  }
+  return total > 0.0 ? detected / total : 0.0;
+}
+
+double MacroCampaignResult::current_coverage(bool non_catastrophic) const {
+  double detected = 0.0, total = 0.0;
+  for (const auto& o : non_catastrophic ? noncatastrophic : catastrophic) {
+    const auto w = static_cast<double>(o.cls.count);
+    if (o.detection.current_detected()) detected += w;
+    total += w;
+  }
+  return total > 0.0 ? detected / total : 0.0;
+}
+
+// ---------------------------------------------------------------------
+// Comparator.
+
+MacroCampaignResult run_comparator_campaign(const CampaignConfig& config) {
+  const macro::MacroCell cell = build_comparator_macro(config.dft);
+  MacroCampaignResult result;
+  result.macro_name = cell.name;
+  result.cell_area = cell.cell_area();
+  result.instance_count = cell.instance_count;
+  result.defects = sprinkle(cell, config, 1);
+
+  // Fault-free reference runs.
+  const auto nominal = simulate_comparator_grid(cell.netlist);
+
+  // Good-signature envelope over process / supply / temperature.
+  const auto layout = comparator_measurement_layout();
+  spice::ProcessSpread spread;
+  util::Rng rng(config.seed ^ 0xc0ffee);
+  std::vector<std::vector<double>> samples;
+  const std::vector<std::string> supplies = {"VDDA", "VDDD", "VBN_SRC",
+                                             "VBC_SRC"};
+  for (int s = 0; s < config.envelope_samples; ++s) {
+    const auto env = spice::sample_environment(spread, rng);
+    const Netlist lo_bench = spice::perturb(
+        instantiate_comparator_bench(cell.netlist, kDecisionGrid.front()),
+        spread, env, supplies, rng);
+    const Netlist hi_bench = spice::perturb(
+        instantiate_comparator_bench(cell.netlist, kDecisionGrid.back()),
+        spread, env, supplies, rng);
+    ComparatorRun lo, hi;
+    try {
+      lo = run_comparator(lo_bench);
+      hi = run_comparator(hi_bench);
+    } catch (const util::ConvergenceError&) {
+      continue;  // drop this Monte-Carlo sample
+    }
+    samples.push_back(comparator_measurements(lo, hi));
+  }
+  macro::BandPolicy comparator_policy = config.band_policy;
+  // IVdd and the analog/reference input currents are chip-level
+  // measurements shared by all 256 comparator instances; the fault-free
+  // spread one faulty instance must escape scales accordingly. IDDQ is
+  // deliberately NOT diluted: the digital part's quiescent current is
+  // near zero no matter how many instances (the paper's key insight).
+  comparator_policy.ivdd_dilution *= static_cast<double>(cell.instance_count);
+  comparator_policy.iinput_dilution *=
+      static_cast<double>(cell.instance_count);
+  const auto envelope =
+      macro::build_envelope(layout, samples, comparator_policy);
+
+  auto evaluate = [&](const Netlist& faulty_macro) {
+    FaultOutcome outcome;
+    std::array<ComparatorRun, 4> runs;
+    for (std::size_t i = 0; i < kDecisionGrid.size(); ++i)
+      runs[i] = simulate_comparator(faulty_macro, kDecisionGrid[i]);
+    outcome.voltage = classify_comparator(runs, nominal);
+    if (runs.front().converged && runs.back().converged) {
+      outcome.current =
+          envelope.classify(comparator_measurements(runs.front(), runs.back()));
+    } else {
+      // The faulty circuit has no valid operating point (typically a
+      // hard supply short): its supply current is grossly abnormal.
+      outcome.current.ivdd = true;
+    }
+    outcome.detection = make_outcome(outcome.voltage, outcome.current);
+    return outcome;
+  };
+
+  evaluate_classes(cell.netlist, truncated_classes(result.defects, config),
+                   model_options(config, "vdda"), config, evaluate,
+                   result.catastrophic, result.noncatastrophic);
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Ladder.
+
+MacroCampaignResult run_ladder_campaign(const CampaignConfig& config) {
+  const macro::MacroCell cell = build_ladder_macro();
+  MacroCampaignResult result;
+  result.macro_name = cell.name;
+  result.cell_area = cell.cell_area();
+  result.instance_count = cell.instance_count;
+  result.defects = sprinkle(cell, config, 2);
+
+  const LadderSolution nominal = solve_ladder(cell.netlist);
+
+  macro::MeasurementLayout layout;
+  layout.add("iref_p", macro::MeasurementKind::kIinput);
+  layout.add("iref_m", macro::MeasurementKind::kIinput);
+  spice::ProcessSpread spread;
+  // The reference string is built in a precision poly module whose sheet
+  // resistance and temperature coefficient are controlled far more
+  // tightly than generic poly; the resulting narrow reference-current
+  // band is what makes nearly every ladder fault current-detectable
+  // (paper: 99.8%).
+  spread.res_sigma_rel_global = 0.015;
+  spread.res_tc = 1e-4;
+  util::Rng rng(config.seed ^ 0x1adde4);
+  std::vector<std::vector<double>> samples;
+  for (int s = 0; s < config.envelope_samples; ++s) {
+    const auto env = spice::sample_environment(spread, rng);
+    const Netlist perturbed =
+        spice::perturb(cell.netlist, spread, env, {}, rng);
+    const auto sol = solve_ladder(perturbed);
+    if (sol.converged) samples.push_back({sol.iref_p, sol.iref_m});
+  }
+  const auto envelope =
+      macro::build_envelope(layout, samples, config.band_policy);
+
+  auto evaluate = [&](const Netlist& faulty_macro) {
+    FaultOutcome outcome;
+    const auto sol = solve_ladder(faulty_macro);
+    if (!sol.converged) {
+      outcome.voltage = VoltageSignature::kOutputStuckAt;
+      outcome.current.iinput = true;  // reference current grossly abnormal
+      outcome.detection = make_outcome(outcome.voltage, outcome.current);
+      return outcome;
+    }
+    // Propagate the faulty tap vector through the behavioral converter.
+    const FlashAdcModel adc(sol.taps);
+    const bool missing = has_missing_code(adc);
+    // Tap errors below one LSB leave the codes intact but may still be a
+    // measurable offset; classify by the worst tap deviation.
+    double worst = 0.0;
+    for (int i = 0; i < kLevels; ++i)
+      worst = std::max(worst, std::fabs(sol.taps[static_cast<std::size_t>(i)] -
+                                        nominal.taps[static_cast<std::size_t>(
+                                            i)]));
+    if (missing)
+      outcome.voltage = worst > 10 * lsb() ? VoltageSignature::kOutputStuckAt
+                                           : VoltageSignature::kOffset;
+    else
+      outcome.voltage = worst > lsb() / 2 ? VoltageSignature::kMixed
+                                          : VoltageSignature::kNoDeviation;
+    outcome.current = envelope.classify({sol.iref_p, sol.iref_m});
+    outcome.detection = make_outcome(outcome.voltage, outcome.current);
+    outcome.detection.missing_code = missing;
+    return outcome;
+  };
+
+  evaluate_classes(cell.netlist, truncated_classes(result.defects, config),
+                   model_options(config, "vdda"), config, evaluate,
+                   result.catastrophic, result.noncatastrophic);
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Bias generator.
+
+MacroCampaignResult run_biasgen_campaign(const CampaignConfig& config) {
+  const macro::MacroCell cell = build_biasgen_macro();
+  MacroCampaignResult result;
+  result.macro_name = cell.name;
+  result.cell_area = cell.cell_area();
+  result.instance_count = cell.instance_count;
+  result.defects = sprinkle(cell, config, 3);
+
+  const BiasgenSolution nominal = solve_biasgen(cell.netlist);
+
+  macro::MeasurementLayout layout;
+  layout.add("ivdd", macro::MeasurementKind::kIVdd);
+  spice::ProcessSpread spread;
+  util::Rng rng(config.seed ^ 0xb1a5);
+  std::vector<std::vector<double>> samples;
+  for (int s = 0; s < config.envelope_samples; ++s) {
+    const auto env = spice::sample_environment(spread, rng);
+    const Netlist perturbed =
+        spice::perturb(cell.netlist, spread, env, {}, rng);
+    const auto sol = solve_biasgen(perturbed);
+    if (sol.converged) samples.push_back({sol.ivdd});
+  }
+  const auto envelope =
+      macro::build_envelope(layout, samples, config.band_policy);
+
+  auto evaluate = [&](const Netlist& faulty_macro) {
+    FaultOutcome outcome;
+    const auto sol = solve_biasgen(faulty_macro);
+    if (!sol.converged) {
+      outcome.voltage = VoltageSignature::kOutputStuckAt;
+      outcome.current.ivdd = true;  // supply current grossly abnormal
+      outcome.detection = make_outcome(outcome.voltage, outcome.current);
+      return outcome;
+    }
+    const double dev = std::max(std::fabs(sol.vbn - nominal.vbn),
+                                std::fabs(sol.vbc - nominal.vbc));
+    // A grossly wrong bias starves / floods all comparator tails: the
+    // converter produces stuck codes. Moderate shifts only degrade
+    // dynamics (no missing code at the slow missing-code test).
+    if (dev > 0.15)
+      outcome.voltage = VoltageSignature::kOutputStuckAt;
+    else if (dev > 0.03)
+      outcome.voltage = VoltageSignature::kMixed;
+    else
+      outcome.voltage = VoltageSignature::kNoDeviation;
+    outcome.current = envelope.classify({sol.ivdd});
+    outcome.detection = make_outcome(outcome.voltage, outcome.current);
+    return outcome;
+  };
+
+  evaluate_classes(cell.netlist, truncated_classes(result.defects, config),
+                   model_options(config, "vdda"), config, evaluate,
+                   result.catastrophic, result.noncatastrophic);
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Clock generator.
+
+MacroCampaignResult run_clockgen_campaign(const CampaignConfig& config) {
+  const macro::MacroCell cell = build_clockgen_macro();
+  MacroCampaignResult result;
+  result.macro_name = cell.name;
+  result.cell_area = cell.cell_area();
+  result.instance_count = cell.instance_count;
+  result.defects = sprinkle(cell, config, 4);
+
+  const ClockgenSolution nominal = solve_clockgen(cell.netlist);
+
+  macro::MeasurementLayout layout;
+  layout.add("iddq_low", macro::MeasurementKind::kIddq);
+  layout.add("iddq_high", macro::MeasurementKind::kIddq);
+  layout.add("iclk_low", macro::MeasurementKind::kIinput);
+  layout.add("iclk_high", macro::MeasurementKind::kIinput);
+  spice::ProcessSpread spread;
+  util::Rng rng(config.seed ^ 0xc10c);
+  std::vector<std::vector<double>> samples;
+  for (int s = 0; s < config.envelope_samples; ++s) {
+    const auto env = spice::sample_environment(spread, rng);
+    const Netlist perturbed =
+        spice::perturb(cell.netlist, spread, env, {"VDDD"}, rng);
+    const auto sol = solve_clockgen(perturbed);
+    if (sol.converged)
+      samples.push_back(
+          {sol.iddq_low, sol.iddq_high, sol.iclk_low, sol.iclk_high});
+  }
+  const auto envelope =
+      macro::build_envelope(layout, samples, config.band_policy);
+
+  auto evaluate = [&](const Netlist& faulty_macro) {
+    FaultOutcome outcome;
+    const auto sol = solve_clockgen(faulty_macro);
+    if (!sol.converged) {
+      outcome.voltage = VoltageSignature::kOutputStuckAt;
+      outcome.current.iddq = true;  // digital supply grossly abnormal
+      outcome.detection = make_outcome(outcome.voltage, outcome.current);
+      return outcome;
+    }
+    double worst = 0.0;
+    bool logic_broken = false;
+    for (int i = 0; i < 3; ++i) {
+      const double dl = std::fabs(sol.out_low[i] - nominal.out_low[i]);
+      const double dh = std::fabs(sol.out_high[i] - nominal.out_high[i]);
+      worst = std::max({worst, dl, dh});
+      const bool flip_low = (sol.out_low[i] > kVddd / 2) !=
+                            (nominal.out_low[i] > kVddd / 2);
+      const bool flip_high = (sol.out_high[i] > kVddd / 2) !=
+                             (nominal.out_high[i] > kVddd / 2);
+      logic_broken = logic_broken || flip_low || flip_high;
+    }
+    if (logic_broken)
+      outcome.voltage = VoltageSignature::kOutputStuckAt;  // clocks dead
+    else if (worst > 0.05)
+      outcome.voltage = VoltageSignature::kClockValue;
+    else
+      outcome.voltage = VoltageSignature::kNoDeviation;
+    outcome.current = envelope.classify(
+        {sol.iddq_low, sol.iddq_high, sol.iclk_low, sol.iclk_high});
+    outcome.detection = make_outcome(outcome.voltage, outcome.current);
+    return outcome;
+  };
+
+  evaluate_classes(cell.netlist, truncated_classes(result.defects, config),
+                   model_options(config, "vddd"), config, evaluate,
+                   result.catastrophic, result.noncatastrophic);
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Decoder.
+
+MacroCampaignResult run_decoder_campaign(const CampaignConfig& config) {
+  const macro::MacroCell cell = build_decoder_macro();
+  MacroCampaignResult result;
+  result.macro_name = cell.name;
+  result.cell_area = cell.cell_area();
+  result.instance_count = cell.instance_count;
+  result.defects = sprinkle(cell, config, 5);
+
+  macro::MeasurementLayout layout;
+  for (int v = 0; v <= kDecoderSliceInputs; ++v)
+    layout.add("iddq_v" + std::to_string(v), macro::MeasurementKind::kIddq);
+  spice::ProcessSpread spread;
+  util::Rng rng(config.seed ^ 0xdec0de);
+  std::vector<std::vector<double>> samples;
+  for (int s = 0; s < config.envelope_samples; ++s) {
+    const auto env = spice::sample_environment(spread, rng);
+    const Netlist perturbed =
+        spice::perturb(cell.netlist, spread, env, {"VDDD"}, rng);
+    const auto sol = solve_decoder(perturbed);
+    if (sol.converged)
+      samples.push_back({sol.iddq.begin(), sol.iddq.end()});
+  }
+  const auto envelope =
+      macro::build_envelope(layout, samples, config.band_policy);
+
+  auto evaluate = [&](const Netlist& faulty_macro) {
+    FaultOutcome outcome;
+    const auto sol = solve_decoder(faulty_macro);
+    if (!sol.converged) {
+      outcome.voltage = VoltageSignature::kOutputStuckAt;
+      outcome.current.iddq = true;  // digital supply grossly abnormal
+      outcome.detection = make_outcome(outcome.voltage, outcome.current);
+      return outcome;
+    }
+    bool wrong = false;
+    for (int v = 0; v <= kDecoderSliceInputs && !wrong; ++v)
+      for (int r = 0; r < 4 && !wrong; ++r)
+        wrong = (sol.rows[static_cast<std::size_t>(v)]
+                         [static_cast<std::size_t>(r)] > kVddd / 2) !=
+                decoder_row_expected(v, r);
+    outcome.voltage = wrong ? VoltageSignature::kOutputStuckAt
+                            : VoltageSignature::kNoDeviation;
+    outcome.current =
+        envelope.classify({sol.iddq.begin(), sol.iddq.end()});
+    outcome.detection = make_outcome(outcome.voltage, outcome.current);
+    return outcome;
+  };
+
+  evaluate_classes(cell.netlist, truncated_classes(result.defects, config),
+                   model_options(config, "vddd"), config, evaluate,
+                   result.catastrophic, result.noncatastrophic);
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Global compilation.
+
+GlobalResult compile_global(std::vector<MacroCampaignResult> macros) {
+  GlobalResult global;
+  std::vector<macro::MacroContribution> cat, noncat;
+  for (const auto& m : macros) {
+    cat.push_back(m.contribution(false));
+    noncat.push_back(m.contribution(true));
+  }
+  global.venn_catastrophic = macro::compile_global(cat);
+  global.matrix_catastrophic = macro::compile_global_matrix(cat);
+  // Macros without non-catastrophic variants contribute nothing there.
+  std::erase_if(noncat, [](const macro::MacroContribution& c) {
+    return c.outcomes.empty();
+  });
+  if (!noncat.empty()) {
+    global.venn_noncatastrophic = macro::compile_global(noncat);
+    global.matrix_noncatastrophic = macro::compile_global_matrix(noncat);
+  }
+  global.macros = std::move(macros);
+  return global;
+}
+
+GlobalResult run_full_campaign(const CampaignConfig& config) {
+  std::vector<MacroCampaignResult> macros;
+  macros.push_back(run_comparator_campaign(config));
+  macros.push_back(run_ladder_campaign(config));
+  macros.push_back(run_biasgen_campaign(config));
+  macros.push_back(run_clockgen_campaign(config));
+  macros.push_back(run_decoder_campaign(config));
+  return compile_global(std::move(macros));
+}
+
+}  // namespace dot::flashadc

@@ -1,0 +1,93 @@
+// Full defect-oriented test path for the case-study ADC (paper fig. 1):
+// defect simulation -> fault collapsing -> circuit-level fault models ->
+// fault simulation -> fault signatures -> sensitization/propagation ->
+// fault detection, per macro; plus the area-scaled global compilation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "defect/simulate.hpp"
+#include "fault/fault.hpp"
+#include "fault/model.hpp"
+#include "flashadc/comparator.hpp"
+#include "macro/detection.hpp"
+#include "macro/envelope.hpp"
+#include "macro/signature.hpp"
+
+namespace dot::flashadc {
+
+struct CampaignConfig {
+  std::size_t defect_count = 500000;
+  std::uint64_t seed = 1995;
+  int envelope_samples = 25;
+  ComparatorDft dft;
+  /// Evaluate at most this many fault classes per macro (0 = all);
+  /// classes are ranked by likelihood, so truncation keeps the weight
+  /// distribution nearly intact. Used to bound test runtimes.
+  std::size_t max_classes = 0;
+  /// Also derive and evaluate non-catastrophic (near-miss) variants.
+  bool with_noncatastrophic = true;
+  /// Acceptance-band policy for the good-signature envelope (ablation
+  /// benches sweep k_sigma and the tester noise floors).
+  macro::BandPolicy band_policy{3.0, 2e-6, 0.02};
+  /// Circuit-level fault-model parameters (bridge resistances etc.);
+  /// the per-macro supply net is filled in by each campaign.
+  fault::FaultModelOptions fault_models;
+  /// Defect statistics used for sprinkling.
+  defect::DefectStatistics statistics;
+};
+
+/// One evaluated fault class.
+struct FaultOutcome {
+  fault::FaultClass cls;
+  bool non_catastrophic = false;
+  macro::VoltageSignature voltage = macro::VoltageSignature::kNoDeviation;
+  macro::CurrentSignature current;
+  macro::DetectionOutcome detection;
+};
+
+struct MacroCampaignResult {
+  std::string macro_name;
+  double cell_area = 0.0;
+  std::size_t instance_count = 1;
+  defect::CampaignResult defects;
+  std::vector<FaultOutcome> catastrophic;
+  std::vector<FaultOutcome> noncatastrophic;
+
+  /// Weighted outcomes for the global compilation.
+  macro::MacroContribution contribution(bool non_catastrophic) const;
+  /// Weighted fraction per voltage signature (paper Table 2).
+  std::vector<double> voltage_signature_fractions(bool non_catastrophic) const;
+  /// Weighted fraction with each current flag set (paper Table 3): the
+  /// returned vector is {ivdd, iddq, iinput, none}.
+  std::vector<double> current_signature_fractions(bool non_catastrophic) const;
+  /// Weighted fraction of detected faults.
+  double coverage(bool non_catastrophic) const;
+  /// Weighted fraction detected by current measurements.
+  double current_coverage(bool non_catastrophic) const;
+};
+
+MacroCampaignResult run_comparator_campaign(const CampaignConfig& config);
+MacroCampaignResult run_ladder_campaign(const CampaignConfig& config);
+MacroCampaignResult run_biasgen_campaign(const CampaignConfig& config);
+MacroCampaignResult run_clockgen_campaign(const CampaignConfig& config);
+MacroCampaignResult run_decoder_campaign(const CampaignConfig& config);
+
+/// Whole-circuit results (paper figures 4 and 5).
+struct GlobalResult {
+  std::vector<MacroCampaignResult> macros;
+  macro::VennResult venn_catastrophic;
+  macro::VennResult venn_noncatastrophic;
+  macro::MechanismMatrix matrix_catastrophic;
+  macro::MechanismMatrix matrix_noncatastrophic;
+};
+
+GlobalResult run_full_campaign(const CampaignConfig& config);
+
+/// Compiles the global figures from already-run macro results.
+GlobalResult compile_global(std::vector<MacroCampaignResult> macros);
+
+}  // namespace dot::flashadc

@@ -1,0 +1,126 @@
+#include "flashadc/clockgen.hpp"
+
+#include "flashadc/tech.hpp"
+#include "layout/synth.hpp"
+#include "spice/dc.hpp"
+#include "util/error.hpp"
+
+namespace dot::flashadc {
+
+using spice::MosType;
+using spice::Netlist;
+using spice::SourceSpec;
+
+namespace {
+
+/// CMOS inverter helper.
+void add_inverter(Netlist& n, const std::string& name,
+                  const std::string& in, const std::string& out, double wn,
+                  double wp) {
+  const double L = 1e-6;
+  n.add_mosfet("MP_" + name, MosType::kPmos, out, in, "vddd", "vddd", wp, L,
+               pmos_model());
+  n.add_mosfet("MN_" + name, MosType::kNmos, out, in, "0", "0", wn, L,
+               nmos_model());
+}
+
+/// Two-input NAND.
+void add_nand(Netlist& n, const std::string& name, const std::string& a,
+              const std::string& b, const std::string& out) {
+  const double L = 1e-6;
+  n.add_mosfet("MPA_" + name, MosType::kPmos, out, a, "vddd", "vddd", 8e-6, L,
+               pmos_model());
+  n.add_mosfet("MPB_" + name, MosType::kPmos, out, b, "vddd", "vddd", 8e-6, L,
+               pmos_model());
+  n.add_mosfet("MNA_" + name, MosType::kNmos, out, a, name + "_x", "0", 8e-6,
+               L, nmos_model());
+  n.add_mosfet("MNB_" + name, MosType::kNmos, name + "_x", b, "0", "0", 8e-6,
+               L, nmos_model());
+}
+
+}  // namespace
+
+Netlist build_clockgen_netlist() {
+  Netlist n;
+  // Input conditioning and delay chain.
+  add_inverter(n, "i1", "clk", "nclk", 4e-6, 8e-6);
+  add_inverter(n, "i2", "nclk", "d1", 4e-6, 8e-6);
+  add_inverter(n, "i3", "d1", "d2", 4e-6, 8e-6);
+  add_inverter(n, "i4", "d2", "d3", 4e-6, 8e-6);
+
+  // Phase 1 (sampling): buffered clock. nand(clk, clk) == nclk; buffer.
+  add_nand(n, "g1", "clk", "d1", "p1n");
+  add_inverter(n, "b1a", "p1n", "p1", 8e-6, 16e-6);
+  add_inverter(n, "b1b", "p1", "p1b", 12e-6, 24e-6);
+  add_inverter(n, "b1c", "p1b", "clk1", 24e-6, 48e-6);
+
+  // Phase 2 (amplification): active when clk low and delayed clk high.
+  add_nand(n, "g2", "nclk", "d2", "p2n");
+  add_inverter(n, "b2a", "p2n", "p2", 8e-6, 16e-6);
+  add_inverter(n, "b2b", "p2", "p2b", 12e-6, 24e-6);
+  add_inverter(n, "b2c", "p2b", "clk2", 24e-6, 48e-6);
+
+  // Phase 3 (latching): clk low and twice-delayed clock low.
+  add_nand(n, "g3", "nclk", "d3", "p3n");
+  add_inverter(n, "b3a", "p3n", "p3", 8e-6, 16e-6);
+  add_inverter(n, "b3b", "p3", "p3b", 12e-6, 24e-6);
+  add_inverter(n, "b3c", "p3b", "clk3", 24e-6, 48e-6);
+
+  return n;
+}
+
+std::vector<std::string> clockgen_pins() {
+  return {"clk", "clk1", "clk2", "clk3", "vddd", "0"};
+}
+
+layout::CellLayout build_clockgen_layout() {
+  layout::SynthOptions opt;
+  opt.vdd_net = "vddd";
+  opt.pins = clockgen_pins();
+  return layout::synthesize_layout(build_clockgen_netlist(), "clockgen", opt);
+}
+
+macro::MacroCell build_clockgen_macro() {
+  return macro::MacroCell("clockgen", build_clockgen_netlist(),
+                          build_clockgen_layout(), clockgen_pins(), 1);
+}
+
+ClockgenSolution solve_clockgen(const Netlist& macro_netlist) {
+  ClockgenSolution out;
+  const char* outputs[3] = {"clk1", "clk2", "clk3"};
+  for (int state = 0; state < 2; ++state) {
+    Netlist n = macro_netlist;
+    n.add_vsource("VDDD", "vddd", "0", SourceSpec::dc(kVddd));
+    n.add_vsource("VCLK", "clk_src", "0",
+                  SourceSpec::dc(state == 0 ? 0.0 : kVddd));
+    n.add_resistor("RCLKIN", "clk_src", "clk", 100.0);
+    // Each phase output drives the comparator-column distribution line.
+    for (const char* o : outputs)
+      n.add_capacitor(std::string("CL_") + o, o, "0", 5e-12);
+
+    const spice::MnaMap map(n);
+    try {
+      const auto result = dc_operating_point(n, map);
+      for (int i = 0; i < 3; ++i) {
+        const double v = map.voltage(result.x, *n.find_node(outputs[i]));
+        (state == 0 ? out.out_low : out.out_high)[i] = v;
+      }
+      const double iddq = -map.branch_current(result.x, "VDDD");
+      const double iclk = -map.branch_current(result.x, "VCLK");
+      if (state == 0) {
+        out.iddq_low = iddq;
+        out.iclk_low = iclk;
+      } else {
+        out.iddq_high = iddq;
+        out.iclk_high = iclk;
+      }
+    } catch (const util::ConvergenceError&) {
+      out.converged = false;
+      return out;
+    }
+  }
+  out.converged = true;
+  return out;
+}
+
+}  // namespace dot::flashadc

@@ -1,0 +1,134 @@
+#include "flashadc/comparator.hpp"
+
+#include "flashadc/tech.hpp"
+#include "layout/synth.hpp"
+
+namespace dot::flashadc {
+
+using spice::MosType;
+using spice::Netlist;
+
+Netlist build_comparator_netlist(const ComparatorDft& dft) {
+  Netlist n;
+  const auto nm = nmos_model();
+  const auto pm = pmos_model();
+  const double L = 1e-6;
+
+  // Input sampling switches and hold capacitors.
+  n.add_mosfet("MS1", MosType::kNmos, "inp", "clk1", "vin", "0", 4e-6, L, nm);
+  n.add_mosfet("MS2", MosType::kNmos, "inn", "clk1", "vref", "0", 4e-6, L,
+               nm);
+  n.add_capacitor("C1", "inp", "0", 100e-15);
+  n.add_capacitor("C2", "inn", "0", 100e-15);
+
+  // Class-A biased differential pair with cascoded tail. The bias
+  // currents are deliberately small (paper: "the balanced nature of the
+  // design and the small biasing currents").
+  n.add_mosfet("M1", MosType::kNmos, "outn", "inp", "tail2", "0", 16e-6, L,
+               nm);
+  n.add_mosfet("M2", MosType::kNmos, "outp", "inn", "tail2", "0", 16e-6, L,
+               nm);
+  n.add_mosfet("M4", MosType::kNmos, "tail2", "vbc", "tail1", "0", 6e-6, L,
+               nm);
+  n.add_mosfet("M3", MosType::kNmos, "tail1", "vbn", "0", "0", 6e-6, L, nm);
+
+  // Amplification-phase boost branch (clk2).
+  n.add_mosfet("M9", MosType::kNmos, "tail2", "clk2", "tail3", "0", 8e-6, L,
+               nm);
+  n.add_mosfet("M8", MosType::kNmos, "tail3", "vbn", "0", "0", 8e-6, L, nm);
+
+  // Balanced load: diode-connected PMOS with weak cross-coupling.
+  n.add_mosfet("MP1", MosType::kPmos, "outn", "outn", "vdda", "vdda", 4e-6, L,
+               pm);
+  n.add_mosfet("MP2", MosType::kPmos, "outp", "outp", "vdda", "vdda", 4e-6, L,
+               pm);
+  n.add_mosfet("MP3", MosType::kPmos, "outn", "outp", "vdda", "vdda", 3e-6, L,
+               pm);
+  n.add_mosfet("MP4", MosType::kPmos, "outp", "outn", "vdda", "vdda", 3e-6, L,
+               pm);
+
+  // Output equalization during sampling (weak, so the flipflop can grab
+  // the previous decision at the clk1 rising edge first).
+  n.add_mosfet("ME", MosType::kNmos, "outp", "clk1", "outn", "0", 2e-6,
+               2e-6, nm);
+  // Output node capacitance (flipflop write gates + wiring). This also
+  // sets the latch regeneration time constant; keeping it near the
+  // transient step size lets backward Euler resolve the escape from the
+  // balanced state instead of parking on it.
+  n.add_capacitor("CO1", "outp", "0", 1e-12);
+  n.add_capacitor("CO2", "outn", "0", 1e-12);
+
+  // Clocked regenerative latch. M6 carries a slight width skew (device
+  // mismatch) so a perfectly balanced input resolves deterministically.
+  n.add_mosfet("M5", MosType::kNmos, "outn", "outp", "lat", "0", 8e-6, L, nm);
+  n.add_mosfet("M6", MosType::kNmos, "outp", "outn", "lat", "0", 8.05e-6, L,
+               nm);
+  n.add_mosfet("M7", MosType::kNmos, "lat", "clk3", "0", "0", 8e-6, L, nm);
+
+  // Flipflop: cross-coupled inverters written by clock-gated pulldown
+  // pairs driven from the comparator outputs.
+  // Ratioed sizing: the write path overpowers the PMOS holds at full
+  // gate drive (comparator output ~4.6 V) but loses at the equalized
+  // mid level (~2.8 V), so the latch flips on a real decision yet keeps
+  // its state through the sampling-phase contention.
+  n.add_mosfet("MPA", MosType::kPmos, "q", "qb", "vdda", "vdda", 4e-6, L,
+               pm);
+  n.add_mosfet("MNA", MosType::kNmos, "q", "qb", "0", "0", 2e-6, L, nm);
+  // MNB carries a small deliberate width skew representing the device
+  // mismatch every real latch has: with perfectly symmetric drive the
+  // flipflop falls deterministically to one side instead of exploiting
+  // the simulator's noiseless arithmetic to "resolve" microvolts.
+  n.add_mosfet("MPB", MosType::kPmos, "qb", "q", "vdda", "vdda", 4e-6, L,
+               pm);
+  n.add_mosfet("MNB", MosType::kNmos, "qb", "q", "0", "0", 2.06e-6, L, nm);
+  // Output-bus wiring capacitance (the flipflop drives the decoder
+  // column line); also sets the latch regeneration time constant so the
+  // transient solver resolves the escape from metastability.
+  n.add_capacitor("CQ1", "q", "0", 1e-12);
+  n.add_capacitor("CQ2", "qb", "0", 1e-12);
+  // Nominal design: write during clk1. At the clk1 rising edge the
+  // comparator outputs still hold the previous decision at full logic
+  // levels, so the flipflop captures it -- but once the output pair is
+  // equalized to mid-level, BOTH pulldown paths conduct for the rest of
+  // the sampling phase, drawing a ratioed, strongly process-dependent
+  // static current. That is the paper's flipflop "leakage current during
+  // sampling". The DfT redesign writes during clk3, when the outputs are
+  // at full logic levels, and draws (almost) nothing.
+  const std::string write_clock = dft.leakage_free_flipflop ? "clk3" : "clk1";
+  n.add_mosfet("MW1", MosType::kNmos, "q", "outn", "wr1", "0", 6e-6, L, nm);
+  n.add_mosfet("MG1", MosType::kNmos, "wr1", write_clock, "0", "0", 6e-6, L,
+               nm);
+  n.add_mosfet("MW2", MosType::kNmos, "qb", "outp", "wr2", "0", 6e-6, L, nm);
+  n.add_mosfet("MG2", MosType::kNmos, "wr2", write_clock, "0", "0", 6e-6, L,
+               nm);
+
+  return n;
+}
+
+std::vector<std::string> comparator_pins() {
+  return {"vin", "vref", "clk1", "clk2", "clk3", "vbn", "vbc", "vdda", "0"};
+}
+
+layout::CellLayout build_comparator_layout(const ComparatorDft& dft) {
+  layout::SynthOptions opt;
+  opt.vdd_net = "vdda";
+  opt.pins = comparator_pins();
+  if (dft.separated_bias_lines) {
+    // DfT: separate the two almost-equal bias lines with strongly
+    // different signals (clock phases swing rail to rail).
+    opt.track_order = {"vbn", "clk1", "clk2", "vbc", "clk3", "vin", "vref"};
+  } else {
+    // Nominal routing: the bias bus runs as adjacent tracks.
+    opt.track_order = {"vbn", "vbc", "clk1", "clk2", "clk3", "vin", "vref"};
+  }
+  return layout::synthesize_layout(build_comparator_netlist(dft),
+                                   "comparator", opt);
+}
+
+macro::MacroCell build_comparator_macro(const ComparatorDft& dft) {
+  return macro::MacroCell("comparator", build_comparator_netlist(dft),
+                          build_comparator_layout(dft), comparator_pins(),
+                          kLevels);
+}
+
+}  // namespace dot::flashadc

@@ -1,0 +1,55 @@
+// The comparator macro: a fully balanced, three-phase clocked comparator
+// loaded with a flipflop -- the macro the paper walks through in detail.
+//
+// Structure (paper section 3.2):
+//  - sampling phase (clk1): input switches track vin / vref onto the
+//    hold capacitors, the output pair is equalized, and -- in the
+//    nominal design -- the flipflop transfer gates are open, so the
+//    flipflop captures the previous decision at the clk1 rising edge and
+//    then fights the equalized comparator outputs for the rest of the
+//    phase. That contention is the process-dependent "leakage current
+//    in the flipflops during sampling" whose 3-sigma spread masks many
+//    IVdd fault signatures (the paper's first DfT finding).
+//  - amplification phase (clk2): an extra tail branch boosts the
+//    class-A biased differential pair.
+//  - latching phase (clk3): a clocked cross-coupled pair regenerates
+//    the decision to logic levels.
+//
+// DfT variants (paper section 3.4):
+//  - leakage_free_flipflop: transfer gates clocked by clk3 instead of
+//    clk1 -> no sampling-phase contention.
+//  - separated_bias_lines: the two (almost equal) bias lines are routed
+//    apart instead of adjacent, so the likely neighbouring-line shorts
+//    involve strongly different signals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/cell.hpp"
+#include "macro/macro_cell.hpp"
+#include "spice/netlist.hpp"
+
+namespace dot::flashadc {
+
+struct ComparatorDft {
+  bool leakage_free_flipflop = false;
+  bool separated_bias_lines = false;
+};
+
+/// Physical netlist of one comparator + flipflop. Node names double as
+/// layout net names. Pins: vin, vref, clk1..clk3, vbn, vbc, vdda, 0.
+spice::Netlist build_comparator_netlist(const ComparatorDft& dft = {});
+
+/// Synthesized layout. Clock and bias lines span the cell (they are
+/// distribution lines shared by the comparator column); bias-line
+/// adjacency follows the DfT flag.
+layout::CellLayout build_comparator_layout(const ComparatorDft& dft = {});
+
+/// Pin list of the macro.
+std::vector<std::string> comparator_pins();
+
+/// Complete macro cell (256 instances in the ADC).
+macro::MacroCell build_comparator_macro(const ComparatorDft& dft = {});
+
+}  // namespace dot::flashadc

@@ -1,0 +1,71 @@
+// Comparator fault-simulation bench: wraps a (possibly faulty) comparator
+// macro netlist with realistic drivers -- clock-generator output buffers
+// on a digital supply, Thevenin-equivalent bias lines, a low-impedance
+// analog input and a ladder-tap reference -- runs two-cycle transients,
+// and extracts decisions, quiescent currents and clock levels.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "macro/envelope.hpp"
+#include "macro/signature.hpp"
+#include "spice/netlist.hpp"
+
+namespace dot::flashadc {
+
+/// Decision grid used to classify voltage behaviour: far below, just
+/// below, just above, far above the reference (paper's 8 mV offset
+/// boundary sits between the inner and outer points).
+inline constexpr std::array<double, 4> kDecisionGrid = {-0.3, -0.009, 0.009,
+                                                        0.3};
+
+/// Result of one two-cycle transient at a single input level.
+struct ComparatorRun {
+  int decision = 0;  ///< +1: comparator says vin > vref; -1: below.
+  /// Delivered supply/input currents at the three phase midpoints:
+  /// [phase] with phase 0 = sampling, 1 = amplification, 2 = latching.
+  std::array<double, 3> ivdd{};   ///< Analog supply + bias lines.
+  std::array<double, 3> iddq{};   ///< Clock-driver (digital) supply.
+  std::array<double, 3> iin{};    ///< Analog input pin current.
+  std::array<double, 3> iref{};   ///< Reference tap current.
+  /// Clock pin levels: {clk1 hi, clk1 lo, clk2 hi, clk2 lo, clk3 hi,
+  /// clk3 lo} sampled at the appropriate phase midpoints.
+  std::array<double, 6> clock_levels{};
+  bool converged = false;
+};
+
+/// Builds the full simulation netlist around a comparator macro netlist.
+/// `delta_v` is vin - vref(nominal tap at 2.5 V).
+spice::Netlist instantiate_comparator_bench(const spice::Netlist& macro,
+                                            double delta_v);
+
+/// Runs the two-cycle transient and extracts the run record. A
+/// convergence failure returns converged = false instead of throwing.
+ComparatorRun run_comparator(const spice::Netlist& full_bench);
+
+/// Convenience: bench + run for a macro netlist at one input level.
+ComparatorRun simulate_comparator(const spice::Netlist& macro,
+                                  double delta_v);
+
+/// All four grid points. Index order follows kDecisionGrid.
+std::array<ComparatorRun, 4> simulate_comparator_grid(
+    const spice::Netlist& macro);
+
+/// Measurement layout for the current envelope: the 24 current values of
+/// the two outer-grid runs (vin below / above the full reference range).
+macro::MeasurementLayout comparator_measurement_layout();
+
+/// Flattens the two outer runs into the envelope measurement vector.
+std::vector<double> comparator_measurements(const ComparatorRun& lo,
+                                            const ComparatorRun& hi);
+
+/// Voltage-signature classification from the decision grid and clock
+/// levels, against the fault-free nominal run.
+macro::VoltageSignature classify_comparator(
+    const std::array<ComparatorRun, 4>& faulty,
+    const std::array<ComparatorRun, 4>& nominal,
+    double clock_level_tolerance = 0.05);
+
+}  // namespace dot::flashadc

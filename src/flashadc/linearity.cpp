@@ -1,0 +1,72 @@
+#include "flashadc/linearity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dot::flashadc {
+
+LinearityResult measure_linearity(const FlashAdcModel& adc,
+                                  int steps_per_lsb) {
+  if (steps_per_lsb < 1)
+    throw util::InvalidInputError("measure_linearity: bad resolution");
+  LinearityResult out;
+
+  // Fine ramp across the (slightly overdriven) range; record the first
+  // input at which each code value appears.
+  const double v_lo = kVrefLo - 0.02;
+  const double v_hi = kVrefHi + 0.02;
+  const double step = lsb() / steps_per_lsb;
+  std::vector<double> first_seen(static_cast<std::size_t>(kLevels),
+                                 std::numeric_limits<double>::quiet_NaN());
+  int previous_code = -1;
+  for (double v = v_lo; v <= v_hi; v += step) {
+    const int code = adc.convert(v);
+    if (code >= 0 && code < kLevels &&
+        std::isnan(first_seen[static_cast<std::size_t>(code)]))
+      first_seen[static_cast<std::size_t>(code)] = v;
+    if (code < previous_code) out.monotonic = false;
+    previous_code = code;
+  }
+
+  for (int code = 0; code < kLevels; ++code)
+    if (std::isnan(first_seen[static_cast<std::size_t>(code)]))
+      ++out.missing_codes;
+
+  // Transition level T[k] = first input producing code >= k. With
+  // missing codes the transitions degenerate; clamp to neighbours so
+  // DNL/INL remain finite (a tester reports a fail either way).
+  out.transitions.resize(static_cast<std::size_t>(kLevels) - 1);
+  double last = v_lo;
+  for (int k = 1; k < kLevels; ++k) {
+    double t = first_seen[static_cast<std::size_t>(k)];
+    if (std::isnan(t)) t = last;
+    t = std::max(t, last);
+    out.transitions[static_cast<std::size_t>(k - 1)] = t;
+    last = t;
+  }
+
+  // DNL: code width relative to 1 LSB.
+  out.dnl.resize(out.transitions.size() - 1);
+  for (std::size_t k = 0; k + 1 < out.transitions.size(); ++k) {
+    const double width = out.transitions[k + 1] - out.transitions[k];
+    out.dnl[k] = width / lsb() - 1.0;
+    out.worst_dnl = std::max(out.worst_dnl, std::fabs(out.dnl[k]));
+  }
+
+  // INL against the endpoint-fit line through T[1]..T[255].
+  const double t_first = out.transitions.front();
+  const double t_last = out.transitions.back();
+  const double ideal_step =
+      (t_last - t_first) / static_cast<double>(out.transitions.size() - 1);
+  out.inl.resize(out.transitions.size());
+  for (std::size_t k = 0; k < out.transitions.size(); ++k) {
+    const double ideal = t_first + ideal_step * static_cast<double>(k);
+    out.inl[k] = (out.transitions[k] - ideal) / lsb();
+    out.worst_inl = std::max(out.worst_inl, std::fabs(out.inl[k]));
+  }
+  return out;
+}
+
+}  // namespace dot::flashadc

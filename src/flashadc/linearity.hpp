@@ -1,0 +1,30 @@
+// Static-linearity measurement of the behavioral converter: code
+// transition levels, DNL and INL -- the quantities a specification
+// (functional) test program checks, used for the test-cost comparison
+// the paper's conclusions draw.
+#pragma once
+
+#include <vector>
+
+#include "flashadc/behavioral.hpp"
+
+namespace dot::flashadc {
+
+struct LinearityResult {
+  /// Transition level T[k]: lowest input producing code >= k (k=1..255).
+  std::vector<double> transitions;
+  /// Differential nonlinearity per code, in LSB.
+  std::vector<double> dnl;
+  /// Integral nonlinearity per code, in LSB (endpoint-fit line).
+  std::vector<double> inl;
+  double worst_dnl = 0.0;  ///< max |dnl|
+  double worst_inl = 0.0;  ///< max |inl|
+  bool monotonic = true;
+  int missing_codes = 0;
+};
+
+/// Measures linearity with a fine ramp (resolution = lsb / steps_per_lsb).
+LinearityResult measure_linearity(const FlashAdcModel& adc,
+                                  int steps_per_lsb = 8);
+
+}  // namespace dot::flashadc

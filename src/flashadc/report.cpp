@@ -1,0 +1,109 @@
+#include "flashadc/report.hpp"
+
+#include "util/json.hpp"
+
+namespace dot::flashadc {
+namespace {
+
+void write_outcome(util::JsonWriter& w, const FaultOutcome& o) {
+  w.begin_object();
+  w.key("kind");
+  w.value(fault::fault_kind_name(o.cls.representative.kind));
+  w.key("nets");
+  w.begin_array();
+  for (const auto& net : o.cls.representative.nets) w.value(net);
+  w.end_array();
+  if (!o.cls.representative.device.empty()) {
+    w.key("device");
+    w.value(o.cls.representative.device);
+  }
+  w.key("count");
+  w.value(o.cls.count);
+  w.key("non_catastrophic");
+  w.value(o.non_catastrophic);
+  w.key("voltage_signature");
+  w.value(macro::voltage_signature_name(o.voltage));
+  w.key("current_signature");
+  w.begin_object();
+  w.key("ivdd");
+  w.value(o.current.ivdd);
+  w.key("iddq");
+  w.value(o.current.iddq);
+  w.key("iinput");
+  w.value(o.current.iinput);
+  w.end_object();
+  w.key("detected");
+  w.value(o.detection.detected());
+  w.key("missing_code");
+  w.value(o.detection.missing_code);
+  w.end_object();
+}
+
+void write_macro(util::JsonWriter& w, const MacroCampaignResult& r) {
+  w.begin_object();
+  w.key("macro");
+  w.value(r.macro_name);
+  w.key("cell_area_um2");
+  w.value(r.cell_area);
+  w.key("instances");
+  w.value(r.instance_count);
+  w.key("defects_sprinkled");
+  w.value(r.defects.defects_sprinkled);
+  w.key("faults_extracted");
+  w.value(r.defects.faults_extracted);
+  w.key("fault_classes");
+  w.value(r.defects.classes.size());
+  w.key("coverage");
+  w.value(r.coverage(false));
+  w.key("current_coverage");
+  w.value(r.current_coverage(false));
+  w.key("catastrophic");
+  w.begin_array();
+  for (const auto& o : r.catastrophic) write_outcome(w, o);
+  w.end_array();
+  w.key("non_catastrophic");
+  w.begin_array();
+  for (const auto& o : r.noncatastrophic) write_outcome(w, o);
+  w.end_array();
+  w.end_object();
+}
+
+void write_venn(util::JsonWriter& w, const macro::VennResult& venn) {
+  w.begin_object();
+  w.key("voltage_only");
+  w.value(venn.voltage_only);
+  w.key("both");
+  w.value(venn.both);
+  w.key("current_only");
+  w.value(venn.current_only);
+  w.key("undetected");
+  w.value(venn.undetected);
+  w.key("coverage");
+  w.value(venn.detected());
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const MacroCampaignResult& result) {
+  util::JsonWriter w;
+  write_macro(w, result);
+  return w.str();
+}
+
+std::string to_json(const GlobalResult& result) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("macros");
+  w.begin_array();
+  for (const auto& m : result.macros) write_macro(w, m);
+  w.end_array();
+  w.key("global_catastrophic");
+  write_venn(w, result.venn_catastrophic);
+  w.key("global_non_catastrophic");
+  write_venn(w, result.venn_noncatastrophic);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace dot::flashadc

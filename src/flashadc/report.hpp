@@ -1,0 +1,20 @@
+// JSON export of campaign results: per-class records (kind, nets,
+// signatures, detection), per-macro summaries, and the global Venn --
+// the machine-readable companion of the bench/ text tables.
+#pragma once
+
+#include <string>
+
+#include "flashadc/campaign.hpp"
+
+namespace dot::flashadc {
+
+/// Serializes one macro campaign (defect statistics, every evaluated
+/// fault class with its signatures and detection outcome).
+std::string to_json(const MacroCampaignResult& result);
+
+/// Serializes a whole-circuit result (per-macro summaries + global
+/// Venn figures).
+std::string to_json(const GlobalResult& result);
+
+}  // namespace dot::flashadc

@@ -1,0 +1,29 @@
+#include "flashadc/tech.hpp"
+
+namespace dot::flashadc {
+
+spice::MosModel nmos_model() {
+  spice::MosModel m;
+  m.vt0 = 0.70;
+  m.kp = 110e-6;
+  m.lambda = 0.04;
+  m.gamma = 0.40;
+  m.phi = 0.65;
+  m.subthreshold_n = 1.5;
+  m.i_leak0 = 1e-9;
+  return m;
+}
+
+spice::MosModel pmos_model() {
+  spice::MosModel m;
+  m.vt0 = 0.75;  // NMOS-normalized magnitude
+  m.kp = 40e-6;
+  m.lambda = 0.05;
+  m.gamma = 0.45;
+  m.phi = 0.65;
+  m.subthreshold_n = 1.5;
+  m.i_leak0 = 0.5e-9;
+  return m;
+}
+
+}  // namespace dot::flashadc

@@ -1,0 +1,25 @@
+// Text serialization of cell layouts: a simple line-oriented format so
+// layouts survive across tool invocations (cache a synthesized cell,
+// ship a hand-drawn one, archive the exact geometry a campaign used).
+//
+//   cell <name>
+//   shape <layer> <x0> <y0> <x1> <y1> [<net>]
+//   nwell <x0> <y0> <x1> <y1>
+//   tap <net> <device> <terminal> <x> <y> <layer>
+//   mos <device> <x0> <y0> <x1> <y1> <gate> <source> <drain> <in_nwell>
+//
+// '#' starts a comment. The writer/parser round-trip exactly.
+#pragma once
+
+#include <string>
+
+#include "layout/cell.hpp"
+
+namespace dot::layout {
+
+std::string to_text(const CellLayout& cell);
+
+/// Throws util::InvalidInputError with a line number on syntax errors.
+CellLayout parse_text(const std::string& text);
+
+}  // namespace dot::layout

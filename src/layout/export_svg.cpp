@@ -1,0 +1,114 @@
+#include "layout/export_svg.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dot::layout {
+namespace {
+
+struct LayerStyle {
+  const char* fill;
+  double opacity;
+};
+
+/// Classic layout-editor palette: wells grey, active green, poly red,
+/// cuts black, metal1 blue, metal2 magenta.
+LayerStyle style_of(Layer layer) {
+  switch (layer) {
+    case Layer::kNWell:
+      return {"#bbbbbb", 0.35};
+    case Layer::kActive:
+      return {"#2e8b57", 0.8};
+    case Layer::kPoly:
+      return {"#cc2222", 0.8};
+    case Layer::kContact:
+      return {"#111111", 0.95};
+    case Layer::kMetal1:
+      return {"#2255cc", 0.55};
+    case Layer::kVia1:
+      return {"#333333", 0.95};
+    case Layer::kMetal2:
+      return {"#bb44bb", 0.5};
+  }
+  return {"#000000", 1.0};
+}
+
+}  // namespace
+
+std::string to_svg(const CellLayout& cell, const SvgOptions& options) {
+  const Rect box = cell.bounding_box().expanded(2.0);
+  const double s = options.scale;
+  const double width = box.width() * s;
+  const double height = box.height() * s;
+  // SVG y grows downward; layout y grows upward -> flip.
+  auto x_of = [&](double x) { return (x - box.x_lo) * s; };
+  auto y_of = [&](double y) { return (box.y_hi - y) * s; };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << ' '
+     << height << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"#f8f8f4\"/>\n";
+
+  auto rect_tag = [&](const Rect& r, const char* fill, double opacity,
+                      const char* stroke) {
+    os << "<rect x=\"" << x_of(r.x_lo) << "\" y=\"" << y_of(r.y_hi)
+       << "\" width=\"" << r.width() * s << "\" height=\"" << r.height() * s
+       << "\" fill=\"" << fill << "\" fill-opacity=\"" << opacity << '"';
+    if (stroke != nullptr) os << " stroke=\"" << stroke << "\"";
+    os << "/>\n";
+  };
+
+  for (const Rect& well : cell.nwells()) {
+    const auto st = style_of(Layer::kNWell);
+    rect_tag(well, st.fill, st.opacity, "#888888");
+  }
+  // Draw in layer order so cuts end up on top.
+  static constexpr std::array<Layer, 6> kOrder = {
+      Layer::kActive, Layer::kPoly, Layer::kMetal1,
+      Layer::kMetal2, Layer::kContact, Layer::kVia1};
+  for (Layer layer : kOrder) {
+    const auto st = style_of(layer);
+    for (const auto& shape : cell.shapes()) {
+      if (shape.layer != layer) continue;
+      rect_tag(shape.rect, st.fill, st.opacity, nullptr);
+      if (options.draw_net_labels && shape.rect.width() * s > 60.0 &&
+          !shape.net.empty()) {
+        os << "<text x=\"" << x_of(shape.rect.x_lo) + 3 << "\" y=\""
+           << y_of(shape.rect.center().y) + 3 << "\" font-size=\""
+           << s * 1.1 << "\" fill=\"#222\">" << shape.net << "</text>\n";
+      }
+    }
+  }
+  if (options.draw_taps) {
+    for (const auto& tap : cell.taps()) {
+      os << "<circle cx=\"" << x_of(tap.at.x) << "\" cy=\"" << y_of(tap.at.y)
+         << "\" r=\"" << s * 0.3
+         << "\" fill=\"#ffdd00\" stroke=\"#884400\"/>\n";
+    }
+  }
+  for (const auto& marker : options.markers) {
+    rect_tag(marker.rect, marker.color.c_str(), 0.45, marker.color.c_str());
+    if (!marker.label.empty()) {
+      os << "<text x=\"" << x_of(marker.rect.x_lo) << "\" y=\""
+         << y_of(marker.rect.y_hi) - 2 << "\" font-size=\"" << s * 1.2
+         << "\" fill=\"" << marker.color << "\">" << marker.label
+         << "</text>\n";
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+void write_svg(const CellLayout& cell, const std::string& path,
+               const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw util::InvalidInputError("write_svg: cannot open " + path);
+  out << to_svg(cell, options);
+  if (!out) throw util::InvalidInputError("write_svg: write failed " + path);
+}
+
+}  // namespace dot::layout

@@ -1,0 +1,32 @@
+// SVG rendering of cell layouts, with optional defect overlays -- the
+// debugging view for layout synthesis and defect analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/cell.hpp"
+
+namespace dot::layout {
+
+struct SvgMarker {
+  Rect rect;
+  std::string color = "#ff0000";
+  std::string label;
+};
+
+struct SvgOptions {
+  double scale = 8.0;          ///< Pixels per micrometre.
+  bool draw_taps = true;
+  bool draw_net_labels = false;  ///< Text label on each trunk-sized shape.
+  std::vector<SvgMarker> markers;  ///< E.g. defect footprints.
+};
+
+/// Renders the layout as a standalone SVG document.
+std::string to_svg(const CellLayout& cell, const SvgOptions& options = {});
+
+/// Convenience: renders and writes to a file; throws on I/O failure.
+void write_svg(const CellLayout& cell, const std::string& path,
+               const SvgOptions& options = {});
+
+}  // namespace dot::layout

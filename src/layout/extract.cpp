@@ -1,0 +1,156 @@
+#include "layout/extract.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace dot::layout {
+
+UnionFind::UnionFind(std::size_t n) : parent_(n), rank_(n, 0) {
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+std::size_t UnionFind::find(std::size_t i) {
+  while (parent_[i] != i) {
+    parent_[i] = parent_[parent_[i]];
+    i = parent_[i];
+  }
+  return i;
+}
+
+void UnionFind::unite(std::size_t a, std::size_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+}
+
+namespace {
+
+bool cut_connects(Layer cut, Layer conductor) {
+  if (cut == Layer::kContact)
+    return conductor == Layer::kMetal1 || conductor == Layer::kPoly ||
+           conductor == Layer::kActive;
+  if (cut == Layer::kVia1)
+    return conductor == Layer::kMetal1 || conductor == Layer::kMetal2;
+  return false;
+}
+
+/// Unions shapes that are electrically continuous, honouring a removal
+/// mask (removed shapes connect to nothing).
+UnionFind build_union(const CellLayout& cell,
+                      const std::vector<char>& removed) {
+  const auto& shapes = cell.shapes();
+  UnionFind uf(shapes.size());
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    if (removed[i]) continue;
+    const auto& a = shapes[i];
+    for (std::size_t j = i + 1; j < shapes.size(); ++j) {
+      if (removed[j]) continue;
+      const auto& b = shapes[j];
+      if (!a.rect.intersects(b.rect)) continue;
+      const bool same_layer_conductors =
+          a.layer == b.layer && is_conducting(a.layer);
+      const bool cut_pair =
+          (is_cut(a.layer) && cut_connects(a.layer, b.layer)) ||
+          (is_cut(b.layer) && cut_connects(b.layer, a.layer));
+      if (same_layer_conductors || cut_pair) uf.unite(i, j);
+    }
+  }
+  return uf;
+}
+
+}  // namespace
+
+ExtractionResult extract_connectivity(const CellLayout& cell) {
+  const auto& shapes = cell.shapes();
+  std::vector<char> removed(shapes.size(), 0);
+  UnionFind uf = build_union(cell, removed);
+
+  ExtractionResult result;
+  result.component_of_shape.assign(shapes.size(), -1);
+  std::map<std::size_t, int> root_to_component;
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    if (!is_conducting(shapes[i].layer) && !is_cut(shapes[i].layer)) continue;
+    const std::size_t root = uf.find(i);
+    auto [it, inserted] =
+        root_to_component.emplace(root, result.component_count);
+    if (inserted) ++result.component_count;
+    result.component_of_shape[i] = it->second;
+  }
+  return result;
+}
+
+std::vector<std::string> verify_net_labels(const CellLayout& cell) {
+  const auto extraction = extract_connectivity(cell);
+  const auto& shapes = cell.shapes();
+  std::vector<std::string> issues;
+
+  // Net label -> set of components; component -> set of labels.
+  std::map<std::string, std::set<int>> components_of_label;
+  std::map<int, std::set<std::string>> labels_of_component;
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const int comp = extraction.component_of_shape[i];
+    if (comp < 0 || shapes[i].net.empty()) continue;
+    components_of_label[shapes[i].net].insert(comp);
+    labels_of_component[comp].insert(shapes[i].net);
+  }
+  for (const auto& [label, comps] : components_of_label) {
+    if (comps.size() > 1)
+      issues.push_back("net '" + label + "' is split into " +
+                       std::to_string(comps.size()) + " components");
+  }
+  for (const auto& [comp, labels] : labels_of_component) {
+    if (labels.size() > 1) {
+      std::string joined;
+      for (const auto& l : labels) joined += (joined.empty() ? "" : ", ") + l;
+      issues.push_back("component " + std::to_string(comp) +
+                       " carries several labels: " + joined);
+    }
+  }
+  return issues;
+}
+
+std::vector<std::vector<std::size_t>> tap_groups_after_removal(
+    const CellLayout& cell, const std::string& net,
+    const std::vector<std::size_t>& removed_shapes) {
+  const auto& shapes = cell.shapes();
+  std::vector<char> removed(shapes.size(), 0);
+  for (std::size_t idx : removed_shapes) {
+    if (idx >= shapes.size())
+      throw util::InvalidInputError("tap_groups_after_removal: bad index");
+    removed[idx] = 1;
+  }
+  UnionFind uf = build_union(cell, removed);
+
+  // Collect the taps of this net and locate a supporting shape for each.
+  std::vector<std::size_t> tap_indices;
+  for (std::size_t t = 0; t < cell.taps().size(); ++t)
+    if (cell.taps()[t].net == net) tap_indices.push_back(t);
+
+  std::map<long, std::vector<std::size_t>> groups;  // root (or -1-t) -> taps
+  for (std::size_t t : tap_indices) {
+    const auto& tap = cell.taps()[t];
+    long key = -1 - static_cast<long>(t);  // default: isolated tap
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      if (removed[i] || shapes[i].net != net) continue;
+      if (shapes[i].layer != tap.layer) continue;
+      if (shapes[i].rect.contains(tap.at)) {
+        key = static_cast<long>(uf.find(i));
+        break;
+      }
+    }
+    groups[key].push_back(t);
+  }
+
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(groups.size());
+  for (auto& [key, taps] : groups) out.push_back(std::move(taps));
+  return out;
+}
+
+}  // namespace dot::layout

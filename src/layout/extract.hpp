@@ -1,0 +1,54 @@
+// Geometric connectivity extraction.
+//
+// Two uses:
+//  1. Verifying that a synthesized layout's net labels agree with its
+//     geometry (every label is one connected component).
+//  2. Open-fault analysis: when a missing-material defect deletes wire
+//     material, recomputing the connected components of the damaged net
+//     tells us how the device taps are partitioned.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "layout/cell.hpp"
+
+namespace dot::layout {
+
+/// Disjoint-set over shape indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+  std::size_t find(std::size_t i);
+  void unite(std::size_t a, std::size_t b);
+  bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> rank_;
+};
+
+struct ExtractionResult {
+  /// Component id per shape; -1 for non-conducting shapes (wells).
+  std::vector<int> component_of_shape;
+  int component_count = 0;
+};
+
+/// Connects same-layer overlapping conductors, contacts (metal1 to
+/// poly/active) and vias (metal1 to metal2). Cut shapes join the
+/// component of the layers they connect.
+ExtractionResult extract_connectivity(const CellLayout& cell);
+
+/// Human-readable label/geometry mismatches: a net label split over
+/// several components, or one component carrying several labels.
+std::vector<std::string> verify_net_labels(const CellLayout& cell);
+
+/// Partition of the tap indices of `net` into electrically connected
+/// groups after deleting the given shapes (wire material or cuts).
+/// A tap whose supporting material vanished forms its own group.
+std::vector<std::vector<std::size_t>> tap_groups_after_removal(
+    const CellLayout& cell, const std::string& net,
+    const std::vector<std::size_t>& removed_shapes);
+
+}  // namespace dot::layout

@@ -1,0 +1,29 @@
+#include "layout/layers.hpp"
+
+#include <array>
+
+namespace dot::layout {
+
+const std::string& layer_name(Layer layer) {
+  static const std::array<std::string, kLayerCount> names = {
+      "nwell", "active", "poly", "contact", "metal1", "via1", "metal2"};
+  return names[static_cast<std::size_t>(layer)];
+}
+
+bool is_conducting(Layer layer) {
+  switch (layer) {
+    case Layer::kActive:
+    case Layer::kPoly:
+    case Layer::kMetal1:
+    case Layer::kMetal2:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_cut(Layer layer) {
+  return layer == Layer::kContact || layer == Layer::kVia1;
+}
+
+}  // namespace dot::layout

@@ -1,0 +1,42 @@
+// Process layers of the synthetic single-poly double-metal CMOS flow
+// used for the case study, modelled on early-1990s 5 V technology.
+#pragma once
+
+#include <string>
+
+namespace dot::layout {
+
+enum class Layer {
+  kNWell,    ///< N-well region (PMOS bulk).
+  kActive,   ///< Diffusion.
+  kPoly,     ///< Polysilicon (gates, resistors, local wiring).
+  kContact,  ///< Metal1 <-> poly/active contact cut.
+  kMetal1,
+  kVia1,     ///< Metal1 <-> Metal2 via cut.
+  kMetal2,
+};
+
+inline constexpr int kLayerCount = 7;
+
+const std::string& layer_name(Layer layer);
+
+/// Conducting layers carry nets; cut layers (contact/via) connect them;
+/// the well layer is neither.
+bool is_conducting(Layer layer);
+bool is_cut(Layer layer);
+
+/// Nominal design rules for the synthetic process (micrometres).
+struct TechRules {
+  double metal_width = 1.2;
+  double metal_space = 1.2;
+  double poly_width = 0.8;
+  double poly_space = 1.0;
+  double active_width = 1.6;
+  double contact_size = 0.8;
+  double via_size = 0.8;
+  double grid = 0.2;  ///< All coordinates snap to this.
+
+  double track_pitch() const { return metal_width + metal_space; }
+};
+
+}  // namespace dot::layout

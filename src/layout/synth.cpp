@@ -1,0 +1,490 @@
+#include "layout/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "layout/extract.hpp"
+#include "util/error.hpp"
+
+namespace dot::layout {
+namespace {
+
+using spice::Capacitor;
+using spice::Mosfet;
+using spice::MosType;
+using spice::Netlist;
+using spice::NodeId;
+using spice::Resistor;
+
+// Horizontal offsets of terminal pads inside a placement slot. Every
+// riser is a plain metal2 vertical at its pad's x, so pads across the
+// two rows must occupy disjoint x bands; the PMOS row is shifted by
+// kPmosOffset to interleave with the NMOS/passive row below.
+// The 2.4 um pad pitch keeps both the metal1 pads and the metal2
+// risers (1.2 um wide) at or above the 1.2 um spacing rule -- the
+// synthesized cells pass their own DRC (layout/drc.hpp).
+constexpr double kSourceOff = -2.4;
+constexpr double kGateOff = 0.0;
+constexpr double kDrainOff = 2.4;
+constexpr double kBulkOff = 4.8;
+constexpr double kResAOff = -2.4;
+constexpr double kResBOff = 2.4;
+constexpr double kCapAOff = -2.4;
+constexpr double kCapBOff = 0.5;
+constexpr double kPmosOffset = 10.0;
+constexpr double kMargin = 3.0;
+
+struct DeviceSlot {
+  const spice::Device* device = nullptr;
+  double xc = 0.0;   ///< Slot centre (already including any row offset).
+  bool top_row = false;
+};
+
+struct Placement {
+  std::vector<DeviceSlot> bottom;  ///< NMOS + resistors + capacitors.
+  std::vector<DeviceSlot> top;     ///< PMOS.
+  double cell_width = 0.0;
+};
+
+/// Terminal pad x offsets for one device, in Netlist terminal order
+/// (bulk may be dropped later when it taps a rail).
+std::vector<double> pad_offsets(const spice::Device& device) {
+  if (std::holds_alternative<Mosfet>(device))
+    return {kDrainOff, kGateOff, kSourceOff, kBulkOff};
+  if (std::holds_alternative<Resistor>(device)) return {kResAOff, kResBOff};
+  return {kCapAOff, kCapBOff};
+}
+
+struct Builder {
+  const Netlist& netlist;
+  const SynthOptions& opt;
+  CellLayout cell;
+
+  double gnd_rail_y0 = 0.0, gnd_rail_y1 = 2.0;
+  double bottom_row_y = 0.0;
+  double channel_y0 = 0.0;
+  double top_row_y = 0.0;
+  double vdd_rail_y0 = 0.0, vdd_rail_y1 = 0.0;
+  double cell_width = 0.0;
+
+  std::map<std::string, int> track_of_net;
+  int track_count = 0;
+
+  struct Riser {
+    std::string net;
+    Point pad_center;
+  };
+  std::vector<Riser> risers;
+  std::map<std::string, std::pair<double, double>> trunk_extent;
+
+  Builder(const Netlist& nl, const std::string& name, const SynthOptions& o)
+      : netlist(nl), opt(o), cell(name) {}
+
+  std::string net_name(NodeId id) const { return netlist.node_name(id); }
+  bool is_gnd(const std::string& net) const {
+    return net == "0" || net == "gnd";
+  }
+  bool is_vdd(const std::string& net) const { return net == opt.vdd_net; }
+  bool on_rail(const std::string& net) const {
+    return is_gnd(net) || is_vdd(net);
+  }
+  bool is_pin(const std::string& net) const {
+    return std::find(opt.pins.begin(), opt.pins.end(), net) !=
+           opt.pins.end();
+  }
+
+  void note_extent(const std::string& net, double x) {
+    auto [it, inserted] = trunk_extent.emplace(net, std::make_pair(x, x));
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, x);
+      it->second.second = std::max(it->second.second, x);
+    }
+  }
+
+  void request_riser(const std::string& net, Point pad_center) {
+    risers.push_back({net, pad_center});
+    note_extent(net, pad_center.x);
+  }
+
+  void pad_with_contact(const std::string& net, Point c) {
+    cell.add_shape(
+        {Layer::kContact, Rect::square(c, opt.rules.contact_size), net});
+    cell.add_shape(
+        {Layer::kMetal1, Rect::square(c, opt.rules.metal_width), net});
+  }
+
+  double track_y(int track) const {
+    return channel_y0 +
+           (static_cast<double>(track) + 0.5) * opt.rules.track_pitch();
+  }
+
+  double trunk_center_y(const std::string& net) const {
+    if (is_gnd(net)) return (gnd_rail_y0 + gnd_rail_y1) / 2.0;
+    if (is_vdd(net)) return (vdd_rail_y0 + vdd_rail_y1) / 2.0;
+    return track_y(track_of_net.at(net));
+  }
+};
+
+/// Assigns devices to slots and computes the cell width.
+Placement plan_placement(const Netlist& netlist, const SynthOptions& opt) {
+  Placement plan;
+  std::size_t bottom_slot = 0, top_slot = 0;
+  for (const auto& device : netlist.devices()) {
+    if (const auto* m = std::get_if<Mosfet>(&device)) {
+      if (m->type == MosType::kPmos) {
+        plan.top.push_back(
+            {&device,
+             kMargin + (static_cast<double>(top_slot++) + 0.5) *
+                           opt.slot_width +
+                 kPmosOffset,
+             true});
+      } else {
+        plan.bottom.push_back(
+            {&device,
+             kMargin + (static_cast<double>(bottom_slot++) + 0.5) *
+                           opt.slot_width,
+             false});
+      }
+    } else if (std::holds_alternative<Resistor>(device) ||
+               std::holds_alternative<Capacitor>(device)) {
+      plan.bottom.push_back(
+          {&device,
+           kMargin + (static_cast<double>(bottom_slot++) + 0.5) *
+                         opt.slot_width,
+           false});
+    }
+  }
+  if (plan.bottom.empty() && plan.top.empty())
+    throw util::InvalidInputError("synthesize_layout: no physical devices");
+  const std::size_t slots = std::max(bottom_slot, top_slot);
+  plan.cell_width = 2.0 * kMargin +
+                    static_cast<double>(std::max<std::size_t>(slots, 1)) *
+                        opt.slot_width +
+                    (plan.top.empty() ? 0.0 : kPmosOffset);
+  return plan;
+}
+
+/// Pre-computes per-net trunk extents from the slot plan so tracks can
+/// be packed before any geometry exists.
+std::map<std::string, std::pair<double, double>> plan_extents(
+    const Builder& b, const Placement& plan) {
+  std::map<std::string, std::pair<double, double>> extent;
+  auto note = [&](const std::string& net, double x) {
+    auto [it, inserted] = extent.emplace(net, std::make_pair(x, x));
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, x);
+      it->second.second = std::max(it->second.second, x);
+    }
+  };
+  auto visit_slot = [&](const DeviceSlot& slot) {
+    const auto nodes = Netlist::terminal_nodes(*slot.device);
+    const auto offsets = pad_offsets(*slot.device);
+    for (std::size_t t = 0; t < nodes.size(); ++t) {
+      const std::string net = b.net_name(nodes[t]);
+      const bool is_bulk =
+          std::holds_alternative<Mosfet>(*slot.device) && t == 3;
+      if (is_bulk && b.on_rail(net)) continue;  // taps the rail directly
+      note(net, slot.xc + offsets[t]);
+    }
+  };
+  for (const auto& slot : plan.bottom) visit_slot(slot);
+  for (const auto& slot : plan.top) visit_slot(slot);
+  return extent;
+}
+
+/// Greedy interval packing of net trunks onto channel tracks.
+/// Hinted nets get dedicated tracks 0..k-1 in hint order (this is what
+/// keeps "bias lines adjacent" expressible); everything else shares
+/// tracks where extents don't overlap. Pin nets span the full cell and
+/// therefore never share.
+void assign_tracks(
+    Builder& b, const std::vector<std::string>& nets,
+    const std::map<std::string, std::pair<double, double>>& extents) {
+  int next_track = 0;
+  for (const auto& net : b.opt.track_order) {
+    if (b.on_rail(net)) continue;
+    if (std::find(nets.begin(), nets.end(), net) == nets.end()) continue;
+    if (!b.track_of_net.count(net)) b.track_of_net[net] = next_track++;
+  }
+
+  struct TrackUse {
+    std::vector<std::pair<double, double>> spans;
+  };
+  std::vector<TrackUse> shared;  // indexed from next_track upward
+  const double clearance = 2.5;
+
+  for (const auto& net : nets) {
+    if (b.on_rail(net) || b.track_of_net.count(net)) continue;
+    std::pair<double, double> span{0.0, b.cell_width};
+    if (!b.is_pin(net)) {
+      auto it = extents.find(net);
+      if (it != extents.end())
+        span = {it->second.first - clearance, it->second.second + clearance};
+    }
+    std::size_t chosen = shared.size();
+    for (std::size_t t = 0; t < shared.size(); ++t) {
+      const bool overlaps = std::any_of(
+          shared[t].spans.begin(), shared[t].spans.end(),
+          [&](const std::pair<double, double>& s) {
+            return span.first < s.second && s.first < span.second;
+          });
+      if (!overlaps) {
+        chosen = t;
+        break;
+      }
+    }
+    if (chosen == shared.size()) shared.emplace_back();
+    shared[chosen].spans.push_back(span);
+    b.track_of_net[net] = next_track + static_cast<int>(chosen);
+  }
+  b.track_count = next_track + static_cast<int>(shared.size());
+}
+
+void place_mosfet(Builder& b, const Mosfet& mos, double xc, double row_y) {
+  const auto& rules = b.opt.rules;
+  const std::string d_net = b.net_name(mos.drain);
+  const std::string g_net = b.net_name(mos.gate);
+  const std::string s_net = b.net_name(mos.source);
+  const std::string bulk_net = b.net_name(mos.bulk);
+  const bool pmos = mos.type == MosType::kPmos;
+
+  const double h_act = std::clamp(mos.w * 1e6, rules.active_width, 8.0);
+  const double half_gate = rules.poly_width / 2.0;
+  const double sd_w = 3.2;  // covers the pad; >= active_width
+
+  const Rect s_act{xc - half_gate - sd_w, row_y, xc - half_gate,
+                   row_y + h_act};
+  const Rect d_act{xc + half_gate, row_y, xc + half_gate + sd_w,
+                   row_y + h_act};
+  b.cell.add_shape({Layer::kActive, s_act, s_net});
+  b.cell.add_shape({Layer::kActive, d_act, d_net});
+
+  const double gate_ext = 1.0;
+  const Rect gate{xc - half_gate, row_y - gate_ext, xc + half_gate,
+                  row_y + h_act + gate_ext};
+  b.cell.add_shape({Layer::kPoly, gate, g_net});
+  const Point gate_pad_c{xc + kGateOff, row_y + h_act + gate_ext + 0.6};
+  b.cell.add_shape({Layer::kPoly,
+                    Rect{xc - 0.7, row_y + h_act + gate_ext - 0.2, xc + 0.7,
+                         gate_pad_c.y + 0.7},
+                    g_net});
+  b.pad_with_contact(g_net, gate_pad_c);
+
+  const Point s_pad_c{xc + kSourceOff, row_y + h_act / 2.0};
+  const Point d_pad_c{xc + kDrainOff, row_y + h_act / 2.0};
+  b.pad_with_contact(s_net, s_pad_c);
+  b.pad_with_contact(d_net, d_pad_c);
+
+  b.cell.add_mos_region(
+      {mos.name, Rect{xc - half_gate, row_y, xc + half_gate, row_y + h_act},
+       g_net, s_net, d_net, pmos});
+
+  b.cell.add_tap({d_net, mos.name, 0, d_pad_c, Layer::kActive});
+  b.cell.add_tap({g_net, mos.name, 1, gate_pad_c, Layer::kPoly});
+  b.cell.add_tap({s_net, mos.name, 2, s_pad_c, Layer::kActive});
+  b.request_riser(d_net, d_pad_c);
+  b.request_riser(g_net, gate_pad_c);
+  b.request_riser(s_net, s_pad_c);
+
+  if (b.on_rail(bulk_net)) {
+    const double rail_y = b.is_gnd(bulk_net)
+                              ? (b.gnd_rail_y0 + b.gnd_rail_y1) / 2.0
+                              : (b.vdd_rail_y0 + b.vdd_rail_y1) / 2.0;
+    b.cell.add_tap({bulk_net, mos.name, 3, {xc, rail_y}, Layer::kMetal1});
+    b.note_extent(bulk_net, xc);
+  } else {
+    const Point bulk_pad_c{xc + kBulkOff, row_y - gate_ext};
+    b.pad_with_contact(bulk_net, bulk_pad_c);
+    b.cell.add_tap({bulk_net, mos.name, 3, bulk_pad_c, Layer::kMetal1});
+    b.request_riser(bulk_net, bulk_pad_c);
+  }
+}
+
+void place_resistor(Builder& b, const Resistor& res, double xc, double row_y) {
+  const std::string a_net = b.net_name(res.a);
+  const std::string b_net = b.net_name(res.b);
+
+  // Poly body split at the midpoint: each half carries its end's label,
+  // with a poly-space-clean gap between the halves (the resistance
+  // lives in the netlist, not the geometry).
+  const Rect body_a{xc - 3.0, row_y, xc - 0.6, row_y + 0.8};
+  const Rect body_b{xc + 0.6, row_y, xc + 3.0, row_y + 0.8};
+  b.cell.add_shape({Layer::kPoly, body_a, a_net});
+  b.cell.add_shape({Layer::kPoly, body_b, b_net});
+
+  const Point a_pad{xc + kResAOff, row_y + 0.4};
+  const Point b_pad{xc + kResBOff, row_y + 0.4};
+  b.pad_with_contact(a_net, a_pad);
+  b.pad_with_contact(b_net, b_pad);
+  b.cell.add_tap({a_net, res.name, 0, a_pad, Layer::kPoly});
+  b.cell.add_tap({b_net, res.name, 1, b_pad, Layer::kPoly});
+  b.request_riser(a_net, a_pad);
+  b.request_riser(b_net, b_pad);
+}
+
+void place_capacitor(Builder& b, const Capacitor& cap, double xc,
+                     double row_y) {
+  const std::string a_net = b.net_name(cap.a);
+  const std::string b_net = b.net_name(cap.b);
+
+  // Poly bottom plate (net a) under a metal1 top plate (net b). No cut
+  // joins them; only a thick-oxide pinhole defect can short the plates.
+  const Rect plate{xc - 1.9, row_y + 1.2, xc + 1.9, row_y + 3.2};
+  b.cell.add_shape({Layer::kPoly, plate, a_net});
+  b.cell.add_shape({Layer::kMetal1, plate, b_net});
+
+  // Bottom plate escapes sideways and down to its contact, keeping the
+  // metal1 pad a full spacing rule away from the top plate.
+  const Rect finger{xc + kCapAOff - 0.4, row_y + 1.2, xc - 1.4,
+                    row_y + 2.0};
+  b.cell.add_shape({Layer::kPoly, finger, a_net});
+  const Rect drop{xc + kCapAOff - 0.4, row_y - 1.8, xc + kCapAOff + 0.4,
+                  row_y + 1.3};
+  b.cell.add_shape({Layer::kPoly, drop, a_net});
+  const Point a_pad{xc + kCapAOff, row_y - 1.2};
+  b.pad_with_contact(a_net, a_pad);
+
+  const Point b_pad{xc + kCapBOff, row_y + 2.2};  // on the top plate
+  b.cell.add_tap({a_net, cap.name, 0, a_pad, Layer::kPoly});
+  b.cell.add_tap({b_net, cap.name, 1, b_pad, Layer::kMetal1});
+  b.request_riser(a_net, a_pad);
+  b.request_riser(b_net, b_pad);
+}
+
+}  // namespace
+
+CellLayout synthesize_layout(const Netlist& netlist,
+                             const std::string& cell_name,
+                             const SynthOptions& options) {
+  Builder b(netlist, cell_name, options);
+  const auto& rules = options.rules;
+
+  const Placement plan = plan_placement(netlist, options);
+  b.cell_width = plan.cell_width;
+
+  // Which nets exist on physical devices, in first-use order.
+  std::vector<std::string> nets;
+  auto add_net = [&](const std::string& name) {
+    if (std::find(nets.begin(), nets.end(), name) == nets.end())
+      nets.push_back(name);
+  };
+  for (const auto* slots : {&plan.bottom, &plan.top})
+    for (const auto& slot : *slots)
+      for (NodeId id : Netlist::terminal_nodes(*slot.device))
+        add_net(b.net_name(id));
+
+  assign_tracks(b, nets, plan_extents(b, plan));
+
+  // Vertical structure, now that the track count is known.
+  double bottom_h = 1.6, top_h = 1.6;
+  for (const auto& slot : plan.bottom) {
+    if (const auto* m = std::get_if<Mosfet>(slot.device))
+      bottom_h = std::max(bottom_h,
+                          std::clamp(m->w * 1e6, rules.active_width, 8.0));
+    else
+      bottom_h = std::max(bottom_h, 3.2);
+  }
+  for (const auto& slot : plan.top) {
+    const auto* m = std::get_if<Mosfet>(slot.device);
+    top_h =
+        std::max(top_h, std::clamp(m->w * 1e6, rules.active_width, 8.0));
+  }
+  b.gnd_rail_y0 = 0.0;
+  b.gnd_rail_y1 = 2.0;
+  b.bottom_row_y = b.gnd_rail_y1 + 3.5;
+  const double bottom_top = b.bottom_row_y + bottom_h + 3.0;
+  b.channel_y0 = bottom_top + 1.5;
+  const double channel_top =
+      b.channel_y0 + std::max(b.track_count, 1) * rules.track_pitch();
+  b.top_row_y = channel_top + 3.5;
+  const double top_top = b.top_row_y + top_h + 3.0;
+  b.vdd_rail_y0 = top_top + 1.5;
+  b.vdd_rail_y1 = b.vdd_rail_y0 + 2.0;
+
+  // Rails.
+  const bool have_gnd = std::any_of(
+      nets.begin(), nets.end(),
+      [&](const std::string& n) { return b.is_gnd(n); });
+  const bool have_vdd = std::any_of(
+      nets.begin(), nets.end(),
+      [&](const std::string& n) { return b.is_vdd(n); });
+  if (have_gnd)
+    b.cell.add_shape({Layer::kMetal1,
+                      Rect{0.0, b.gnd_rail_y0, b.cell_width, b.gnd_rail_y1},
+                      "0"});
+  if (have_vdd)
+    b.cell.add_shape({Layer::kMetal1,
+                      Rect{0.0, b.vdd_rail_y0, b.cell_width, b.vdd_rail_y1},
+                      options.vdd_net});
+
+  // N-well over the PMOS row.
+  if (!plan.top.empty())
+    b.cell.add_nwell(
+        Rect{0.0, b.top_row_y - 2.0, b.cell_width, b.vdd_rail_y1 + 0.5});
+
+  // Devices.
+  for (const auto& slot : plan.bottom) {
+    if (const auto* m = std::get_if<Mosfet>(slot.device))
+      place_mosfet(b, *m, slot.xc, b.bottom_row_y);
+    else if (const auto* r = std::get_if<Resistor>(slot.device))
+      place_resistor(b, *r, slot.xc, b.bottom_row_y);
+    else
+      place_capacitor(b, *std::get_if<Capacitor>(slot.device), slot.xc,
+                      b.bottom_row_y);
+  }
+  for (const auto& slot : plan.top)
+    place_mosfet(b, *std::get_if<Mosfet>(slot.device), slot.xc, b.top_row_y);
+
+  // Channel trunks.
+  for (const auto& [net, track] : b.track_of_net) {
+    double x_lo = b.cell_width / 2.0 - 1.0, x_hi = b.cell_width / 2.0 + 1.0;
+    if (auto it = b.trunk_extent.find(net); it != b.trunk_extent.end()) {
+      x_lo = it->second.first - 1.0;
+      x_hi = it->second.second + 1.0;
+    }
+    if (b.is_pin(net)) {
+      x_lo = 0.0;
+      x_hi = b.cell_width;
+    }
+    const double yc = b.track_y(track);
+    b.cell.add_shape({Layer::kMetal1,
+                      Rect{x_lo, yc - rules.metal_width / 2.0, x_hi,
+                           yc + rules.metal_width / 2.0},
+                      net});
+    if (b.is_pin(net)) b.cell.add_tap({net, "pin", 0, {x_lo + 0.6, yc}});
+  }
+  if (b.is_pin("0") && have_gnd)
+    b.cell.add_tap(
+        {"0", "pin", 0, {0.6, (b.gnd_rail_y0 + b.gnd_rail_y1) / 2}});
+  if (b.is_pin(options.vdd_net) && have_vdd)
+    b.cell.add_tap({options.vdd_net, "pin", 0,
+                    {0.6, (b.vdd_rail_y0 + b.vdd_rail_y1) / 2}});
+
+  // Risers.
+  for (const auto& riser : b.risers) {
+    const double yc = b.trunk_center_y(riser.net);
+    const Point pad = riser.pad_center;
+    const double half_w = rules.metal_width / 2.0;
+    b.cell.add_shape(
+        {Layer::kVia1, Rect::square(pad, rules.via_size), riser.net});
+    b.cell.add_shape({Layer::kVia1, Rect::square({pad.x, yc}, rules.via_size),
+                      riser.net});
+    b.cell.add_shape(
+        {Layer::kMetal2,
+         Rect::spanning(pad.x - half_w, std::min(pad.y, yc) - half_w,
+                        pad.x + half_w, std::max(pad.y, yc) + half_w),
+         riser.net});
+  }
+
+  const auto issues = verify_net_labels(b.cell);
+  if (!issues.empty()) {
+    std::string joined;
+    for (const auto& issue : issues) joined += "\n  " + issue;
+    throw util::InvalidInputError("synthesize_layout(" + cell_name +
+                                  "): label check failed:" + joined);
+  }
+  return std::move(b.cell);
+}
+
+}  // namespace dot::layout

@@ -1,0 +1,105 @@
+#include "macro/detection.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dot::macro {
+namespace {
+
+const std::array<std::string, kVoltageSignatureCount> kVoltageNames = {
+    "Output Stuck At", "Offset (> 8mV)", "Mixed", "Clock value",
+    "No deviations"};
+
+int outcome_bits(const DetectionOutcome& o) {
+  return (o.missing_code ? 1 : 0) | (o.ivdd ? 2 : 0) | (o.iddq ? 4 : 0) |
+         (o.iinput ? 8 : 0);
+}
+
+double total_weight(const std::vector<WeightedOutcome>& outcomes) {
+  double total = 0.0;
+  for (const auto& wo : outcomes) total += wo.weight;
+  return total;
+}
+
+}  // namespace
+
+const std::string& voltage_signature_name(VoltageSignature signature) {
+  return kVoltageNames[static_cast<std::size_t>(signature)];
+}
+
+VennResult compile_venn(const std::vector<WeightedOutcome>& outcomes) {
+  VennResult result;
+  const double total = total_weight(outcomes);
+  if (total <= 0.0) return result;
+  for (const auto& wo : outcomes) {
+    const double w = wo.weight / total;
+    const bool v = wo.outcome.voltage_detected();
+    const bool c = wo.outcome.current_detected();
+    if (v && c)
+      result.both += w;
+    else if (v)
+      result.voltage_only += w;
+    else if (c)
+      result.current_only += w;
+    else
+      result.undetected += w;
+  }
+  return result;
+}
+
+double MechanismMatrix::by_mechanism(int bit) const {
+  double sum = 0.0;
+  for (int mask = 1; mask < 16; ++mask)
+    if (mask & bit) sum += fraction[static_cast<std::size_t>(mask)];
+  return sum;
+}
+
+double MechanismMatrix::only_mechanism(int bit) const {
+  return fraction[static_cast<std::size_t>(bit)];
+}
+
+MechanismMatrix compile_matrix(const std::vector<WeightedOutcome>& outcomes) {
+  MechanismMatrix matrix;
+  const double total = total_weight(outcomes);
+  if (total <= 0.0) return matrix;
+  for (const auto& wo : outcomes)
+    matrix.fraction[static_cast<std::size_t>(outcome_bits(wo.outcome))] +=
+        wo.weight / total;
+  return matrix;
+}
+
+namespace {
+
+/// Scales each macro's outcome weights so its total equals its share of
+/// the chip area (equal defect density), then concatenates.
+std::vector<WeightedOutcome> area_scaled_outcomes(
+    const std::vector<MacroContribution>& macros) {
+  double chip_area = 0.0;
+  for (const auto& m : macros) chip_area += m.total_area();
+  if (chip_area <= 0.0)
+    throw util::InvalidInputError("compile_global: zero total area");
+
+  std::vector<WeightedOutcome> all;
+  for (const auto& m : macros) {
+    const double macro_weight = total_weight(m.outcomes);
+    if (macro_weight <= 0.0) continue;
+    const double scale = (m.total_area() / chip_area) / macro_weight;
+    for (const auto& wo : m.outcomes)
+      all.push_back({wo.outcome, wo.weight * scale});
+  }
+  return all;
+}
+
+}  // namespace
+
+VennResult compile_global(const std::vector<MacroContribution>& macros) {
+  return compile_venn(area_scaled_outcomes(macros));
+}
+
+MechanismMatrix compile_global_matrix(
+    const std::vector<MacroContribution>& macros) {
+  return compile_matrix(area_scaled_outcomes(macros));
+}
+
+}  // namespace dot::macro

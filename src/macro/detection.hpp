@@ -1,0 +1,81 @@
+// Detection outcomes and coverage compilation (paper figures 3-5).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "macro/signature.hpp"
+
+namespace dot::macro {
+
+/// Which of the four simple test mechanisms detect a fault at the
+/// circuit edge (after signature propagation).
+struct DetectionOutcome {
+  bool missing_code = false;  ///< Voltage detection via the missing-code test.
+  bool ivdd = false;
+  bool iddq = false;
+  bool iinput = false;
+
+  bool voltage_detected() const { return missing_code; }
+  bool current_detected() const { return ivdd || iddq || iinput; }
+  bool detected() const { return voltage_detected() || current_detected(); }
+};
+
+/// One fault class's outcome with its likelihood weight.
+struct WeightedOutcome {
+  DetectionOutcome outcome;
+  double weight = 0.0;
+};
+
+/// Voltage/current Venn decomposition (paper figures 4-5): fractions of
+/// the total fault population (weights normalized to 1).
+struct VennResult {
+  double voltage_only = 0.0;
+  double both = 0.0;
+  double current_only = 0.0;
+  double undetected = 0.0;
+
+  double voltage_total() const { return voltage_only + both; }
+  double current_total() const { return current_only + both; }
+  double detected() const { return voltage_only + both + current_only; }
+};
+
+VennResult compile_venn(const std::vector<WeightedOutcome>& outcomes);
+
+/// Full 16-cell mechanism matrix (paper figure 3): weight fraction for
+/// every subset of {missing code, IVdd, IDDQ, Iinput}.
+struct MechanismMatrix {
+  /// Index = bit0 missing_code | bit1 ivdd | bit2 iddq | bit3 iinput.
+  std::array<double, 16> fraction{};
+
+  double detected() const { return 1.0 - fraction[0]; }
+  /// Fraction detected by the given mechanism (alone or combined).
+  double by_mechanism(int bit) const;
+  /// Fraction detected ONLY by the given mechanism.
+  double only_mechanism(int bit) const;
+};
+
+MechanismMatrix compile_matrix(const std::vector<WeightedOutcome>& outcomes);
+
+/// One macro's contribution to the global (whole-circuit) figure:
+/// its per-fault outcomes plus its share of the chip area. The paper
+/// scales macro fault probabilities by area, assuming equal defect
+/// density everywhere (section 3.3).
+struct MacroContribution {
+  std::string name;
+  double cell_area = 0.0;        ///< One instance's layout area.
+  std::size_t instance_count = 1;
+  std::vector<WeightedOutcome> outcomes;
+
+  double total_area() const {
+    return cell_area * static_cast<double>(instance_count);
+  }
+};
+
+/// Area-weighted global compilation across macros.
+VennResult compile_global(const std::vector<MacroContribution>& macros);
+MechanismMatrix compile_global_matrix(
+    const std::vector<MacroContribution>& macros);
+
+}  // namespace dot::macro

@@ -1,0 +1,68 @@
+#include "macro/envelope.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dot::macro {
+
+GoodEnvelope::GoodEnvelope(MeasurementLayout layout,
+                           util::SignatureSpace space)
+    : layout_(std::move(layout)), space_(std::move(space)) {
+  if (layout_.size() != space_.size())
+    throw util::InvalidInputError("GoodEnvelope: layout/space size mismatch");
+}
+
+CurrentSignature GoodEnvelope::classify(
+    const std::vector<double>& faulty) const {
+  CurrentSignature sig;
+  for (std::size_t i : space_.violations(faulty)) {
+    switch (layout_.kinds[i]) {
+      case MeasurementKind::kIVdd:
+        sig.ivdd = true;
+        break;
+      case MeasurementKind::kIddq:
+        sig.iddq = true;
+        break;
+      case MeasurementKind::kIinput:
+        sig.iinput = true;
+        break;
+      case MeasurementKind::kOther:
+        break;
+    }
+  }
+  return sig;
+}
+
+GoodEnvelope build_envelope(const MeasurementLayout& layout,
+                            const std::vector<std::vector<double>>& samples,
+                            const BandPolicy& policy) {
+  if (samples.empty())
+    throw util::InvalidInputError("build_envelope: no samples");
+  std::vector<util::RunningStats> stats(layout.size());
+  for (const auto& sample : samples) {
+    if (sample.size() != layout.size())
+      throw util::InvalidInputError("build_envelope: sample size mismatch");
+    for (std::size_t i = 0; i < sample.size(); ++i) stats[i].add(sample[i]);
+  }
+  util::SignatureSpace space;
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    double dilution = 1.0;
+    if (layout.kinds[i] == MeasurementKind::kIVdd)
+      dilution = policy.ivdd_dilution;
+    else if (layout.kinds[i] == MeasurementKind::kIinput)
+      dilution = policy.iinput_dilution;
+    const double mean = stats[i].mean();
+    // The statistical spread and the relative tester floor both live at
+    // the chip-level summed current, so they scale with the dilution;
+    // the absolute floor is the tester's resolution and does not.
+    double half = policy.k_sigma * stats[i].stddev() * dilution;
+    half = std::max(half, policy.abs_floor);
+    half = std::max(half, policy.rel_floor * std::fabs(mean) * dilution);
+    space.add_dimension(layout.names[i], util::Band{mean - half, mean + half});
+  }
+  return GoodEnvelope(layout, std::move(space));
+}
+
+}  // namespace dot::macro

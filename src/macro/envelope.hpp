@@ -1,0 +1,79 @@
+// Good-signature envelope for current testing.
+//
+// The paper: "the output of a fault-free circuit can vary under the
+// influence of environmental conditions like process, supply voltage and
+// temperature. Thus the good signature is a multi-dimensional space ...
+// the faulty circuit has to have a response outside this space to be
+// recognized as faulty." Detection bands are mean +/- 3 sigma over a
+// Monte-Carlo population of fault-free circuits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "macro/signature.hpp"
+#include "util/stats.hpp"
+
+namespace dot::macro {
+
+/// Which test mechanism a measurement dimension belongs to.
+enum class MeasurementKind { kIVdd, kIddq, kIinput, kOther };
+
+/// Names + kinds of a macro's measurement vector; every simulation of
+/// that macro (good or faulty) must produce values in this exact order.
+struct MeasurementLayout {
+  std::vector<std::string> names;
+  std::vector<MeasurementKind> kinds;
+
+  std::size_t size() const { return names.size(); }
+  void add(std::string name, MeasurementKind kind) {
+    names.push_back(std::move(name));
+    kinds.push_back(kind);
+  }
+};
+
+/// Band width policy: 3-sigma widened to a measurement-noise floor
+/// (a real tester cannot resolve arbitrarily small current deltas).
+///
+/// The dilution factors model shared chip-level measurements: the
+/// analog supply and input currents sum over every instance of the
+/// macro, so the fault-free spread ONE faulty instance must escape
+/// scales with the instance count. The digital quiescent current does
+/// not suffer this -- a fault-free digital part draws (nearly) nothing
+/// no matter how many instances -- which is precisely why IDDQ testing
+/// is so powerful in the paper.
+struct BandPolicy {
+  double k_sigma = 3.0;
+  double abs_floor = 1e-6;   ///< Half-width floor, absolute [A].
+  double rel_floor = 0.02;   ///< Half-width floor, relative to |mean|.
+  double ivdd_dilution = 1.0;    ///< Width multiplier for kIVdd dims.
+  double iinput_dilution = 1.0;  ///< Width multiplier for kIinput dims.
+};
+
+class GoodEnvelope {
+ public:
+  GoodEnvelope(MeasurementLayout layout, util::SignatureSpace space);
+
+  const MeasurementLayout& layout() const { return layout_; }
+  const util::SignatureSpace& space() const { return space_; }
+
+  /// Classifies a faulty measurement vector: which current mechanisms
+  /// see an out-of-band value.
+  CurrentSignature classify(const std::vector<double>& faulty) const;
+
+  /// True when the vector stays inside every band.
+  bool inside(const std::vector<double>& values) const {
+    return space_.inside(values);
+  }
+
+ private:
+  MeasurementLayout layout_;
+  util::SignatureSpace space_;
+};
+
+/// Builds the envelope from fault-free Monte-Carlo samples.
+GoodEnvelope build_envelope(const MeasurementLayout& layout,
+                            const std::vector<std::vector<double>>& samples,
+                            const BandPolicy& policy = {});
+
+}  // namespace dot::macro

@@ -1,0 +1,37 @@
+// A macro cell: the unit of the divide-and-conquer methodology. Holds
+// the physical netlist, its synthesized layout, the pin list and the
+// instance count inside the full circuit.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "layout/cell.hpp"
+#include "spice/netlist.hpp"
+
+namespace dot::macro {
+
+struct MacroCell {
+  std::string name;
+  spice::Netlist netlist;      ///< Physical devices only (no test bench).
+  layout::CellLayout layout;   ///< Synthesized geometry of the netlist.
+  std::vector<std::string> pins;
+  std::size_t instance_count = 1;
+
+  MacroCell(std::string name_, spice::Netlist netlist_,
+            layout::CellLayout layout_, std::vector<std::string> pins_,
+            std::size_t instances)
+      : name(std::move(name_)),
+        netlist(std::move(netlist_)),
+        layout(std::move(layout_)),
+        pins(std::move(pins_)),
+        instance_count(instances) {}
+
+  double cell_area() const { return layout.area(); }
+  double total_area() const {
+    return cell_area() * static_cast<double>(instance_count);
+  }
+};
+
+}  // namespace dot::macro

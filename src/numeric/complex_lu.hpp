@@ -1,0 +1,56 @@
+// Complex dense matrix and LU solver for small-signal (AC) analysis,
+// where the MNA system becomes G + j*w*C.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace dot::numeric {
+
+using Complex = std::complex<double>;
+
+class ComplexMatrix {
+ public:
+  ComplexMatrix() = default;
+  ComplexMatrix(std::size_t rows, std::size_t cols,
+                Complex fill = Complex{0.0, 0.0});
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Complex& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  Complex operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  void fill(Complex value);
+  std::vector<Complex> multiply(const std::vector<Complex>& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+/// LU with partial pivoting over the complex field. solve() throws
+/// util::ConvergenceError when the matrix is numerically singular.
+class ComplexLu {
+ public:
+  explicit ComplexLu(ComplexMatrix a, double pivot_epsilon = 1e-13);
+
+  bool singular() const { return singular_; }
+  std::vector<Complex> solve(const std::vector<Complex>& b) const;
+
+ private:
+  ComplexMatrix lu_;
+  std::vector<std::size_t> perm_;
+  bool singular_ = false;
+};
+
+std::vector<Complex> solve_linear(const ComplexMatrix& a,
+                                  const std::vector<Complex>& b);
+
+}  // namespace dot::numeric

@@ -1,0 +1,41 @@
+// LU factorization with partial pivoting. This is the single linear
+// solver behind every DC operating point and every transient time step.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace dot::numeric {
+
+/// Factorization of a square matrix A as P*A = L*U. Throws
+/// util::ConvergenceError (via solve()) when A is numerically singular.
+class LuFactorization {
+ public:
+  /// Factors a copy of A. `singular()` reports whether a zero (or
+  /// sub-epsilon) pivot was hit; solve() on a singular factorization
+  /// throws.
+  explicit LuFactorization(Matrix a, double pivot_epsilon = 1e-13);
+
+  bool singular() const { return singular_; }
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Estimated reciprocal pivot growth; tiny values signal an
+  /// ill-conditioned system (useful for fault-sim diagnostics).
+  double min_abs_pivot() const { return min_abs_pivot_; }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  bool singular_ = false;
+  double min_abs_pivot_ = 0.0;
+};
+
+/// One-shot convenience: solves A x = b, throwing on singular A.
+std::vector<double> solve_linear(const Matrix& a, const std::vector<double>& b);
+
+}  // namespace dot::numeric

@@ -1,0 +1,133 @@
+#include "spice/dc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "numeric/lu.hpp"
+#include "util/error.hpp"
+
+namespace dot::spice {
+
+DcResult newton_solve(const Netlist& netlist, const MnaMap& map,
+                      std::vector<double> initial_guess,
+                      const StampOptions& stamp, const DcOptions& options,
+                      const std::vector<double>& x_prev_step) {
+  const std::size_t n = map.size();
+  DcResult result;
+  result.x = std::move(initial_guess);
+  if (result.x.size() != n) result.x.assign(n, 0.0);
+
+  numeric::Matrix a;
+  std::vector<double> b;
+  double best_max_dv = std::numeric_limits<double>::infinity();
+  std::vector<double> best_x;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    assemble_mna(netlist, map, result.x, x_prev_step, stamp, a, b);
+    numeric::LuFactorization lu(a);
+    if (lu.singular()) {
+      result.iterations = iter;
+      return result;  // converged == false
+    }
+    const std::vector<double> x_new = lu.solve(b);
+
+    // Damping: restrict the largest node-voltage move per iteration.
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < map.node_unknowns(); ++i)
+      max_dv = std::max(max_dv, std::fabs(x_new[i] - result.x[i]));
+    const double alpha =
+        max_dv > options.max_step_v ? options.max_step_v / max_dv : 1.0;
+    for (std::size_t i = 0; i < n; ++i)
+      result.x[i] += alpha * (x_new[i] - result.x[i]);
+
+    result.iterations = iter + 1;
+    if (alpha == 1.0 && max_dv < best_max_dv) {
+      best_max_dv = max_dv;
+      best_x = result.x;
+    }
+    if (alpha == 1.0 && max_dv < options.vtol) {
+      result.converged = true;
+      return result;
+    }
+  }
+  // Loose acceptance for micro limit cycles (see DcOptions::loose_vtol):
+  // return the best iterate seen if its Newton step was already tiny.
+  if (best_max_dv < options.loose_vtol) {
+    result.x = std::move(best_x);
+    result.converged = true;
+  }
+  return result;
+}
+
+DcResult dc_operating_point(const Netlist& netlist, const MnaMap& map,
+                            const DcOptions& options) {
+  const std::vector<double> no_prev(map.size(), 0.0);
+  StampOptions stamp;
+  stamp.mode = AnalysisMode::kDc;
+  stamp.time = options.time;
+  stamp.gshunt = options.gshunt;
+
+  // 1) Plain Newton from a flat start.
+  DcResult direct = newton_solve(netlist, map, {}, stamp, options, no_prev);
+  if (direct.converged) return direct;
+  int spent = direct.iterations;
+
+  // 2) Gmin stepping: solve with a heavy shunt, then relax it.
+  {
+    std::vector<double> guess(map.size(), 0.0);
+    bool ladder_ok = true;
+    for (double g = options.gshunt_start; ladder_ok; g /= 10.0) {
+      const bool last = g <= options.gshunt;
+      StampOptions rung = stamp;
+      rung.gshunt = last ? options.gshunt : g;
+      DcResult step =
+          newton_solve(netlist, map, std::move(guess), rung, options, no_prev);
+      spent += step.iterations;
+      if (!step.converged) {
+        ladder_ok = false;
+        guess.assign(map.size(), 0.0);
+        break;
+      }
+      guess = std::move(step.x);
+      if (last) {
+        DcResult out;
+        out.x = std::move(guess);
+        out.iterations = spent;
+        out.converged = true;
+        return out;
+      }
+    }
+  }
+
+  // 3) Source stepping: ramp all independent sources from ~0 to 100%.
+  {
+    std::vector<double> guess(map.size(), 0.0);
+    bool ok = true;
+    for (int s = 1; s <= options.source_steps; ++s) {
+      StampOptions rung = stamp;
+      rung.source_scale =
+          static_cast<double>(s) / static_cast<double>(options.source_steps);
+      DcResult step =
+          newton_solve(netlist, map, std::move(guess), rung, options, no_prev);
+      spent += step.iterations;
+      if (!step.converged) {
+        ok = false;
+        break;
+      }
+      guess = std::move(step.x);
+    }
+    if (ok) {
+      DcResult out;
+      out.x = std::move(guess);
+      out.iterations = spent;
+      out.converged = true;
+      return out;
+    }
+  }
+
+  throw util::ConvergenceError(
+      "dc_operating_point: Newton, gmin stepping and source stepping all "
+      "failed");
+}
+
+}  // namespace dot::spice

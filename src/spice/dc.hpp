@@ -1,0 +1,48 @@
+// DC operating-point solver: damped Newton-Raphson with gmin stepping
+// and source stepping as continuation fallbacks.
+#pragma once
+
+#include <vector>
+
+#include "spice/mna.hpp"
+#include "spice/netlist.hpp"
+
+namespace dot::spice {
+
+struct DcOptions {
+  int max_iterations = 150;
+  double vtol = 1e-6;        ///< Convergence on max |dV| between iterates.
+  /// Fallback acceptance: piecewise device models (triode/saturation
+  /// boundaries, the subthreshold kink) can trap Newton in a micro
+  /// limit cycle that never reaches vtol. If the iteration budget runs
+  /// out while the step size chatters below this bound, the best
+  /// iterate is accepted -- a millivolt of chatter is far below any
+  /// measurement band this library uses.
+  double loose_vtol = 1e-3;
+  double max_step_v = 0.6;   ///< Newton damping: largest node-voltage move.
+  double gshunt = 1e-12;     ///< Final shunt conductance (node to ground).
+  double gshunt_start = 1e-3;  ///< First rung of the gmin ladder.
+  double time = 0.0;         ///< Source evaluation time.
+  int source_steps = 8;      ///< Rungs for source-stepping fallback.
+};
+
+struct DcResult {
+  std::vector<double> x;  ///< Converged unknown vector (see MnaMap).
+  int iterations = 0;     ///< Total Newton iterations spent.
+  bool converged = false;
+};
+
+/// Solves the operating point. Throws util::ConvergenceError when every
+/// continuation strategy fails; on success result.converged is true.
+DcResult dc_operating_point(const Netlist& netlist, const MnaMap& map,
+                            const DcOptions& options = {});
+
+/// Newton loop from a given initial guess at fixed gshunt/source scale.
+/// Returns converged=false instead of throwing; building block for the
+/// continuation strategies and the transient engine.
+DcResult newton_solve(const Netlist& netlist, const MnaMap& map,
+                      std::vector<double> initial_guess,
+                      const StampOptions& stamp, const DcOptions& options,
+                      const std::vector<double>& x_prev_step);
+
+}  // namespace dot::spice

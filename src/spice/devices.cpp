@@ -1,0 +1,113 @@
+#include "spice/devices.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dot::spice {
+namespace {
+
+constexpr double kThermalVoltage = 0.02585;  // kT/q at 300 K.
+constexpr double kMaxExpArg = 40.0;          // exp() clamp for stability.
+
+double safe_exp(double x) { return std::exp(std::min(x, kMaxExpArg)); }
+
+}  // namespace
+
+MosOperatingPoint eval_mos(const MosModel& m, double w_over_l, double vgs,
+                           double vds, double vbs) {
+  // The level-1 model is source/drain symmetric; normalize to vds >= 0 by
+  // swapping terminals, then swap derivatives back at the end.
+  const bool swapped = vds < 0.0;
+  if (swapped) {
+    // After swap: vgd becomes the new vgs; vbd the new vbs.
+    const double vgd = vgs - vds;
+    const double vbd = vbs - vds;
+    vgs = vgd;
+    vbs = vbd;
+    vds = -vds;
+  }
+
+  // Threshold with body effect; clamp the sqrt argument for robustness
+  // when the bulk is forward biased during Newton iterations. When the
+  // clamp engages, vt stops varying with vbs, so its derivative must be
+  // zero there or the Jacobian lies about the model.
+  const bool phi_clamped = m.phi - vbs <= 1e-6;
+  const double phi_term = phi_clamped ? 1e-6 : m.phi - vbs;
+  const double vt =
+      m.vt0 + m.gamma * (std::sqrt(phi_term) - std::sqrt(m.phi));
+  const double dvt_dvbs =
+      phi_clamped ? 0.0 : -m.gamma * 0.5 / std::sqrt(phi_term);
+
+  const double beta = m.kp * w_over_l;
+  const double vov = vgs - vt;
+
+  // Leakage component: exponential below threshold, saturating to its
+  // vov = 0 value above it, so the total current stays continuous
+  // through the threshold (no dead zone for fault leakage paths).
+  const double n_vt = m.subthreshold_n * kThermalVoltage;
+  const double i0 = m.i_leak0 * w_over_l;
+  const double expo = safe_exp(std::min(vov, 0.0) / n_vt);
+  const double sat = 1.0 - safe_exp(-vds / kThermalVoltage);
+  MosOperatingPoint op;
+  op.ids = i0 * expo * sat;
+  op.gds = i0 * expo * safe_exp(-vds / kThermalVoltage) / kThermalVoltage;
+  if (vov <= 0.0) {
+    op.gm = op.ids / n_vt;
+    op.gmb = -op.gm * dvt_dvbs;
+  } else if (vds < vov) {
+    // Triode.
+    const double lam = 1.0 + m.lambda * vds;
+    op.ids += beta * (vov * vds - 0.5 * vds * vds) * lam;
+    op.gm = beta * vds * lam;
+    op.gds += beta * ((vov - vds) * lam +
+                      (vov * vds - 0.5 * vds * vds) * m.lambda);
+    op.gmb = -op.gm * dvt_dvbs;
+  } else {
+    // Saturation.
+    const double lam = 1.0 + m.lambda * vds;
+    op.ids += 0.5 * beta * vov * vov * lam;
+    op.gm = beta * vov * lam;
+    op.gds += 0.5 * beta * vov * vov * m.lambda;
+    op.gmb = -op.gm * dvt_dvbs;
+  }
+
+  if (swapped) {
+    // Undo the symmetry transform. With Ids(vgs,vds,vbs) =
+    // -I'(vgs-vds, -vds, vbs-vds), the chain rule gives
+    //   gm = -gm', gds = gm' + gds' + gmb', gmb = -gmb'.
+    const double gm_p = op.gm;
+    const double gds_p = op.gds;
+    const double gmb_p = op.gmb;
+    op.ids = -op.ids;
+    op.gm = -gm_p;
+    op.gds = gds_p + gm_p + gmb_p;
+    op.gmb = -gmb_p;
+  }
+  return op;
+}
+
+DiodeOperatingPoint eval_diode(const Diode& diode, double v) {
+  const double n_vt = diode.ideality * kThermalVoltage;
+  DiodeOperatingPoint op;
+  // Limit the exponent for Newton robustness; beyond the limit the
+  // model continues linearly with the slope at the limit.
+  const double v_lim = kMaxExpArg * n_vt;
+  if (v <= v_lim) {
+    const double e = safe_exp(v / n_vt);
+    op.id = diode.i_sat * (e - 1.0);
+    op.gd = diode.i_sat * e / n_vt;
+  } else {
+    const double e = safe_exp(kMaxExpArg);
+    const double g = diode.i_sat * e / n_vt;
+    op.id = diode.i_sat * (e - 1.0) + g * (v - v_lim);
+    op.gd = g;
+  }
+  return op;
+}
+
+const std::string& device_name(const Device& device) {
+  return std::visit([](const auto& d) -> const std::string& { return d.name; },
+                    device);
+}
+
+}  // namespace dot::spice

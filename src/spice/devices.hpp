@@ -1,0 +1,152 @@
+// Circuit elements. Devices are plain value types held in a variant so
+// that netlists copy cheaply -- fault injection works on netlist copies,
+// never by mutating a shared circuit.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "spice/source_spec.hpp"
+
+namespace dot::spice {
+
+/// Node handle. Node 0 is always ground.
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+enum class MosType { kNmos, kPmos };
+
+/// Level-1 (Shichman-Hodges) MOSFET parameters with a simple
+/// exponential subthreshold extension. The subthreshold term matters for
+/// the case study: the paper's flipflop draws a process-dependent
+/// leakage current during the sampling phase, which is exactly what
+/// makes some IVdd fault signatures undetectable before DfT.
+struct MosModel {
+  double vt0 = 0.7;        ///< Zero-bias threshold voltage [V] (NMOS sign).
+  double kp = 100e-6;      ///< Transconductance u0*Cox [A/V^2].
+  double lambda = 0.05;    ///< Channel-length modulation [1/V].
+  double gamma = 0.4;      ///< Body-effect coefficient [sqrt(V)].
+  double phi = 0.65;       ///< Surface potential [V].
+  double subthreshold_n = 1.5;  ///< Subthreshold slope factor.
+  double i_leak0 = 1e-9;   ///< Subthreshold current scale at Vgs = Vt [A].
+  double tc_vt = -2e-3;    ///< Vt temperature coefficient [V/K].
+  double mobility_exp = -1.5;  ///< kp ~ (T/Tnom)^mobility_exp.
+};
+
+/// Large-signal MOSFET evaluation result around an operating point.
+struct MosOperatingPoint {
+  double ids = 0.0;  ///< Drain current, drain->source, NMOS convention.
+  double gm = 0.0;   ///< dIds/dVgs.
+  double gds = 0.0;  ///< dIds/dVds.
+  double gmb = 0.0;  ///< dIds/dVbs.
+};
+
+/// Evaluates the level-1 model (with subthreshold) for NMOS-normalized
+/// terminal voltages. Handles drain/source symmetry internally.
+MosOperatingPoint eval_mos(const MosModel& model, double w_over_l,
+                           double vgs, double vds, double vbs);
+
+struct Resistor {
+  std::string name;
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double ohms = 1.0;
+};
+
+struct Capacitor {
+  std::string name;
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double farads = 1e-15;
+};
+
+struct VoltageSource {
+  std::string name;
+  NodeId pos = kGround;
+  NodeId neg = kGround;
+  SourceSpec spec;
+};
+
+struct CurrentSource {
+  std::string name;
+  NodeId pos = kGround;  ///< Current flows pos -> device -> neg.
+  NodeId neg = kGround;
+  SourceSpec spec;
+};
+
+struct Mosfet {
+  std::string name;
+  MosType type = MosType::kNmos;
+  NodeId drain = kGround;
+  NodeId gate = kGround;
+  NodeId source = kGround;
+  NodeId bulk = kGround;
+  double w = 1e-6;
+  double l = 1e-6;
+  MosModel model;
+};
+
+/// Voltage-controlled voltage source: v(p) - v(n) = gain * (v(cp) - v(cn)).
+struct Vcvs {
+  std::string name;
+  NodeId p = kGround;
+  NodeId n = kGround;
+  NodeId cp = kGround;
+  NodeId cn = kGround;
+  double gain = 1.0;
+};
+
+/// Voltage-controlled current source: i(p -> n) = gm * (v(cp) - v(cn)).
+struct Vccs {
+  std::string name;
+  NodeId p = kGround;
+  NodeId n = kGround;
+  NodeId cp = kGround;
+  NodeId cn = kGround;
+  double gm = 1e-3;
+};
+
+/// Inductor; carries a branch-current unknown like a voltage source.
+struct Inductor {
+  std::string name;
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double henries = 1e-6;
+};
+
+/// Junction diode: I = Is * (exp(V/(n*VT)) - 1), anode -> cathode.
+struct Diode {
+  std::string name;
+  NodeId anode = kGround;
+  NodeId cathode = kGround;
+  double i_sat = 1e-14;
+  double ideality = 1.0;
+};
+
+/// Large-signal diode evaluation (current and conductance at a bias).
+struct DiodeOperatingPoint {
+  double id = 0.0;
+  double gd = 0.0;
+};
+DiodeOperatingPoint eval_diode(const Diode& diode, double v_anode_cathode);
+
+/// Voltage-controlled resistive switch (smooth ron/roff interpolation).
+struct Switch {
+  std::string name;
+  NodeId a = kGround;
+  NodeId b = kGround;
+  NodeId ctrl_p = kGround;
+  NodeId ctrl_n = kGround;
+  double v_on = 2.5;
+  double v_off = 2.0;
+  double r_on = 1.0;
+  double r_off = 1e9;
+};
+
+using Device = std::variant<Resistor, Capacitor, VoltageSource, CurrentSource,
+                            Mosfet, Vcvs, Switch, Vccs, Inductor, Diode>;
+
+/// Name accessor shared by all alternatives.
+const std::string& device_name(const Device& device);
+
+}  // namespace dot::spice

@@ -1,0 +1,313 @@
+#include "spice/mna.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dot::spice {
+
+MnaMap::MnaMap(const Netlist& netlist) {
+  node_unknowns_ = netlist.node_count() - 1;  // Ground is not an unknown.
+  std::size_t next = node_unknowns_;
+  for (const auto& device : netlist.devices()) {
+    if (std::holds_alternative<VoltageSource>(device) ||
+        std::holds_alternative<Vcvs>(device) ||
+        std::holds_alternative<Inductor>(device)) {
+      branch_.emplace(device_name(device), next++);
+    }
+  }
+  size_ = next;
+}
+
+int MnaMap::node_index(NodeId node) const {
+  if (node == kGround) return -1;
+  return node - 1;
+}
+
+std::size_t MnaMap::branch_index(const std::string& source_name) const {
+  auto it = branch_.find(source_name);
+  if (it == branch_.end())
+    throw util::InvalidInputError("no branch current for source: " +
+                                  source_name);
+  return it->second;
+}
+
+bool MnaMap::has_branch(const std::string& source_name) const {
+  return branch_.count(source_name) != 0;
+}
+
+double MnaMap::voltage(const std::vector<double>& x, NodeId node) const {
+  const int i = node_index(node);
+  return i < 0 ? 0.0 : x[static_cast<std::size_t>(i)];
+}
+
+double MnaMap::branch_current(const std::vector<double>& x,
+                              const std::string& source_name) const {
+  return x[branch_index(source_name)];
+}
+
+namespace {
+
+/// Smooth switch conductance between r_off and r_on as a function of the
+/// control voltage, using a cubic smoothstep over [v_off, v_on] in
+/// log-conductance so both extremes are well-conditioned.
+double switch_conductance(const Switch& sw, double vctrl) {
+  const double g_on = 1.0 / sw.r_on;
+  const double g_off = 1.0 / sw.r_off;
+  double t = (vctrl - sw.v_off) / (sw.v_on - sw.v_off);
+  t = std::clamp(t, 0.0, 1.0);
+  const double smooth = t * t * (3.0 - 2.0 * t);
+  return g_off * std::pow(g_on / g_off, smooth);
+}
+
+class Stamper {
+ public:
+  Stamper(const MnaMap& map, numeric::Matrix& a, std::vector<double>& b)
+      : map_(map), a_(a), b_(b) {}
+
+  void conductance(NodeId na, NodeId nb, double g) {
+    const int i = map_.node_index(na);
+    const int j = map_.node_index(nb);
+    if (i >= 0) a_(idx(i), idx(i)) += g;
+    if (j >= 0) a_(idx(j), idx(j)) += g;
+    if (i >= 0 && j >= 0) {
+      a_(idx(i), idx(j)) -= g;
+      a_(idx(j), idx(i)) -= g;
+    }
+  }
+
+  /// Current `amps` flowing out of node `from` into node `to` through
+  /// the device (i.e. a source pushing current into `to`).
+  void current(NodeId from, NodeId to, double amps) {
+    const int i = map_.node_index(from);
+    const int j = map_.node_index(to);
+    if (i >= 0) b_[idx(i)] -= amps;
+    if (j >= 0) b_[idx(j)] += amps;
+  }
+
+  /// Transconductance: current injected into (nd -> ns) controlled by
+  /// v(ncp) - v(ncn) with gain g: i = g * (v_cp - v_cn), flowing nd->ns
+  /// through the device.
+  void transconductance(NodeId nd, NodeId ns, NodeId ncp, NodeId ncn,
+                        double g) {
+    const int d = map_.node_index(nd);
+    const int s = map_.node_index(ns);
+    const int cp = map_.node_index(ncp);
+    const int cn = map_.node_index(ncn);
+    if (d >= 0 && cp >= 0) a_(idx(d), idx(cp)) += g;
+    if (d >= 0 && cn >= 0) a_(idx(d), idx(cn)) -= g;
+    if (s >= 0 && cp >= 0) a_(idx(s), idx(cp)) -= g;
+    if (s >= 0 && cn >= 0) a_(idx(s), idx(cn)) += g;
+  }
+
+  void voltage_source_rows(const std::string& name, NodeId pos, NodeId neg,
+                           double volts) {
+    const std::size_t k = map_.branch_index(name);
+    const int p = map_.node_index(pos);
+    const int n = map_.node_index(neg);
+    if (p >= 0) {
+      a_(idx(p), k) += 1.0;
+      a_(k, idx(p)) += 1.0;
+    }
+    if (n >= 0) {
+      a_(idx(n), k) -= 1.0;
+      a_(k, idx(n)) -= 1.0;
+    }
+    b_[k] += volts;
+  }
+
+  /// Inductor branch: KCL couplings plus the row
+  ///   v(a) - v(b) - l_over_dt * i = rhs
+  /// (l_over_dt = 0 and rhs = 0 makes it a DC short).
+  void inductor_rows(const std::string& name, NodeId na, NodeId nb,
+                     double l_over_dt, double rhs) {
+    const std::size_t k = map_.branch_index(name);
+    const int i = map_.node_index(na);
+    const int j = map_.node_index(nb);
+    if (i >= 0) {
+      a_(idx(i), k) += 1.0;
+      a_(k, idx(i)) += 1.0;
+    }
+    if (j >= 0) {
+      a_(idx(j), k) -= 1.0;
+      a_(k, idx(j)) -= 1.0;
+    }
+    a_(k, k) -= l_over_dt;
+    b_[k] += rhs;
+  }
+
+  void vcvs_rows(const Vcvs& e) {
+    const std::size_t k = map_.branch_index(e.name);
+    const int p = map_.node_index(e.p);
+    const int n = map_.node_index(e.n);
+    const int cp = map_.node_index(e.cp);
+    const int cn = map_.node_index(e.cn);
+    if (p >= 0) {
+      a_(idx(p), k) += 1.0;
+      a_(k, idx(p)) += 1.0;
+    }
+    if (n >= 0) {
+      a_(idx(n), k) -= 1.0;
+      a_(k, idx(n)) -= 1.0;
+    }
+    if (cp >= 0) a_(k, idx(cp)) -= e.gain;
+    if (cn >= 0) a_(k, idx(cn)) += e.gain;
+  }
+
+ private:
+  static std::size_t idx(int i) { return static_cast<std::size_t>(i); }
+
+  const MnaMap& map_;
+  numeric::Matrix& a_;
+  std::vector<double>& b_;
+};
+
+}  // namespace
+
+void assemble_mna(const Netlist& netlist, const MnaMap& map,
+                  const std::vector<double>& x,
+                  const std::vector<double>& x_prev_step,
+                  const StampOptions& options, numeric::Matrix& a,
+                  std::vector<double>& b) {
+  const std::size_t n = map.size();
+  if (a.rows() != n || a.cols() != n) a = numeric::Matrix(n, n);
+  a.fill(0.0);
+  b.assign(n, 0.0);
+  Stamper stamp(map, a, b);
+
+  // Node-to-ground shunts keep otherwise-floating nodes solvable and
+  // implement gmin stepping.
+  for (std::size_t i = 0; i < map.node_unknowns(); ++i)
+    a(i, i) += options.gshunt;
+
+  std::size_t cap_index = 0;
+  for (const auto& device : netlist.devices()) {
+    std::visit(
+        [&](const auto& d) {
+          using T = std::decay_t<decltype(d)>;
+          if constexpr (std::is_same_v<T, Resistor>) {
+            stamp.conductance(d.a, d.b, 1.0 / d.ohms);
+          } else if constexpr (std::is_same_v<T, Capacitor>) {
+            if (options.mode == AnalysisMode::kTransient) {
+              const double v_prev =
+                  map.voltage(x_prev_step, d.a) - map.voltage(x_prev_step, d.b);
+              if (options.integrator == Integrator::kTrapezoidal &&
+                  options.cap_i_prev != nullptr) {
+                // Trapezoidal companion: i = (2C/dt)(v - v_prev) - i_prev.
+                const double geq = 2.0 * d.farads / options.dt;
+                const double i_prev = (*options.cap_i_prev)[cap_index];
+                stamp.conductance(d.a, d.b, geq);
+                stamp.current(d.b, d.a, geq * v_prev + i_prev);
+              } else {
+                // Backward Euler companion: geq = C/dt, ieq carries the
+                // previous-step voltage.
+                const double geq = d.farads / options.dt;
+                stamp.conductance(d.a, d.b, geq);
+                stamp.current(d.b, d.a, geq * v_prev);
+              }
+            }
+            ++cap_index;
+          } else if constexpr (std::is_same_v<T, VoltageSource>) {
+            stamp.voltage_source_rows(
+                d.name, d.pos, d.neg,
+                options.source_scale * d.spec.eval(options.time));
+          } else if constexpr (std::is_same_v<T, CurrentSource>) {
+            stamp.current(d.pos, d.neg,
+                          options.source_scale * d.spec.eval(options.time));
+          } else if constexpr (std::is_same_v<T, Vcvs>) {
+            stamp.vcvs_rows(d);
+          } else if constexpr (std::is_same_v<T, Vccs>) {
+            stamp.transconductance(d.p, d.n, d.cp, d.cn, d.gm);
+          } else if constexpr (std::is_same_v<T, Inductor>) {
+            if (options.mode == AnalysisMode::kDc) {
+              stamp.inductor_rows(d.name, d.a, d.b, 0.0, 0.0);
+            } else {
+              const double i_prev = x_prev_step[map.branch_index(d.name)];
+              const double v_prev =
+                  map.voltage(x_prev_step, d.a) - map.voltage(x_prev_step, d.b);
+              if (options.integrator == Integrator::kTrapezoidal &&
+                  options.cap_i_prev != nullptr) {
+                // v + v_prev = (2L/dt) (i - i_prev)
+                const double l2 = 2.0 * d.henries / options.dt;
+                stamp.inductor_rows(d.name, d.a, d.b, l2,
+                                    -v_prev - l2 * i_prev);
+              } else {
+                // Backward Euler: v = (L/dt) (i - i_prev)
+                const double l1 = d.henries / options.dt;
+                stamp.inductor_rows(d.name, d.a, d.b, l1, -l1 * i_prev);
+              }
+            }
+          } else if constexpr (std::is_same_v<T, Diode>) {
+            const double v =
+                map.voltage(x, d.anode) - map.voltage(x, d.cathode);
+            const auto op = eval_diode(d, v);
+            stamp.conductance(d.anode, d.cathode, op.gd);
+            stamp.current(d.anode, d.cathode, op.id - op.gd * v);
+          } else if constexpr (std::is_same_v<T, Switch>) {
+            const double vctrl =
+                map.voltage(x, d.ctrl_p) - map.voltage(x, d.ctrl_n);
+            stamp.conductance(d.a, d.b, switch_conductance(d, vctrl));
+          } else if constexpr (std::is_same_v<T, Mosfet>) {
+            // NMOS-normalized terminal voltages around the candidate.
+            const double sign = d.type == MosType::kNmos ? 1.0 : -1.0;
+            const double vd = map.voltage(x, d.drain);
+            const double vg = map.voltage(x, d.gate);
+            const double vs = map.voltage(x, d.source);
+            const double vb = map.voltage(x, d.bulk);
+            const double vgs = sign * (vg - vs);
+            const double vds = sign * (vd - vs);
+            const double vbs = sign * (vb - vs);
+            const auto op = eval_mos(d.model, d.w / d.l, vgs, vds, vbs);
+            // Newton companion: ids_lin = ieq + gm*vgs + gds*vds + gmb*vbs
+            // with voltages of the *new* iterate.
+            const double ieq =
+                op.ids - op.gm * vgs - op.gds * vds - op.gmb * vbs;
+            // Map back to real node polarities: for PMOS the normalized
+            // current Ids flows source->drain in real terms.
+            // A transconductance g from normalized (va - vb) injecting
+            // normalized current d->s equals, in real nodes, g from
+            // sign*(va - vb) injecting sign*current: the sign appears
+            // twice and cancels for conductance stamps, once for ieq.
+            stamp.transconductance(d.drain, d.source, d.gate, d.source, op.gm);
+            stamp.transconductance(d.drain, d.source, d.drain, d.source,
+                                   op.gds);
+            stamp.transconductance(d.drain, d.source, d.bulk, d.source,
+                                   op.gmb);
+            stamp.current(d.drain, d.source, sign * ieq);
+          }
+        },
+        device);
+  }
+}
+
+std::vector<double> capacitor_currents(const Netlist& netlist,
+                                       const MnaMap& map,
+                                       const std::vector<double>& x,
+                                       const std::vector<double>& x_prev,
+                                       const StampOptions& options) {
+  std::vector<double> currents;
+  std::size_t cap_index = 0;
+  for (const auto& device : netlist.devices()) {
+    const auto* cap = std::get_if<Capacitor>(&device);
+    if (cap == nullptr) continue;
+    const double v = map.voltage(x, cap->a) - map.voltage(x, cap->b);
+    const double v_prev =
+        map.voltage(x_prev, cap->a) - map.voltage(x_prev, cap->b);
+    double i = 0.0;
+    if (options.dt > 0.0) {
+      if (options.integrator == Integrator::kTrapezoidal &&
+          options.cap_i_prev != nullptr) {
+        i = 2.0 * cap->farads / options.dt * (v - v_prev) -
+            (*options.cap_i_prev)[cap_index];
+      } else {
+        i = cap->farads / options.dt * (v - v_prev);
+      }
+    }
+    currents.push_back(i);
+    ++cap_index;
+  }
+  return currents;
+}
+
+}  // namespace dot::spice

@@ -1,0 +1,95 @@
+// Modified nodal analysis: maps a netlist onto the linear(ized) system
+// A*x = b, where x holds node voltages plus branch currents of voltage
+// sources and VCVS elements.
+//
+// Nonlinear devices (MOSFETs, switches) are stamped as Newton companion
+// models linearized around a candidate solution; the DC and transient
+// engines iterate assemble/solve to convergence.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+#include "spice/netlist.hpp"
+
+namespace dot::spice {
+
+/// What the assembly treats capacitors as.
+enum class AnalysisMode {
+  kDc,         ///< Capacitors open (their nodes still get gshunt).
+  kTransient,  ///< Capacitors become integration companions.
+};
+
+/// Time integration method for transient companions.
+enum class Integrator {
+  kBackwardEuler,  ///< Robust, strongly damped (first order).
+  kTrapezoidal,    ///< Second order; needs the previous capacitor
+                   ///< currents (supplied via StampOptions::cap_i_prev).
+};
+
+/// Options shared by assembly-based solvers.
+struct StampOptions {
+  double gshunt = 1e-12;      ///< Conductance from every node to ground.
+  double source_scale = 1.0;  ///< Homotopy scale for independent sources.
+  double time = 0.0;          ///< Evaluation time for source waveforms.
+  AnalysisMode mode = AnalysisMode::kDc;
+  double dt = 0.0;            ///< Transient step size (mode == kTransient).
+  Integrator integrator = Integrator::kBackwardEuler;
+  /// Trapezoidal only: capacitor currents at the previous time point,
+  /// ordered by capacitor occurrence in the device list.
+  const std::vector<double>* cap_i_prev = nullptr;
+};
+
+/// Index map from netlist entities to unknown-vector slots. The map is
+/// value-semantic so results can outlive the netlist they came from.
+class MnaMap {
+ public:
+  MnaMap() = default;
+  explicit MnaMap(const Netlist& netlist);
+
+  std::size_t size() const { return size_; }
+  std::size_t node_unknowns() const { return node_unknowns_; }
+
+  /// Unknown index of a node voltage; -1 for ground.
+  int node_index(NodeId node) const;
+
+  /// Unknown index of the branch current of a voltage source / VCVS;
+  /// throws for unknown names.
+  std::size_t branch_index(const std::string& source_name) const;
+  bool has_branch(const std::string& source_name) const;
+
+  /// Node voltage from a solution vector (0 for ground).
+  double voltage(const std::vector<double>& x, NodeId node) const;
+
+  /// Branch current (positive = current flowing pos -> neg inside the
+  /// source, i.e. the current delivered into the external circuit at the
+  /// negative terminal).
+  double branch_current(const std::vector<double>& x,
+                        const std::string& source_name) const;
+
+ private:
+  std::size_t size_ = 0;
+  std::size_t node_unknowns_ = 0;
+  std::unordered_map<std::string, std::size_t> branch_;
+};
+
+/// Assembles the Newton-linearized MNA system around candidate solution
+/// x (same layout as the unknown vector). For transient mode,
+/// `x_prev_step` is the converged solution of the previous time point.
+void assemble_mna(const Netlist& netlist, const MnaMap& map,
+                  const std::vector<double>& x,
+                  const std::vector<double>& x_prev_step,
+                  const StampOptions& options, numeric::Matrix& a,
+                  std::vector<double>& b);
+
+/// Capacitor currents at a solved time point (same order as the
+/// capacitors appear in the device list), for trapezoidal state.
+std::vector<double> capacitor_currents(const Netlist& netlist,
+                                       const MnaMap& map,
+                                       const std::vector<double>& x,
+                                       const std::vector<double>& x_prev,
+                                       const StampOptions& options);
+
+}  // namespace dot::spice

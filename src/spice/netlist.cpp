@@ -1,0 +1,265 @@
+#include "spice/netlist.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dot::spice {
+
+Netlist::Netlist() {
+  node_names_.push_back("0");
+  node_ids_.emplace("0", kGround);
+  node_ids_.emplace("gnd", kGround);
+}
+
+NodeId Netlist::node(const std::string& name) {
+  auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  node_ids_.emplace(name, id);
+  return id;
+}
+
+std::optional<NodeId> Netlist::find_node(const std::string& name) const {
+  auto it = node_ids_.find(name);
+  if (it == node_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+NodeId Netlist::make_internal_node(const std::string& hint) {
+  for (;;) {
+    const std::string candidate =
+        "_" + hint + "#" + std::to_string(internal_counter_++);
+    if (!node_ids_.count(candidate)) return node(candidate);
+  }
+}
+
+const std::string& Netlist::node_name(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= node_names_.size())
+    throw util::InvalidInputError("node_name: bad node id");
+  return node_names_[static_cast<std::size_t>(id)];
+}
+
+void Netlist::check_fresh_name(const std::string& name) const {
+  if (name.empty())
+    throw util::InvalidInputError("device name must not be empty");
+  if (device_index_.count(name))
+    throw util::InvalidInputError("duplicate device name: " + name);
+}
+
+void Netlist::add_resistor(const std::string& name, const std::string& a,
+                           const std::string& b, double ohms) {
+  if (ohms <= 0.0)
+    throw util::InvalidInputError("resistor " + name +
+                                  ": resistance must be positive");
+  add_device(Resistor{name, node(a), node(b), ohms});
+}
+
+void Netlist::add_capacitor(const std::string& name, const std::string& a,
+                            const std::string& b, double farads) {
+  if (farads <= 0.0)
+    throw util::InvalidInputError("capacitor " + name +
+                                  ": capacitance must be positive");
+  add_device(Capacitor{name, node(a), node(b), farads});
+}
+
+void Netlist::add_vsource(const std::string& name, const std::string& pos,
+                          const std::string& neg, SourceSpec spec) {
+  add_device(VoltageSource{name, node(pos), node(neg), std::move(spec)});
+}
+
+void Netlist::add_isource(const std::string& name, const std::string& pos,
+                          const std::string& neg, SourceSpec spec) {
+  add_device(CurrentSource{name, node(pos), node(neg), std::move(spec)});
+}
+
+void Netlist::add_mosfet(const std::string& name, MosType type,
+                         const std::string& drain, const std::string& gate,
+                         const std::string& source, const std::string& bulk,
+                         double w, double l, const MosModel& model) {
+  if (w <= 0.0 || l <= 0.0)
+    throw util::InvalidInputError("mosfet " + name +
+                                  ": W and L must be positive");
+  add_device(Mosfet{name, type, node(drain), node(gate), node(source),
+                    node(bulk), w, l, model});
+}
+
+void Netlist::add_vcvs(const std::string& name, const std::string& p,
+                       const std::string& n, const std::string& cp,
+                       const std::string& cn, double gain) {
+  add_device(Vcvs{name, node(p), node(n), node(cp), node(cn), gain});
+}
+
+void Netlist::add_vccs(const std::string& name, const std::string& p,
+                       const std::string& n, const std::string& cp,
+                       const std::string& cn, double gm) {
+  add_device(Vccs{name, node(p), node(n), node(cp), node(cn), gm});
+}
+
+void Netlist::add_inductor(const std::string& name, const std::string& a,
+                           const std::string& b, double henries) {
+  if (henries <= 0.0)
+    throw util::InvalidInputError("inductor " + name +
+                                  ": inductance must be positive");
+  add_device(Inductor{name, node(a), node(b), henries});
+}
+
+void Netlist::add_diode(const std::string& name, const std::string& anode,
+                        const std::string& cathode, double i_sat,
+                        double ideality) {
+  if (i_sat <= 0.0 || ideality <= 0.0)
+    throw util::InvalidInputError("diode " + name + ": bad parameters");
+  add_device(Diode{name, node(anode), node(cathode), i_sat, ideality});
+}
+
+void Netlist::add_switch(const Switch& sw_template, const std::string& name,
+                         const std::string& a, const std::string& b,
+                         const std::string& ctrl_p, const std::string& ctrl_n) {
+  Switch sw = sw_template;
+  sw.name = name;
+  sw.a = node(a);
+  sw.b = node(b);
+  sw.ctrl_p = node(ctrl_p);
+  sw.ctrl_n = node(ctrl_n);
+  add_device(sw);
+}
+
+void Netlist::add_device(Device device) {
+  const std::string& name = device_name(device);
+  check_fresh_name(name);
+  for (NodeId n : terminal_nodes(device)) {
+    if (n < 0 || static_cast<std::size_t>(n) >= node_names_.size())
+      throw util::InvalidInputError("device " + name + ": unknown node id");
+  }
+  device_index_.emplace(name, devices_.size());
+  devices_.push_back(std::move(device));
+}
+
+bool Netlist::remove_device(const std::string& name) {
+  auto it = device_index_.find(name);
+  if (it == device_index_.end()) return false;
+  const std::size_t index = it->second;
+  devices_.erase(devices_.begin() + static_cast<std::ptrdiff_t>(index));
+  device_index_.erase(it);
+  // Reindex the tail.
+  for (auto& entry : device_index_)
+    if (entry.second > index) --entry.second;
+  return true;
+}
+
+const Device* Netlist::find_device(const std::string& name) const {
+  auto it = device_index_.find(name);
+  return it == device_index_.end() ? nullptr : &devices_[it->second];
+}
+
+Device* Netlist::find_device(const std::string& name) {
+  auto it = device_index_.find(name);
+  return it == device_index_.end() ? nullptr : &devices_[it->second];
+}
+
+std::vector<std::pair<std::size_t, int>> Netlist::terminals_on_node(
+    NodeId node) const {
+  std::vector<std::pair<std::size_t, int>> out;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const auto nodes = terminal_nodes(devices_[i]);
+    for (std::size_t t = 0; t < nodes.size(); ++t)
+      if (nodes[t] == node) out.emplace_back(i, static_cast<int>(t));
+  }
+  return out;
+}
+
+std::vector<NodeId> Netlist::terminal_nodes(const Device& device) {
+  struct Visitor {
+    std::vector<NodeId> operator()(const Resistor& d) const {
+      return {d.a, d.b};
+    }
+    std::vector<NodeId> operator()(const Capacitor& d) const {
+      return {d.a, d.b};
+    }
+    std::vector<NodeId> operator()(const VoltageSource& d) const {
+      return {d.pos, d.neg};
+    }
+    std::vector<NodeId> operator()(const CurrentSource& d) const {
+      return {d.pos, d.neg};
+    }
+    std::vector<NodeId> operator()(const Mosfet& d) const {
+      return {d.drain, d.gate, d.source, d.bulk};
+    }
+    std::vector<NodeId> operator()(const Vcvs& d) const {
+      return {d.p, d.n, d.cp, d.cn};
+    }
+    std::vector<NodeId> operator()(const Switch& d) const {
+      return {d.a, d.b, d.ctrl_p, d.ctrl_n};
+    }
+    std::vector<NodeId> operator()(const Vccs& d) const {
+      return {d.p, d.n, d.cp, d.cn};
+    }
+    std::vector<NodeId> operator()(const Inductor& d) const {
+      return {d.a, d.b};
+    }
+    std::vector<NodeId> operator()(const Diode& d) const {
+      return {d.anode, d.cathode};
+    }
+  };
+  return std::visit(Visitor{}, device);
+}
+
+void Netlist::set_terminal_node(Device& device, int index, NodeId node) {
+  auto assign = [index, node](std::initializer_list<NodeId*> slots) {
+    if (index < 0 || static_cast<std::size_t>(index) >= slots.size())
+      throw util::InvalidInputError("set_terminal_node: bad terminal index");
+    **(slots.begin() + index) = node;
+  };
+  std::visit(
+      [&](auto& d) {
+        using T = std::decay_t<decltype(d)>;
+        if constexpr (std::is_same_v<T, Resistor> ||
+                      std::is_same_v<T, Capacitor>) {
+          assign({&d.a, &d.b});
+        } else if constexpr (std::is_same_v<T, VoltageSource> ||
+                             std::is_same_v<T, CurrentSource>) {
+          assign({&d.pos, &d.neg});
+        } else if constexpr (std::is_same_v<T, Mosfet>) {
+          assign({&d.drain, &d.gate, &d.source, &d.bulk});
+        } else if constexpr (std::is_same_v<T, Vcvs> ||
+                             std::is_same_v<T, Vccs>) {
+          assign({&d.p, &d.n, &d.cp, &d.cn});
+        } else if constexpr (std::is_same_v<T, Inductor>) {
+          assign({&d.a, &d.b});
+        } else if constexpr (std::is_same_v<T, Diode>) {
+          assign({&d.anode, &d.cathode});
+        } else {
+          assign({&d.a, &d.b, &d.ctrl_p, &d.ctrl_n});
+        }
+      },
+      device);
+}
+
+bool Netlist::fully_connected() const {
+  if (node_names_.size() <= 1) return true;
+  std::vector<char> reached(node_names_.size(), 0);
+  reached[kGround] = 1;
+  // Breadth-first flood over device terminal groups.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& device : devices_) {
+      const auto nodes = terminal_nodes(device);
+      bool any = false;
+      for (NodeId n : nodes) any = any || reached[static_cast<std::size_t>(n)];
+      if (!any) continue;
+      for (NodeId n : nodes) {
+        auto& flag = reached[static_cast<std::size_t>(n)];
+        if (!flag) {
+          flag = 1;
+          changed = true;
+        }
+      }
+    }
+  }
+  return std::all_of(reached.begin(), reached.end(),
+                     [](char c) { return c != 0; });
+}
+
+}  // namespace dot::spice

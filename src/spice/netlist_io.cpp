@@ -1,0 +1,355 @@
+#include "spice/netlist_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dot::spice {
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string source_text(const SourceSpec& spec) { return spec.deck_text(); }
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  int depth = 0;
+  for (char c : line) {
+    if (c == '(') {
+      ++depth;
+      current += c;
+    } else if (c == ')') {
+      --depth;
+      current += c;
+    } else if ((c == ' ' || c == '\t') && depth == 0) {
+      if (!current.empty()) tokens.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+/// Splits "PULSE(a b c)" into name "pulse" and inner tokens.
+bool split_call(const std::string& token, std::string* name,
+                std::vector<std::string>* args) {
+  const auto open = token.find('(');
+  if (open == std::string::npos || token.back() != ')') return false;
+  *name = lower(token.substr(0, open));
+  const std::string inner = token.substr(open + 1, token.size() - open - 2);
+  std::istringstream is(inner);
+  std::string t;
+  args->clear();
+  while (is >> t) args->push_back(t);
+  return true;
+}
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  throw util::InvalidInputError("deck line " + std::to_string(line_no) +
+                                ": " + what);
+}
+
+double number_or_fail(const std::string& token, int line_no) {
+  try {
+    return parse_si_number(token);
+  } catch (const util::InvalidInputError&) {
+    fail(line_no, "bad number '" + token + "'");
+  }
+}
+
+/// KEY=value parameter, SI-suffixed value.
+bool parse_kv(const std::string& token, std::string* key, double* value,
+              int line_no) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos) return false;
+  *key = lower(token.substr(0, eq));
+  *value = number_or_fail(token.substr(eq + 1), line_no);
+  return true;
+}
+
+}  // namespace
+
+double parse_si_number(const std::string& token) {
+  if (token.empty()) throw util::InvalidInputError("empty number");
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (...) {
+    throw util::InvalidInputError("bad number: " + token);
+  }
+  const std::string suffix = lower(token.substr(consumed));
+  if (suffix.empty()) return value;
+  if (suffix == "meg") return value * 1e6;
+  if (suffix.size() >= 1) {
+    switch (suffix[0]) {
+      case 'f': return value * 1e-15;
+      case 'p': return value * 1e-12;
+      case 'n': return value * 1e-9;
+      case 'u': return value * 1e-6;
+      case 'm': return value * 1e-3;
+      case 'k': return value * 1e3;
+      case 'g': return value * 1e9;
+      default: break;
+    }
+  }
+  throw util::InvalidInputError("bad number suffix: " + token);
+}
+
+std::string to_deck(const Netlist& netlist) {
+  std::ostringstream os;
+  os << "* dotest netlist (" << netlist.devices().size() << " devices)\n";
+  for (const auto& device : netlist.devices()) {
+    std::visit(
+        [&](const auto& d) {
+          using T = std::decay_t<decltype(d)>;
+          auto node = [&](NodeId id) { return netlist.node_name(id); };
+          if constexpr (std::is_same_v<T, Resistor>) {
+            os << d.name << ' ' << node(d.a) << ' ' << node(d.b) << ' '
+               << num(d.ohms) << '\n';
+          } else if constexpr (std::is_same_v<T, Capacitor>) {
+            os << d.name << ' ' << node(d.a) << ' ' << node(d.b) << ' '
+               << num(d.farads) << '\n';
+          } else if constexpr (std::is_same_v<T, VoltageSource>) {
+            os << d.name << ' ' << node(d.pos) << ' ' << node(d.neg) << ' '
+               << source_text(d.spec) << '\n';
+          } else if constexpr (std::is_same_v<T, CurrentSource>) {
+            os << d.name << ' ' << node(d.pos) << ' ' << node(d.neg) << ' '
+               << source_text(d.spec) << '\n';
+          } else if constexpr (std::is_same_v<T, Mosfet>) {
+            os << d.name << ' ' << node(d.drain) << ' ' << node(d.gate)
+               << ' ' << node(d.source) << ' ' << node(d.bulk) << ' '
+               << (d.type == MosType::kNmos ? "NMOS" : "PMOS")
+               << " W=" << num(d.w) << " L=" << num(d.l)
+               << " VT0=" << num(d.model.vt0) << " KP=" << num(d.model.kp)
+               << " LAMBDA=" << num(d.model.lambda)
+               << " GAMMA=" << num(d.model.gamma)
+               << " PHI=" << num(d.model.phi)
+               << " N=" << num(d.model.subthreshold_n)
+               << " ILEAK=" << num(d.model.i_leak0) << '\n';
+          } else if constexpr (std::is_same_v<T, Vcvs>) {
+            os << d.name << ' ' << node(d.p) << ' ' << node(d.n) << ' '
+               << node(d.cp) << ' ' << node(d.cn) << ' ' << num(d.gain)
+               << '\n';
+          } else if constexpr (std::is_same_v<T, Vccs>) {
+            os << d.name << ' ' << node(d.p) << ' ' << node(d.n) << ' '
+               << node(d.cp) << ' ' << node(d.cn) << ' ' << num(d.gm)
+               << '\n';
+          } else if constexpr (std::is_same_v<T, Inductor>) {
+            os << d.name << ' ' << node(d.a) << ' ' << node(d.b) << ' '
+               << num(d.henries) << '\n';
+          } else if constexpr (std::is_same_v<T, Diode>) {
+            os << d.name << ' ' << node(d.anode) << ' ' << node(d.cathode)
+               << " IS=" << num(d.i_sat) << " N=" << num(d.ideality)
+               << '\n';
+          } else if constexpr (std::is_same_v<T, Switch>) {
+            os << d.name << ' ' << node(d.a) << ' ' << node(d.b) << ' '
+               << node(d.ctrl_p) << ' ' << node(d.ctrl_n)
+               << " VON=" << num(d.v_on) << " VOFF=" << num(d.v_off)
+               << " RON=" << num(d.r_on) << " ROFF=" << num(d.r_off)
+               << '\n';
+          }
+        },
+        device);
+  }
+  return os.str();
+}
+
+Netlist parse_deck(const std::string& deck) {
+  Netlist netlist;
+  std::istringstream is(deck);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    const auto star = line.find('*');
+    if (star != std::string::npos) line = line.substr(0, star);
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& name = tokens[0];
+    const char kind = static_cast<char>(std::toupper(name[0]));
+
+    auto need = [&](std::size_t n) {
+      if (tokens.size() < n) fail(line_no, "too few fields");
+    };
+
+    switch (kind) {
+      case 'R': {
+        need(4);
+        netlist.add_resistor(name, tokens[1], tokens[2],
+                             number_or_fail(tokens[3], line_no));
+        break;
+      }
+      case 'C': {
+        need(4);
+        netlist.add_capacitor(name, tokens[1], tokens[2],
+                              number_or_fail(tokens[3], line_no));
+        break;
+      }
+      case 'V':
+      case 'I': {
+        need(4);
+        SourceSpec spec;
+        const std::string kw = lower(tokens[3]);
+        std::string call;
+        std::vector<std::string> args;
+        if (kw == "dc") {
+          need(5);
+          spec = SourceSpec::dc(number_or_fail(tokens[4], line_no));
+        } else if (split_call(tokens[3], &call, &args)) {
+          auto arg = [&](std::size_t i) {
+            if (i >= args.size()) fail(line_no, "too few source arguments");
+            return number_or_fail(args[i], line_no);
+          };
+          if (call == "pulse") {
+            PulseParams p;
+            p.initial = arg(0);
+            p.pulsed = arg(1);
+            p.delay = arg(2);
+            p.rise = arg(3);
+            p.fall = arg(4);
+            p.width = arg(5);
+            p.period = args.size() > 6 ? arg(6) : 0.0;
+            spec = SourceSpec::pulse(p);
+          } else if (call == "sin") {
+            SineParams p;
+            p.offset = arg(0);
+            p.amplitude = arg(1);
+            p.freq_hz = arg(2);
+            p.delay = args.size() > 3 ? arg(3) : 0.0;
+            spec = SourceSpec::sine(p);
+          } else if (call == "tri") {
+            TriangleParams p;
+            p.low = arg(0);
+            p.high = arg(1);
+            p.period = arg(2);
+            p.delay = args.size() > 3 ? arg(3) : 0.0;
+            spec = SourceSpec::triangle(p);
+          } else if (call == "pwl") {
+            if (args.size() < 2 || args.size() % 2 != 0)
+              fail(line_no, "PWL needs time/value pairs");
+            std::vector<PwlPoint> points;
+            for (std::size_t i = 0; i + 1 < args.size(); i += 2)
+              points.push_back({number_or_fail(args[i], line_no),
+                                number_or_fail(args[i + 1], line_no)});
+            spec = SourceSpec::pwl(std::move(points));
+          } else {
+            fail(line_no, "unknown source shape " + call);
+          }
+        } else {
+          fail(line_no, "expected DC or SHAPE(...)");
+        }
+        if (kind == 'V')
+          netlist.add_vsource(name, tokens[1], tokens[2], std::move(spec));
+        else
+          netlist.add_isource(name, tokens[1], tokens[2], std::move(spec));
+        break;
+      }
+      case 'M': {
+        need(7);
+        const std::string type_token = lower(tokens[5]);
+        MosType type;
+        if (type_token == "nmos")
+          type = MosType::kNmos;
+        else if (type_token == "pmos")
+          type = MosType::kPmos;
+        else
+          fail(line_no, "expected NMOS or PMOS");
+        MosModel model;
+        double w = 1e-6, l = 1e-6;
+        for (std::size_t i = 6; i < tokens.size(); ++i) {
+          std::string key;
+          double value = 0.0;
+          if (!parse_kv(tokens[i], &key, &value, line_no))
+            fail(line_no, "expected KEY=value, got " + tokens[i]);
+          if (key == "w") w = value;
+          else if (key == "l") l = value;
+          else if (key == "vt0") model.vt0 = value;
+          else if (key == "kp") model.kp = value;
+          else if (key == "lambda") model.lambda = value;
+          else if (key == "gamma") model.gamma = value;
+          else if (key == "phi") model.phi = value;
+          else if (key == "n") model.subthreshold_n = value;
+          else if (key == "ileak") model.i_leak0 = value;
+          else fail(line_no, "unknown MOS parameter " + key);
+        }
+        netlist.add_mosfet(name, type, tokens[1], tokens[2], tokens[3],
+                           tokens[4], w, l, model);
+        break;
+      }
+      case 'E': {
+        need(6);
+        netlist.add_vcvs(name, tokens[1], tokens[2], tokens[3], tokens[4],
+                         number_or_fail(tokens[5], line_no));
+        break;
+      }
+      case 'G': {
+        need(6);
+        netlist.add_vccs(name, tokens[1], tokens[2], tokens[3], tokens[4],
+                         number_or_fail(tokens[5], line_no));
+        break;
+      }
+      case 'L': {
+        need(4);
+        netlist.add_inductor(name, tokens[1], tokens[2],
+                             number_or_fail(tokens[3], line_no));
+        break;
+      }
+      case 'D': {
+        need(3);
+        double i_sat = 1e-14, ideality = 1.0;
+        for (std::size_t i = 3; i < tokens.size(); ++i) {
+          std::string key;
+          double value = 0.0;
+          if (!parse_kv(tokens[i], &key, &value, line_no))
+            fail(line_no, "expected KEY=value, got " + tokens[i]);
+          if (key == "is") i_sat = value;
+          else if (key == "n") ideality = value;
+          else fail(line_no, "unknown diode parameter " + key);
+        }
+        netlist.add_diode(name, tokens[1], tokens[2], i_sat, ideality);
+        break;
+      }
+      case 'S': {
+        need(6);
+        Switch sw;
+        for (std::size_t i = 5; i < tokens.size(); ++i) {
+          std::string key;
+          double value = 0.0;
+          if (!parse_kv(tokens[i], &key, &value, line_no))
+            fail(line_no, "expected KEY=value, got " + tokens[i]);
+          if (key == "von") sw.v_on = value;
+          else if (key == "voff") sw.v_off = value;
+          else if (key == "ron") sw.r_on = value;
+          else if (key == "roff") sw.r_off = value;
+          else fail(line_no, "unknown switch parameter " + key);
+        }
+        netlist.add_switch(sw, name, tokens[1], tokens[2], tokens[3],
+                           tokens[4]);
+        break;
+      }
+      default:
+        fail(line_no, std::string("unknown device type '") + kind + "'");
+    }
+  }
+  return netlist;
+}
+
+}  // namespace dot::spice

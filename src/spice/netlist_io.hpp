@@ -1,0 +1,41 @@
+// SPICE-style netlist text I/O: a human-readable deck format for
+// debugging, logging faulty netlists, and importing hand-written
+// circuits. The writer and parser round-trip every device the simulator
+// supports.
+//
+// Format (one device per line, '*' comments, case-insensitive units):
+//   R<name> a b <ohms>
+//   C<name> a b <farads>
+//   V<name> p n DC <v> | PULSE(v0 v1 delay rise fall width period)
+//                      | SIN(offset ampl freq delay)
+//                      | TRI(lo hi period delay)
+//   I<name> p n DC <amps>
+//   M<name> d g s b NMOS|PMOS W=<m> L=<m> [VT0= KP= LAMBDA= GAMMA= PHI=
+//                                          N= ILEAK=]
+//   E<name> p n cp cn <gain>
+//   G<name> p n cp cn <gm>
+//   L<name> a b <henries>
+//   D<name> anode cathode [IS=<amps> N=<ideality>]
+//   S<name> a b cp cn VON=<v> VOFF=<v> RON=<ohms> ROFF=<ohms>
+// Numbers accept SI suffixes: f p n u m k meg g.
+#pragma once
+
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace dot::spice {
+
+/// Serializes the netlist as a deck. PWL sources are emitted as PWL(...)
+/// pairs.
+std::string to_deck(const Netlist& netlist);
+
+/// Parses a deck; throws util::InvalidInputError with a line number on
+/// any syntax problem.
+Netlist parse_deck(const std::string& deck);
+
+/// Parses one number with an optional SI suffix ("4u" -> 4e-6,
+/// "2.2k" -> 2200, "1meg" -> 1e6). Throws on garbage.
+double parse_si_number(const std::string& token);
+
+}  // namespace dot::spice

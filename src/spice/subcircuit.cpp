@@ -1,0 +1,38 @@
+#include "spice/subcircuit.hpp"
+
+#include "util/error.hpp"
+
+namespace dot::spice {
+
+void instantiate(Netlist& into, const Netlist& sub, const std::string& prefix,
+                 const std::map<std::string, std::string>& pin_map) {
+  for (const auto& [pin, target] : pin_map) {
+    (void)target;
+    if (!sub.find_node(pin))
+      throw util::InvalidInputError("instantiate: subcircuit has no node '" +
+                                    pin + "'");
+  }
+
+  // Node translation: pins map to the caller's nodes, internals get the
+  // prefix, ground stays put.
+  auto translate = [&](NodeId id) -> NodeId {
+    if (id == kGround) return kGround;
+    const std::string& name = sub.node_name(id);
+    auto it = pin_map.find(name);
+    if (it != pin_map.end()) return into.node(it->second);
+    return into.node(prefix + "." + name);
+  };
+
+  for (const auto& device : sub.devices()) {
+    Device copy = device;
+    // Rename, then rebind every terminal through the translation.
+    std::visit([&](auto& d) { d.name = prefix + "." + d.name; }, copy);
+    const auto nodes = Netlist::terminal_nodes(device);
+    for (std::size_t t = 0; t < nodes.size(); ++t)
+      Netlist::set_terminal_node(copy, static_cast<int>(t),
+                                 translate(nodes[t]));
+    into.add_device(std::move(copy));
+  }
+}
+
+}  // namespace dot::spice

@@ -1,0 +1,24 @@
+// Hierarchical composition: instantiate one netlist inside another with
+// a name prefix and a pin-to-node mapping -- how the case-study ADC
+// assembles 2^n comparators against one ladder, and how any user builds
+// arrays of macro cells.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace dot::spice {
+
+/// Copies every device of `sub` into `into`:
+///  - device names become "<prefix>.<name>";
+///  - nodes listed in `pin_map` connect to the mapped node of `into`;
+///  - every other non-ground node becomes "<prefix>.<node>";
+///  - ground stays ground.
+/// Throws InvalidInputError on name collisions or when `pin_map` names a
+/// node absent from `sub`.
+void instantiate(Netlist& into, const Netlist& sub, const std::string& prefix,
+                 const std::map<std::string, std::string>& pin_map);
+
+}  // namespace dot::spice

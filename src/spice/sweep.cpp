@@ -1,0 +1,167 @@
+#include "spice/sweep.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace dot::spice {
+
+DcSweepResult::DcSweepResult(MnaMap map, std::vector<std::string> node_names)
+    : map_(std::move(map)), node_names_(std::move(node_names)) {}
+
+void DcSweepResult::append(double sweep_value, std::vector<double> solution) {
+  values_.push_back(sweep_value);
+  solutions_.push_back(std::move(solution));
+}
+
+NodeId DcSweepResult::node_id(const std::string& node) const {
+  if (node == "0" || node == "gnd") return kGround;
+  for (std::size_t i = 0; i < node_names_.size(); ++i)
+    if (node_names_[i] == node) return static_cast<NodeId>(i);
+  throw util::InvalidInputError("DcSweepResult: unknown node " + node);
+}
+
+double DcSweepResult::voltage(std::size_t i, const std::string& node) const {
+  return map_.voltage(solutions_[i], node_id(node));
+}
+
+double DcSweepResult::branch_current(std::size_t i,
+                                     const std::string& source) const {
+  return map_.branch_current(solutions_[i], source);
+}
+
+double DcSweepResult::crossing(const std::string& node,
+                               double threshold) const {
+  for (std::size_t i = 1; i < values_.size(); ++i) {
+    const double v0 = voltage(i - 1, node);
+    const double v1 = voltage(i, node);
+    if ((v0 - threshold) * (v1 - threshold) <= 0.0 && v0 != v1) {
+      const double frac = (threshold - v0) / (v1 - v0);
+      return values_[i - 1] + frac * (values_[i] - values_[i - 1]);
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+DcSweepResult dc_sweep(const Netlist& netlist, const DcSweepOptions& options) {
+  if (options.step <= 0.0 || options.to < options.from)
+    throw util::InvalidInputError("dc_sweep: bad range");
+  Netlist n = netlist;
+  auto* device = n.find_device(options.source);
+  if (device == nullptr || !std::holds_alternative<VoltageSource>(*device))
+    throw util::InvalidInputError("dc_sweep: no voltage source named " +
+                                  options.source);
+
+  const MnaMap map(n);
+  std::vector<std::string> node_names;
+  for (std::size_t i = 0; i < n.node_count(); ++i)
+    node_names.push_back(n.node_name(static_cast<NodeId>(i)));
+  DcSweepResult result(map, std::move(node_names));
+
+  const std::vector<double> no_prev(map.size(), 0.0);
+  std::vector<double> guess;
+  for (double v = options.from; v <= options.to + options.step / 2;
+       v += options.step) {
+    std::get<VoltageSource>(*n.find_device(options.source)).spec =
+        SourceSpec::dc(v);
+    StampOptions stamp;
+    stamp.mode = AnalysisMode::kDc;
+    stamp.gshunt = options.dc.gshunt;
+    DcResult point;
+    if (!guess.empty()) {
+      // Warm start from the previous sweep point.
+      point = newton_solve(n, map, guess, stamp, options.dc, no_prev);
+    }
+    if (guess.empty() || !point.converged) {
+      point = dc_operating_point(n, map, options.dc);
+    }
+    guess = point.x;
+    result.append(v, std::move(point.x));
+  }
+  return result;
+}
+
+std::vector<DeviceOp> operating_point_report(const Netlist& netlist,
+                                             const MnaMap& map,
+                                             const std::vector<double>& x) {
+  std::vector<DeviceOp> report;
+  auto v = [&](NodeId id) { return map.voltage(x, id); };
+  for (const auto& device : netlist.devices()) {
+    DeviceOp op;
+    std::visit(
+        [&](const auto& d) {
+          using T = std::decay_t<decltype(d)>;
+          op.name = d.name;
+          std::ostringstream detail;
+          if constexpr (std::is_same_v<T, Resistor>) {
+            op.kind = "resistor";
+            op.current = (v(d.a) - v(d.b)) / d.ohms;
+            op.power = op.current * op.current * d.ohms;
+            detail << "v=" << v(d.a) - v(d.b);
+          } else if constexpr (std::is_same_v<T, Capacitor>) {
+            op.kind = "capacitor";
+            detail << "v=" << v(d.a) - v(d.b);
+          } else if constexpr (std::is_same_v<T, VoltageSource>) {
+            op.kind = "vsource";
+            op.current = map.branch_current(x, d.name);
+            op.power = -op.current * (v(d.pos) - v(d.neg));
+            detail << "v=" << v(d.pos) - v(d.neg);
+          } else if constexpr (std::is_same_v<T, CurrentSource>) {
+            op.kind = "isource";
+            op.current = d.spec.dc_value();
+            op.power = op.current * (v(d.pos) - v(d.neg));
+          } else if constexpr (std::is_same_v<T, Inductor>) {
+            op.kind = "inductor";
+            op.current = map.branch_current(x, d.name);
+          } else if constexpr (std::is_same_v<T, Diode>) {
+            op.kind = "diode";
+            const double vd = v(d.anode) - v(d.cathode);
+            op.current = eval_diode(d, vd).id;
+            op.power = op.current * vd;
+            detail << "vd=" << vd;
+          } else if constexpr (std::is_same_v<T, Mosfet>) {
+            op.kind = "mosfet";
+            const double sign = d.type == MosType::kNmos ? 1.0 : -1.0;
+            const double vgs = sign * (v(d.gate) - v(d.source));
+            const double vds = sign * (v(d.drain) - v(d.source));
+            const double vbs = sign * (v(d.bulk) - v(d.source));
+            const auto mos = eval_mos(d.model, d.w / d.l, vgs, vds, vbs);
+            op.current = sign * mos.ids;
+            op.power = std::fabs(mos.ids * vds);
+            const char* region =
+                vgs - d.model.vt0 <= 0.0
+                    ? "cutoff"
+                    : (vds < vgs - d.model.vt0 ? "triode" : "saturation");
+            detail << "vgs=" << vgs << " vds=" << vds << " gm=" << mos.gm
+                   << " " << region;
+          } else if constexpr (std::is_same_v<T, Vcvs>) {
+            op.kind = "vcvs";
+            op.current = map.branch_current(x, d.name);
+          } else if constexpr (std::is_same_v<T, Vccs>) {
+            op.kind = "vccs";
+            op.current = d.gm * (v(d.cp) - v(d.cn));
+          } else if constexpr (std::is_same_v<T, Switch>) {
+            op.kind = "switch";
+            detail << "vctrl=" << v(d.ctrl_p) - v(d.ctrl_n);
+          }
+          op.detail = detail.str();
+        },
+        device);
+    report.push_back(std::move(op));
+  }
+  return report;
+}
+
+std::string op_report_text(const std::vector<DeviceOp>& report) {
+  util::TextTable table({"device", "kind", "current", "power", "bias"});
+  for (const auto& op : report) {
+    table.add_row({op.name, op.kind, util::si(op.current, "A"),
+                   util::si(op.power, "W"), op.detail});
+  }
+  return table.str();
+}
+
+}  // namespace dot::spice

@@ -1,0 +1,67 @@
+// DC sweep and operating-point reporting: the workhorse debug views of
+// any circuit simulator -- transfer curves (e.g. a comparator or
+// inverter threshold) and per-device bias summaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/dc.hpp"
+#include "spice/netlist.hpp"
+
+namespace dot::spice {
+
+struct DcSweepOptions {
+  std::string source;     ///< V source whose DC value is swept.
+  double from = 0.0;
+  double to = 1.0;
+  double step = 0.1;
+  DcOptions dc;
+};
+
+/// Transfer-curve result: one solved operating point per sweep value.
+class DcSweepResult {
+ public:
+  DcSweepResult(MnaMap map, std::vector<std::string> node_names);
+
+  void append(double sweep_value, std::vector<double> solution);
+
+  std::size_t points() const { return values_.size(); }
+  double sweep_value(std::size_t i) const { return values_[i]; }
+  double voltage(std::size_t i, const std::string& node) const;
+  double branch_current(std::size_t i, const std::string& source) const;
+
+  /// First sweep value where v(node) crosses `threshold` (linear
+  /// interpolation); NaN when it never does.
+  double crossing(const std::string& node, double threshold) const;
+
+ private:
+  NodeId node_id(const std::string& node) const;
+  MnaMap map_;
+  std::vector<std::string> node_names_;
+  std::vector<double> values_;
+  std::vector<std::vector<double>> solutions_;
+};
+
+/// Sweeps the named source (its waveform is replaced by DC values).
+/// Each point warm-starts from the previous solution.
+DcSweepResult dc_sweep(const Netlist& netlist, const DcSweepOptions& options);
+
+/// One device's operating-point record.
+struct DeviceOp {
+  std::string name;
+  std::string kind;     ///< "resistor", "mosfet", ...
+  double current = 0.0; ///< Principal branch current [A].
+  double power = 0.0;   ///< Dissipated power [W].
+  std::string detail;   ///< Kind-specific bias summary.
+};
+
+/// Per-device bias table at a solved operating point.
+std::vector<DeviceOp> operating_point_report(const Netlist& netlist,
+                                             const MnaMap& map,
+                                             const std::vector<double>& x);
+
+/// Renders the report as a text table.
+std::string op_report_text(const std::vector<DeviceOp>& report);
+
+}  // namespace dot::spice

@@ -1,0 +1,132 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dot::spice {
+
+TranResult::TranResult(MnaMap map, std::vector<std::string> node_names)
+    : map_(std::move(map)), node_names_(std::move(node_names)) {}
+
+void TranResult::append(double time, std::vector<double> state) {
+  times_.push_back(time);
+  states_.push_back(std::move(state));
+}
+
+NodeId TranResult::node_id(const std::string& node) const {
+  if (node == "0" || node == "gnd") return kGround;
+  for (std::size_t i = 0; i < node_names_.size(); ++i)
+    if (node_names_[i] == node) return static_cast<NodeId>(i);
+  throw util::InvalidInputError("TranResult: unknown node " + node);
+}
+
+double TranResult::voltage(std::size_t step, const std::string& node) const {
+  return map_.voltage(states_[step], node_id(node));
+}
+
+double TranResult::current(std::size_t step, const std::string& source) const {
+  return map_.branch_current(states_[step], source);
+}
+
+std::size_t TranResult::step_before(double time) const {
+  if (times_.empty())
+    throw util::InvalidInputError("TranResult: empty result");
+  const auto it = std::upper_bound(times_.begin(), times_.end(), time);
+  if (it == times_.begin()) return 0;
+  return static_cast<std::size_t>(it - times_.begin()) - 1;
+}
+
+namespace {
+
+double interpolate(double t0, double v0, double t1, double v1, double t) {
+  if (t1 <= t0) return v1;
+  const double frac = std::clamp((t - t0) / (t1 - t0), 0.0, 1.0);
+  return v0 + frac * (v1 - v0);
+}
+
+}  // namespace
+
+double TranResult::voltage_at(double time, const std::string& node) const {
+  const std::size_t i = step_before(time);
+  if (i + 1 >= times_.size()) return voltage(times_.size() - 1, node);
+  return interpolate(times_[i], voltage(i, node), times_[i + 1],
+                     voltage(i + 1, node), time);
+}
+
+double TranResult::current_at(double time, const std::string& source) const {
+  const std::size_t i = step_before(time);
+  if (i + 1 >= times_.size()) return current(times_.size() - 1, source);
+  return interpolate(times_[i], current(i, source), times_[i + 1],
+                     current(i + 1, source), time);
+}
+
+std::vector<double> TranResult::voltage_series(const std::string& node) const {
+  std::vector<double> out(times_.size());
+  for (std::size_t i = 0; i < times_.size(); ++i) out[i] = voltage(i, node);
+  return out;
+}
+
+TranResult transient(const Netlist& netlist, const TranOptions& options) {
+  if (options.dt <= 0.0 || options.t_stop <= 0.0)
+    throw util::InvalidInputError("transient: dt and t_stop must be positive");
+
+  const MnaMap map(netlist);
+  std::vector<std::string> node_names;
+  node_names.reserve(netlist.node_count());
+  for (std::size_t i = 0; i < netlist.node_count(); ++i)
+    node_names.push_back(netlist.node_name(static_cast<NodeId>(i)));
+  TranResult result(map, std::move(node_names));
+
+  // Initial condition.
+  std::vector<double> x(map.size(), 0.0);
+  if (options.start_from_dc) {
+    DcOptions dc = options.newton;
+    dc.time = 0.0;
+    x = dc_operating_point(netlist, map, dc).x;
+  }
+  result.append(0.0, x);
+
+  double t = 0.0;
+  double dt = options.dt;
+  // Trapezoidal integration needs the capacitor currents of the previous
+  // accepted point; at t = 0 (DC) they are zero.
+  std::size_t cap_count = 0;
+  for (const auto& device : netlist.devices())
+    cap_count += std::holds_alternative<Capacitor>(device) ? 1u : 0u;
+  std::vector<double> cap_i(cap_count, 0.0);
+
+  while (t < options.t_stop - 1e-18) {
+    dt = std::min(dt, options.t_stop - t);
+    const double t_next = t + dt;
+
+    StampOptions stamp;
+    stamp.mode = AnalysisMode::kTransient;
+    stamp.dt = dt;
+    stamp.time = t_next;
+    stamp.gshunt = options.newton.gshunt;
+    stamp.integrator = options.integrator;
+    stamp.cap_i_prev = &cap_i;
+
+    DcResult step = newton_solve(netlist, map, x, stamp, options.newton, x);
+    if (!step.converged) {
+      dt /= 2.0;
+      if (dt < options.dt_min)
+        throw util::ConvergenceError(
+            "transient: step failed at t = " + std::to_string(t) +
+            " even at dt_min");
+      continue;
+    }
+    if (options.integrator == Integrator::kTrapezoidal)
+      cap_i = capacitor_currents(netlist, map, step.x, x, stamp);
+    x = std::move(step.x);
+    t = t_next;
+    result.append(t, x);
+    // Recover the step size after successful steps.
+    if (dt < options.dt) dt = std::min(options.dt, dt * 2.0);
+  }
+  return result;
+}
+
+}  // namespace dot::spice

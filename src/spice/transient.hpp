@@ -1,0 +1,72 @@
+// Transient analysis: fixed-step backward Euler with automatic step
+// halving on Newton failure. Every accepted time point stores the full
+// unknown vector, so any node voltage or source branch current can be
+// inspected after the run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/dc.hpp"
+#include "spice/mna.hpp"
+#include "spice/netlist.hpp"
+
+namespace dot::spice {
+
+struct TranOptions {
+  double t_stop = 1e-6;
+  double dt = 1e-9;
+  double dt_min = 1e-13;    ///< Give up below this step size.
+  DcOptions newton;         ///< Per-step Newton settings (time is ignored).
+  bool start_from_dc = true;  ///< Solve the t=0 operating point first.
+  /// Backward Euler (default, strongly damped -- the right choice for
+  /// regenerative latches) or trapezoidal (second order, for accuracy
+  /// studies on smooth circuits).
+  Integrator integrator = Integrator::kBackwardEuler;
+};
+
+/// Result of a transient run; indexable by node name / source name via
+/// the stored netlist metadata.
+class TranResult {
+ public:
+  TranResult(MnaMap map, std::vector<std::string> node_names);
+
+  void append(double time, std::vector<double> state);
+
+  std::size_t steps() const { return times_.size(); }
+  double time(std::size_t step) const { return times_[step]; }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& state(std::size_t step) const {
+    return states_[step];
+  }
+
+  /// Voltage of a named node at a stored step.
+  double voltage(std::size_t step, const std::string& node) const;
+  /// Branch current of a named V source at a stored step.
+  double current(std::size_t step, const std::string& source) const;
+
+  /// Linear interpolation of a node voltage at an arbitrary time.
+  double voltage_at(double time, const std::string& node) const;
+  /// Linear interpolation of a source branch current at a time.
+  double current_at(double time, const std::string& source) const;
+
+  /// Whole time series of one node.
+  std::vector<double> voltage_series(const std::string& node) const;
+
+  const MnaMap& map() const { return map_; }
+
+ private:
+  NodeId node_id(const std::string& node) const;
+  std::size_t step_before(double time) const;
+
+  MnaMap map_;
+  std::vector<std::string> node_names_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> states_;
+};
+
+/// Runs the transient simulation. Throws util::ConvergenceError when a
+/// step cannot be completed even at dt_min.
+TranResult transient(const Netlist& netlist, const TranOptions& options);
+
+}  // namespace dot::spice

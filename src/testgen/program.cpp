@@ -1,0 +1,103 @@
+#include "testgen/program.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace dot::testgen {
+namespace {
+
+Mechanism mechanism_of(macro::MeasurementKind kind) {
+  switch (kind) {
+    case macro::MeasurementKind::kIVdd:
+      return Mechanism::kIVdd;
+    case macro::MeasurementKind::kIddq:
+      return Mechanism::kIddq;
+    case macro::MeasurementKind::kIinput:
+      return Mechanism::kIinput;
+    case macro::MeasurementKind::kOther:
+      break;
+  }
+  return Mechanism::kMissingCode;  // not a current measurement
+}
+
+}  // namespace
+
+void TestProgram::add_step(TestStep step) { steps_.push_back(std::move(step)); }
+
+double TestProgram::total_time() const {
+  double total = 0.0;
+  for (const auto& step : steps_) total += step.time_seconds;
+  return total;
+}
+
+std::string TestProgram::text() const {
+  util::TextTable table({"#", "step", "mechanism", "low limit",
+                         "high limit", "time"});
+  int index = 0;
+  for (const auto& step : steps_) {
+    const bool current = step.mechanism != Mechanism::kMissingCode;
+    table.add_row({std::to_string(++index), step.name,
+                   mechanism_name(step.mechanism),
+                   current ? util::si(step.limit_lo, "A") : "all 256 codes",
+                   current ? util::si(step.limit_hi, "A") : "-",
+                   util::si(step.time_seconds, "s")});
+  }
+  std::ostringstream os;
+  os << table.str();
+  os << "total tester time: " << util::si(total_time(), "s") << '\n';
+  return os.str();
+}
+
+TestProgram generate_program(const macro::GoodEnvelope& envelope,
+                             const std::vector<Mechanism>& mechanisms,
+                             const TesterTiming& timing) {
+  auto selected = [&](Mechanism m) {
+    return std::find(mechanisms.begin(), mechanisms.end(), m) !=
+           mechanisms.end();
+  };
+
+  TestProgram program;
+  if (selected(Mechanism::kMissingCode)) {
+    TestStep step;
+    step.name = "missing-code sweep (" +
+                std::to_string(timing.missing_code_samples) +
+                " samples, triangular input)";
+    step.mechanism = Mechanism::kMissingCode;
+    step.time_seconds =
+        timing.missing_code_samples * timing.cycle_period;
+    program.add_step(std::move(step));
+  }
+
+  // Current measurements: the settling cost is paid once per quiescent
+  // state (reading count), the measurement cost once per selected dim.
+  const auto& layout = envelope.layout();
+  std::size_t current_steps = 0;
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    const Mechanism m = mechanism_of(layout.kinds[i]);
+    if (layout.kinds[i] == macro::MeasurementKind::kOther || !selected(m))
+      continue;
+    TestStep step;
+    step.name = "measure " + layout.names[i];
+    step.mechanism = m;
+    step.limit_lo = envelope.space().band(i).lo;
+    step.limit_hi = envelope.space().band(i).hi;
+    step.time_seconds = timing.current_measure;
+    ++current_steps;
+    program.add_step(std::move(step));
+  }
+  if (current_steps > 0) {
+    TestStep settle;
+    settle.name = "quiescent-state setup / settling (" +
+                  std::to_string(timing.current_readings) + " states)";
+    settle.mechanism = Mechanism::kIVdd;
+    settle.limit_lo = 0.0;
+    settle.limit_hi = 0.0;
+    settle.time_seconds = timing.current_readings * timing.current_settle;
+    program.add_step(std::move(settle));
+  }
+  return program;
+}
+
+}  // namespace dot::testgen

@@ -1,0 +1,45 @@
+// Test-program generation: turns the good-signature envelope and a
+// mechanism selection into an ordered, executable tester program --
+// named measurements with pass limits and a time budget. This is the
+// artifact a production test engineer extracts from the methodology.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "macro/envelope.hpp"
+#include "testgen/testset.hpp"
+
+namespace dot::testgen {
+
+struct TestStep {
+  std::string name;      ///< e.g. "IVdd, sampling phase, vin high".
+  Mechanism mechanism = Mechanism::kMissingCode;
+  double limit_lo = 0.0;  ///< Pass band (currents); codes for missing-code.
+  double limit_hi = 0.0;
+  double time_seconds = 0.0;
+};
+
+class TestProgram {
+ public:
+  void add_step(TestStep step);
+
+  const std::vector<TestStep>& steps() const { return steps_; }
+  double total_time() const;
+  /// Human-readable program sheet.
+  std::string text() const;
+
+ private:
+  std::vector<TestStep> steps_;
+};
+
+/// Generates the program: the missing-code test first when selected
+/// (fastest, run at speed), then one measurement step per envelope
+/// dimension whose mechanism is selected, with limits straight from the
+/// envelope bands. Current steps share their settling time as in
+/// test_time().
+TestProgram generate_program(const macro::GoodEnvelope& envelope,
+                             const std::vector<Mechanism>& mechanisms,
+                             const TesterTiming& timing = {});
+
+}  // namespace dot::testgen

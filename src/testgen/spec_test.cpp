@@ -1,0 +1,39 @@
+#include "testgen/spec_test.hpp"
+
+namespace dot::testgen {
+
+double spec_test_time(const SpecTestTiming& timing) {
+  const double histogram = 256.0 * timing.histogram_samples_per_code *
+                           timing.cycle_period;
+  const double fft = static_cast<double>(timing.fft_record) *
+                     timing.fft_averages * timing.cycle_period;
+  const double setup =
+      timing.setup_per_measurement * timing.measurement_count;
+  return histogram + fft + setup;
+}
+
+double spec_test_coverage(const std::vector<SignatureWeight>& signatures,
+                          const SpecCoverageModel& model) {
+  double caught = 0.0, total = 0.0;
+  for (const auto& sw : signatures) {
+    total += sw.weight;
+    switch (sw.signature) {
+      case macro::VoltageSignature::kOutputStuckAt:
+      case macro::VoltageSignature::kOffset:
+        caught += model.static_catch * sw.weight;
+        break;
+      case macro::VoltageSignature::kMixed:
+        caught += model.mixed_catch * sw.weight;
+        break;
+      case macro::VoltageSignature::kClockValue:
+        caught += model.clock_value_catch * sw.weight;
+        break;
+      case macro::VoltageSignature::kNoDeviation:
+        caught += model.no_deviation_catch * sw.weight;
+        break;
+    }
+  }
+  return total > 0.0 ? caught / total : 0.0;
+}
+
+}  // namespace dot::testgen

@@ -1,0 +1,54 @@
+// Specification-oriented (functional) test model: what the paper's
+// methodology replaces. A video-ADC functional test program measures
+// static linearity (histogram), dynamic performance (FFT), gain/offset
+// and more; this model accounts its tester time and estimates its fault
+// coverage from the voltage fault signatures, enabling the paper's
+// concluding comparison ("higher defect coverage with lower test costs
+// than functional tests").
+#pragma once
+
+#include <vector>
+
+#include "macro/signature.hpp"
+
+namespace dot::testgen {
+
+struct SpecTestTiming {
+  double cycle_period = 100e-9;  ///< DUT conversion period.
+  /// Static linearity histogram: samples per code over 256 codes.
+  int histogram_samples_per_code = 64;
+  /// Dynamic test: FFT record length times averages.
+  int fft_record = 4096;
+  int fft_averages = 8;
+  /// Per-measurement setup/settling on a mixed-signal tester.
+  double setup_per_measurement = 20e-3;
+  int measurement_count = 6;  ///< Linearity, SNR, gain, offset, BW, PSRR.
+};
+
+/// Total functional test time (acquisition + setup).
+double spec_test_time(const SpecTestTiming& timing = {});
+
+/// One fault class's voltage signature with its likelihood weight.
+struct SignatureWeight {
+  macro::VoltageSignature signature = macro::VoltageSignature::kNoDeviation;
+  double weight = 0.0;
+};
+
+struct SpecCoverageModel {
+  /// Static tests catch stuck-at and > 1 LSB offsets outright.
+  double static_catch = 1.0;
+  /// Share of mixed/erratic behaviour caught by dynamic (FFT) tests.
+  double mixed_catch = 0.7;
+  /// Share of clock-value signatures caught by at-speed dynamic tests
+  /// (they "typically affect the high-frequency behaviour").
+  double clock_value_catch = 0.5;
+  /// No-deviation faults escape functional testing entirely.
+  double no_deviation_catch = 0.0;
+};
+
+/// Estimated functional-test fault coverage over the weighted signature
+/// population.
+double spec_test_coverage(const std::vector<SignatureWeight>& signatures,
+                          const SpecCoverageModel& model = {});
+
+}  // namespace dot::testgen

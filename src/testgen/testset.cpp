@@ -1,0 +1,105 @@
+#include "testgen/testset.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace dot::testgen {
+
+const std::string& mechanism_name(Mechanism mechanism) {
+  static const std::array<std::string, kMechanismCount> names = {
+      "missing code", "IVdd", "IDDQ", "Iinput"};
+  return names[static_cast<std::size_t>(mechanism)];
+}
+
+namespace {
+
+bool detects(const macro::DetectionOutcome& outcome, Mechanism m) {
+  switch (m) {
+    case Mechanism::kMissingCode:
+      return outcome.missing_code;
+    case Mechanism::kIVdd:
+      return outcome.ivdd;
+    case Mechanism::kIddq:
+      return outcome.iddq;
+    case Mechanism::kIinput:
+      return outcome.iinput;
+  }
+  return false;
+}
+
+}  // namespace
+
+double test_time(const std::vector<Mechanism>& mechanisms,
+                 const TesterTiming& timing) {
+  double total = 0.0;
+  bool any_current = false;
+  int current_mechanisms = 0;
+  for (Mechanism m : mechanisms) {
+    if (m == Mechanism::kMissingCode)
+      total += timing.missing_code_samples * timing.cycle_period;
+    else {
+      any_current = true;
+      ++current_mechanisms;
+    }
+  }
+  if (any_current) {
+    // The six quiescent states are set up once; every current mechanism
+    // measured in each state adds only its measurement time.
+    total += timing.current_readings *
+             (timing.current_settle +
+              current_mechanisms * timing.current_measure);
+  }
+  return total;
+}
+
+double coverage(const std::vector<macro::WeightedOutcome>& outcomes,
+                const std::vector<Mechanism>& mechanisms) {
+  double detected = 0.0, total = 0.0;
+  for (const auto& wo : outcomes) {
+    total += wo.weight;
+    const bool hit = std::any_of(
+        mechanisms.begin(), mechanisms.end(),
+        [&](Mechanism m) { return detects(wo.outcome, m); });
+    if (hit) detected += wo.weight;
+  }
+  return total > 0.0 ? detected / total : 0.0;
+}
+
+OptimizedTestSet optimize_test_set(
+    const std::vector<macro::WeightedOutcome>& outcomes,
+    const TesterTiming& timing, double min_gain) {
+  static constexpr std::array<Mechanism, 4> kAll = {
+      Mechanism::kMissingCode, Mechanism::kIVdd, Mechanism::kIddq,
+      Mechanism::kIinput};
+  OptimizedTestSet best;
+  for (;;) {
+    double best_ratio = 0.0;
+    Mechanism best_mechanism = Mechanism::kMissingCode;
+    bool found = false;
+    for (Mechanism candidate : kAll) {
+      if (std::find(best.mechanisms.begin(), best.mechanisms.end(),
+                    candidate) != best.mechanisms.end())
+        continue;
+      auto trial = best.mechanisms;
+      trial.push_back(candidate);
+      const double gain = coverage(outcomes, trial) - best.coverage;
+      if (gain < min_gain) continue;
+      const double added_time =
+          test_time(trial, timing) - test_time(best.mechanisms, timing);
+      const double ratio =
+          added_time > 0.0 ? gain / added_time : gain * 1e12;
+      if (!found || ratio > best_ratio) {
+        best_ratio = ratio;
+        best_mechanism = candidate;
+        found = true;
+      }
+    }
+    if (!found) break;
+    best.mechanisms.push_back(best_mechanism);
+    best.coverage = coverage(outcomes, best.mechanisms);
+  }
+  best.time_seconds = test_time(best.mechanisms, timing);
+  return best;
+}
+
+}  // namespace dot::testgen

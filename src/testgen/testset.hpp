@@ -1,0 +1,59 @@
+// Production test-set modelling: the two "simple tests" of the paper
+// (missing-code voltage test and six-measurement DC current test), their
+// tester-time cost, and a greedy mechanism-selection optimizer that
+// exploits the overlap between detection mechanisms (paper: "The overlap
+// between different detection mechanisms gives room for the optimization
+// of the test method").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "macro/detection.hpp"
+
+namespace dot::testgen {
+
+/// One applicable test mechanism.
+enum class Mechanism { kMissingCode, kIVdd, kIddq, kIinput };
+inline constexpr int kMechanismCount = 4;
+
+const std::string& mechanism_name(Mechanism mechanism);
+
+/// Tester timing model.
+struct TesterTiming {
+  /// Conversion period of the DUT (missing-code samples run at speed).
+  double cycle_period = 100e-9;
+  int missing_code_samples = 1000;
+  /// Settling wait before each DC current measurement (paper: "~100 us
+  /// is necessary for the transient currents to disappear").
+  double current_settle = 100e-6;
+  /// Precision current measurement time per reading.
+  double current_measure = 900e-6;
+  /// Number of current readings per mechanism (3 phases x 2 input
+  /// levels, shared across IVdd/IDDQ/Iinput when measured together).
+  int current_readings = 6;
+};
+
+/// Time cost of a subset of mechanisms. Current mechanisms share the
+/// same six quiescent states: adding a second current mechanism only
+/// adds measurement time, not settling time.
+double test_time(const std::vector<Mechanism>& mechanisms,
+                 const TesterTiming& timing = {});
+
+/// Weighted fault coverage achieved by a subset of mechanisms.
+double coverage(const std::vector<macro::WeightedOutcome>& outcomes,
+                const std::vector<Mechanism>& mechanisms);
+
+/// Greedy test-set optimization: repeatedly add the mechanism with the
+/// best (coverage gain / added time) ratio until no mechanism adds
+/// at least `min_gain` coverage.
+struct OptimizedTestSet {
+  std::vector<Mechanism> mechanisms;
+  double coverage = 0.0;
+  double time_seconds = 0.0;
+};
+OptimizedTestSet optimize_test_set(
+    const std::vector<macro::WeightedOutcome>& outcomes,
+    const TesterTiming& timing = {}, double min_gain = 1e-4);
+
+}  // namespace dot::testgen

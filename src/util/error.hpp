@@ -1,0 +1,27 @@
+// Library-wide error types. All throwing code paths use these so callers
+// can distinguish user errors (bad netlist, bad arguments) from numeric
+// failures (non-convergence, singular matrix).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dot::util {
+
+/// Malformed input: inconsistent netlist, unknown node, bad layout, ...
+class InvalidInputError : public std::runtime_error {
+ public:
+  explicit InvalidInputError(const std::string& what)
+      : std::runtime_error("invalid input: " + what) {}
+};
+
+/// Numeric failure: Newton-Raphson did not converge, singular Jacobian.
+/// Fault simulation treats these as "pathological fault" and records the
+/// fault as detected-by-construction only if the good circuit converges.
+class ConvergenceError : public std::runtime_error {
+ public:
+  explicit ConvergenceError(const std::string& what)
+      : std::runtime_error("convergence failure: " + what) {}
+};
+
+}  // namespace dot::util

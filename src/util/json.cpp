@@ -1,0 +1,86 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+
+namespace dot::util {
+
+std::string json_quote(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out + "\"";
+}
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) os_ << ',';
+    need_comma_.back() = true;
+  }
+}
+
+void JsonWriter::raw(const std::string& text) {
+  comma();
+  os_ << text;
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  os_ << '{';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  os_ << '}';
+  need_comma_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  os_ << '[';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  os_ << ']';
+  need_comma_.pop_back();
+}
+
+void JsonWriter::key(const std::string& name) {
+  comma();
+  os_ << json_quote(name) << ':';
+  after_key_ = true;
+}
+
+void JsonWriter::value(const std::string& text) { raw(json_quote(text)); }
+void JsonWriter::value(const char* text) { raw(json_quote(text)); }
+
+void JsonWriter::value(double number) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", number);
+  raw(buf);
+}
+
+void JsonWriter::value(std::size_t number) { raw(std::to_string(number)); }
+void JsonWriter::value(int number) { raw(std::to_string(number)); }
+void JsonWriter::value(bool flag) { raw(flag ? "true" : "false"); }
+
+}  // namespace dot::util

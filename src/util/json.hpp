@@ -1,0 +1,48 @@
+// Minimal JSON writer (objects, arrays, strings, numbers, booleans)
+// used to export campaign results for downstream tooling. Write-only by
+// design: the library consumes netlists and layouts, not JSON.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dot::util {
+
+/// Streaming JSON writer with correct escaping and comma placement.
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name"); w.value("comparator");
+///   w.key("faults"); w.begin_array(); w.value(1); w.end_array();
+///   w.end_object();
+///   std::string out = w.str();
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(const std::string& name);
+  void value(const std::string& text);
+  void value(const char* text);
+  void value(double number);
+  void value(std::size_t number);
+  void value(int number);
+  void value(bool flag);
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  void comma();
+  void raw(const std::string& text);
+
+  std::ostringstream os_;
+  std::vector<bool> need_comma_;
+  bool after_key_ = false;
+};
+
+/// Escapes a string per JSON rules (quotes included).
+std::string json_quote(const std::string& text);
+
+}  // namespace dot::util

@@ -1,0 +1,122 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dot::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  assert(n > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  spare_normal_ = radius * std::sin(angle);
+  has_spare_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double sigma) {
+  return mean + sigma * normal();
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+std::size_t Rng::weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Rng::weighted: negative weight");
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument("Rng::weighted: no positive weight");
+  double pick = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick < 0.0) return i;
+  }
+  return weights.size() - 1;  // Guard against floating-point round-off.
+}
+
+double Rng::power_law(double x_min, double x_max, double exponent) {
+  if (!(x_min > 0.0) || !(x_max >= x_min))
+    throw std::invalid_argument("Rng::power_law: bad range");
+  const double u = uniform();
+  if (exponent == 1.0) {
+    // Density ~ 1/x: log-uniform.
+    return x_min * std::exp(u * std::log(x_max / x_min));
+  }
+  const double one_minus = 1.0 - exponent;
+  const double a = std::pow(x_min, one_minus);
+  const double b = std::pow(x_max, one_minus);
+  return std::pow(a + u * (b - a), 1.0 / one_minus);
+}
+
+Rng Rng::fork() {
+  Rng child(0);
+  // Child state drawn from this stream keeps the two streams independent.
+  for (auto& word : child.state_) word = (*this)();
+  // Avoid the (astronomically unlikely) all-zero state.
+  bool all_zero = true;
+  for (auto word : child.state_) all_zero = all_zero && word == 0;
+  if (all_zero) child.state_[0] = 1;
+  return child;
+}
+
+}  // namespace dot::util

@@ -1,0 +1,115 @@
+// Streaming statistics used for the fault-free "good signature" envelope
+// (the paper detects a fault when a measurement falls outside the 3-sigma
+// spread of the fault-free circuit over process / supply / temperature).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dot::util {
+
+/// Welford one-pass mean / variance with min / max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Acceptance band for one scalar measurement, usually mean +/- k*sigma.
+struct Band {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool contains(double x) const { return x >= lo && x <= hi; }
+  double width() const { return hi - lo; }
+};
+
+/// Multi-dimensional good-signature space: one band per named measurement.
+/// A response is "inside" only if every component is inside its band --
+/// a faulty circuit must leave the space in at least one dimension to be
+/// recognized (paper, section 2).
+class SignatureSpace {
+ public:
+  void add_dimension(std::string name, Band band);
+
+  std::size_t size() const { return names_.size(); }
+  const std::string& name(std::size_t i) const { return names_[i]; }
+  const Band& band(std::size_t i) const { return bands_[i]; }
+
+  /// Index of the named dimension, or npos if absent.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find(const std::string& name) const;
+
+  bool inside(const std::vector<double>& response) const;
+
+  /// Indices of dimensions where the response escapes its band.
+  std::vector<std::size_t> violations(const std::vector<double>& response) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Band> bands_;
+};
+
+/// Builds a SignatureSpace from per-dimension sample sets:
+/// band = mean +/- k_sigma * stddev, widened to at least min_width to
+/// avoid zero-width bands on perfectly deterministic measurements.
+class EnvelopeBuilder {
+ public:
+  explicit EnvelopeBuilder(double k_sigma = 3.0, double min_width = 0.0)
+      : k_sigma_(k_sigma), min_width_(min_width) {}
+
+  /// Adds one Monte-Carlo sample vector; all samples must agree in size
+  /// and dimension order with the names passed to build().
+  void add_sample(const std::vector<double>& response);
+
+  SignatureSpace build(const std::vector<std::string>& names) const;
+
+  std::size_t sample_count() const { return stats_.empty() ? 0 : stats_[0].count(); }
+
+ private:
+  double k_sigma_;
+  double min_width_;
+  std::vector<RunningStats> stats_;
+};
+
+/// Fixed-bin histogram for diagnostics and ablation benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace dot::util

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/complex_lu.hpp"
+#include "spice/ac.hpp"
+#include "spice/netlist.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dot::spice {
+namespace {
+
+TEST(ComplexLu, SolvesComplexSystem) {
+  numeric::ComplexMatrix a(2, 2);
+  a(0, 0) = {1.0, 1.0};
+  a(0, 1) = {0.0, 2.0};
+  a(1, 0) = {3.0, 0.0};
+  a(1, 1) = {1.0, -1.0};
+  const std::vector<numeric::Complex> x_true = {{1.0, -1.0}, {2.0, 0.5}};
+  const auto b = a.multiply(x_true);
+  const auto x = numeric::solve_linear(a, b);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)].real(),
+                x_true[static_cast<std::size_t>(i)].real(), 1e-12);
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)].imag(),
+                x_true[static_cast<std::size_t>(i)].imag(), 1e-12);
+  }
+}
+
+TEST(ComplexLu, RandomRoundTrip) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + rng.below(20);
+    numeric::ComplexMatrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        a(r, c) = {rng.normal(), rng.normal()};
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += numeric::Complex{6.0, 0};
+    std::vector<numeric::Complex> x_true(n);
+    for (auto& v : x_true) v = {rng.normal(), rng.normal()};
+    const auto x = numeric::solve_linear(a, a.multiply(x_true));
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_LT(std::abs(x[i] - x_true[i]), 1e-9);
+  }
+}
+
+TEST(ComplexLu, SingularDetected) {
+  numeric::ComplexMatrix a(2, 2);
+  a(0, 0) = {1.0, 0.0};
+  a(0, 1) = {2.0, 0.0};
+  a(1, 0) = {2.0, 0.0};
+  a(1, 1) = {4.0, 0.0};
+  numeric::ComplexLu lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_THROW(lu.solve({{1, 0}, {1, 0}}), util::ConvergenceError);
+}
+
+TEST(LogFrequencies, CoversSweep) {
+  const auto f = log_frequencies(1.0, 1e6, 2);
+  EXPECT_NEAR(f.front(), 1.0, 1e-12);
+  EXPECT_NEAR(f.back(), 1e6, 1.0);
+  EXPECT_EQ(f.size(), 13u);  // 6 decades * 2 + 1
+  EXPECT_THROW(log_frequencies(0.0, 1e3, 2), util::InvalidInputError);
+}
+
+TEST(Ac, RcLowPassPole) {
+  // R = 1k, C = 159.15 nF -> f_c = 1 kHz: -3 dB and -45 degrees.
+  Netlist n;
+  n.add_vsource("VIN", "in", "0", SourceSpec::dc(0.0));
+  n.add_resistor("R1", "in", "out", 1e3);
+  n.add_capacitor("C1", "out", "0", 1.0 / (2.0 * M_PI * 1e3 * 1e3));
+  AcOptions opt;
+  opt.source = "VIN";
+  opt.frequencies = {10.0, 1000.0, 100e3};
+  const auto result = ac_analysis(n, opt);
+  EXPECT_NEAR(result.magnitude_db(0, "out"), 0.0, 0.01);     // passband
+  EXPECT_NEAR(result.magnitude_db(1, "out"), -3.01, 0.05);   // pole
+  EXPECT_NEAR(result.phase_deg(1, "out"), -45.0, 0.5);
+  EXPECT_NEAR(result.magnitude_db(2, "out"), -40.0, 0.2);    // -20 dB/dec
+}
+
+TEST(Ac, CommonSourceGainMatchesSmallSignal) {
+  // NMOS common-source stage: |gain| = gm * (RD || ro).
+  Netlist n;
+  n.add_vsource("VDD", "vdd", "0", SourceSpec::dc(5.0));
+  n.add_vsource("VIN", "g", "0", SourceSpec::dc(1.2));
+  n.add_resistor("RD", "vdd", "d", 20e3);
+  MosModel m;
+  m.lambda = 0.02;
+  m.gamma = 0.0;
+  n.add_mosfet("M1", MosType::kNmos, "d", "g", "0", "0", 10e-6, 1e-6, m);
+  AcOptions opt;
+  opt.source = "VIN";
+  opt.frequencies = {1e3};
+  const auto result = ac_analysis(n, opt);
+
+  // Compute the expected gain from the operating point.
+  const MnaMap map(n);
+  const auto dc = dc_operating_point(n, map);
+  const double vd = map.voltage(dc.x, *n.find_node("d"));
+  const auto op = eval_mos(m, 10.0, 1.2, vd, 0.0);
+  const double expected = op.gm / (1.0 / 20e3 + op.gds);
+  const double measured = std::abs(result.voltage(0, "d"));
+  EXPECT_NEAR(measured, expected, 0.02 * expected);
+  // Inverting stage: phase near 180 degrees.
+  EXPECT_NEAR(std::abs(result.phase_deg(0, "d")), 180.0, 1.0);
+}
+
+TEST(Ac, GainDropsBeyondLoadPole) {
+  Netlist n;
+  n.add_vsource("VDD", "vdd", "0", SourceSpec::dc(5.0));
+  n.add_vsource("VIN", "g", "0", SourceSpec::dc(1.2));
+  n.add_resistor("RD", "vdd", "d", 20e3);
+  n.add_capacitor("CL", "d", "0", 10e-12);  // pole ~ 800 kHz
+  n.add_mosfet("M1", MosType::kNmos, "d", "g", "0", "0", 10e-6, 1e-6,
+               MosModel{});
+  AcOptions opt;
+  opt.source = "VIN";
+  opt.frequencies = {1e3, 100e6};
+  const auto result = ac_analysis(n, opt);
+  EXPECT_LT(result.magnitude_db(1, "d"), result.magnitude_db(0, "d") - 30.0);
+}
+
+TEST(Ac, UnknownSourceThrows) {
+  Netlist n;
+  n.add_resistor("R1", "a", "0", 1e3);
+  AcOptions opt;
+  opt.source = "VMISSING";
+  opt.frequencies = {1e3};
+  EXPECT_THROW(ac_analysis(n, opt), util::InvalidInputError);
+}
+
+TEST(Ac, FaultShiftsTransferFunction) {
+  // A bridge across the load resistor halves the gain -- the AC fault
+  // signature mechanism of the paper's reference [6].
+  Netlist n;
+  n.add_vsource("VDD", "vdd", "0", SourceSpec::dc(5.0));
+  n.add_vsource("VIN", "g", "0", SourceSpec::dc(1.2));
+  n.add_resistor("RD", "vdd", "d", 20e3);
+  n.add_mosfet("M1", MosType::kNmos, "d", "g", "0", "0", 10e-6, 1e-6,
+               MosModel{});
+  AcOptions opt;
+  opt.source = "VIN";
+  opt.frequencies = {1e3};
+  const double good_db = ac_analysis(n, opt).magnitude_db(0, "d");
+  n.add_resistor("FLT", "d", "vdd", 20e3);  // fault: parallel bridge
+  const double bad_db = ac_analysis(n, opt).magnitude_db(0, "d");
+  EXPECT_LT(bad_db, good_db - 3.0);
+}
+
+}  // namespace
+}  // namespace dot::spice

@@ -1,0 +1,71 @@
+// Edge cases of the behavioral converter and the missing-code test.
+#include <gtest/gtest.h>
+
+#include "flashadc/behavioral.hpp"
+#include "util/error.hpp"
+
+namespace dot::flashadc {
+namespace {
+
+TEST(BehavioralEdge, ErraticComparatorFlipsNearThreshold) {
+  FlashAdcModel adc;
+  adc.set_comparator(100, {ComparatorMode::kErratic, 2.0 * lsb()});
+  const double threshold = kVrefLo + 101 * lsb();
+  const auto near = adc.thermometer(threshold + 0.5 * lsb());
+  EXPECT_FALSE(near[100]);  // inverted inside the erratic band
+  const auto far = adc.thermometer(threshold + 5.0 * lsb());
+  EXPECT_TRUE(far[100]);    // normal outside it
+}
+
+TEST(BehavioralEdge, RowStuckActiveCorruptsCodes) {
+  FlashAdcModel adc;
+  adc.set_row_stuck(200, true);
+  // Any conversion now ORs in code 200's bits.
+  const int code = adc.convert(kVrefLo + 10.5 * lsb());
+  EXPECT_EQ(code, 10 | 200);
+  EXPECT_TRUE(has_missing_code(adc));
+}
+
+TEST(BehavioralEdge, IndexValidation) {
+  FlashAdcModel adc;
+  EXPECT_THROW(adc.set_comparator(-1, {}), util::InvalidInputError);
+  EXPECT_THROW(adc.set_comparator(256, {}), util::InvalidInputError);
+  EXPECT_THROW(adc.set_row_stuck(257, true), util::InvalidInputError);
+  EXPECT_THROW(FlashAdcModel(std::vector<double>(10, 1.0)),
+               util::InvalidInputError);
+}
+
+TEST(BehavioralEdge, MonotoneCodesOnFaultFreeRamp) {
+  const FlashAdcModel adc;
+  int previous = -1;
+  for (double v = kVrefLo - 0.02; v <= kVrefHi + 0.02; v += lsb() / 3.0) {
+    const int code = adc.convert(v);
+    EXPECT_GE(code, previous);
+    previous = code;
+  }
+  EXPECT_EQ(previous, 255);
+}
+
+TEST(BehavioralEdge, CustomTapsShiftThresholds) {
+  std::vector<double> taps(256);
+  for (int i = 0; i < 256; ++i)
+    taps[static_cast<std::size_t>(i)] =
+        kVrefLo + (i + 1) * lsb() + 0.5 * lsb();  // global half-LSB shift
+  const FlashAdcModel adc(std::move(taps));
+  // A uniform shift does not create missing codes.
+  EXPECT_FALSE(has_missing_code(adc));
+  EXPECT_EQ(adc.convert(kVrefLo + 10.2 * lsb()), 9);
+}
+
+TEST(BehavioralEdge, SampleCountChangesSensitivity) {
+  FlashAdcModel adc;
+  adc.set_comparator(37, {ComparatorMode::kOffset, 1.5 * lsb()});
+  MissingCodeTestConfig few;
+  few.samples = 64;  // too coarse: false alarms anyway
+  MissingCodeTestConfig many;
+  many.samples = 4000;
+  EXPECT_TRUE(has_missing_code(adc, many));
+}
+
+}  // namespace
+}  // namespace dot::flashadc

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "defect/simulate.hpp"
+#include "flashadc/biasgen.hpp"
+#include "flashadc/comparator.hpp"
+#include "layout/cell_io.hpp"
+#include "util/error.hpp"
+
+namespace dot::layout {
+namespace {
+
+TEST(CellIo, RoundTripComparator) {
+  const CellLayout original = flashadc::build_comparator_layout();
+  const std::string text1 = to_text(original);
+  const CellLayout reparsed = parse_text(text1);
+  EXPECT_EQ(to_text(reparsed), text1);
+  EXPECT_EQ(reparsed.name(), original.name());
+  EXPECT_EQ(reparsed.shapes().size(), original.shapes().size());
+  EXPECT_EQ(reparsed.taps().size(), original.taps().size());
+  EXPECT_EQ(reparsed.mos_regions().size(), original.mos_regions().size());
+  EXPECT_EQ(reparsed.nwells().size(), original.nwells().size());
+  EXPECT_NEAR(reparsed.area(), original.area(), 1e-6);
+}
+
+TEST(CellIo, ReparsedCellGivesIdenticalCampaign) {
+  // The serialized geometry must drive the defect simulator to the
+  // exact same results as the in-memory original.
+  const CellLayout original = flashadc::build_biasgen_layout();
+  const CellLayout reparsed = parse_text(to_text(original));
+  defect::CampaignOptions opt;
+  opt.defect_count = 40000;
+  opt.seed = 3;
+  const auto a = defect::run_campaign(original, opt);
+  const auto b = defect::run_campaign(reparsed, opt);
+  EXPECT_EQ(a.faults_extracted, b.faults_extracted);
+  ASSERT_EQ(a.classes.size(), b.classes.size());
+  for (std::size_t i = 0; i < a.classes.size(); ++i)
+    EXPECT_EQ(a.classes[i].representative.key(),
+              b.classes[i].representative.key());
+}
+
+TEST(CellIo, CommentsAndErrors) {
+  const CellLayout cell = parse_text(
+      "# a comment\n"
+      "cell tiny\n"
+      "shape metal1 0 0 2 1.2 a  # trailing comment\n"
+      "tap a pin 0 1 0.6 metal1\n");
+  EXPECT_EQ(cell.name(), "tiny");
+  EXPECT_EQ(cell.shapes().size(), 1u);
+
+  EXPECT_THROW(parse_text("shape weird 0 0 1 1 a\n"),
+               util::InvalidInputError);
+  EXPECT_THROW(parse_text("shape metal1 0 0\n"), util::InvalidInputError);
+  EXPECT_THROW(parse_text("frob 1 2 3\n"), util::InvalidInputError);
+  EXPECT_THROW(parse_text("shape metal1 0 0 x 1 a\n"),
+               util::InvalidInputError);
+}
+
+}  // namespace
+}  // namespace dot::layout

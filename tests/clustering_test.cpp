@@ -1,0 +1,111 @@
+// Clustered-defect sprinkling: cluster members land near their seed, the
+// per-campaign fault counts become over-dispersed (variance > mean, the
+// negative-binomial signature), and the yield model orders correctly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "defect/simulate.hpp"
+#include "layout/synth.hpp"
+#include "spice/netlist.hpp"
+#include "testgen/quality.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace dot::defect {
+namespace {
+
+layout::CellLayout small_cell() {
+  spice::Netlist n;
+  spice::MosModel m;
+  n.add_mosfet("MN", spice::MosType::kNmos, "out", "in", "0", "0", 4e-6,
+               1e-6, m);
+  n.add_mosfet("MP", spice::MosType::kPmos, "out", "in", "vdd", "vdd", 8e-6,
+               1e-6, m);
+  return layout::synthesize_layout(n, "inv", layout::SynthOptions{});
+}
+
+/// Fault-count dispersion across many small "dies" (campaign batches).
+double variance_to_mean(const layout::CellLayout& cell,
+                        const DefectStatistics& stats, int batches,
+                        std::size_t per_batch) {
+  const DefectAnalyzer analyzer(cell, {});
+  util::RunningStats counts;
+  for (int b = 0; b < batches; ++b) {
+    CampaignOptions opt;
+    opt.statistics = stats;
+    opt.defect_count = per_batch;
+    opt.seed = 1000 + static_cast<std::uint64_t>(b);
+    const auto r = run_campaign(analyzer, opt);
+    counts.add(static_cast<double>(r.faults_extracted));
+  }
+  return counts.variance() / std::max(counts.mean(), 1e-9);
+}
+
+TEST(Clustering, PoissonSprinkleIsNotOverdispersed) {
+  const auto cell = small_cell();
+  DefectStatistics stats;  // clustering disabled
+  const double ratio = variance_to_mean(cell, stats, 150, 1000);
+  EXPECT_LT(ratio, 1.3);
+}
+
+TEST(Clustering, ClusteredSprinkleIsOverdispersed) {
+  // Tight clusters of many same-type spots make per-die fault counts
+  // over-dispersed relative to the Poisson baseline -- the
+  // negative-binomial signature of clustered fab defects.
+  const auto cell = small_cell();
+  DefectStatistics poisson;
+  DefectStatistics clustered;
+  clustered.clustering.cluster_fraction = 0.5;
+  clustered.clustering.mean_extra = 10.0;
+  clustered.clustering.radius = 1.0;
+  const double base = variance_to_mean(cell, poisson, 150, 1000);
+  const double over = variance_to_mean(cell, clustered, 150, 1000);
+  EXPECT_GT(over, base + 0.3);
+}
+
+TEST(Clustering, BudgetAndDeterminismPreserved) {
+  const auto cell = small_cell();
+  DefectStatistics stats;
+  stats.clustering.cluster_fraction = 0.2;
+  CampaignOptions opt;
+  opt.statistics = stats;
+  opt.defect_count = 30000;
+  opt.seed = 5;
+  const auto a = run_campaign(cell, opt);
+  const auto b = run_campaign(cell, opt);
+  EXPECT_EQ(a.defects_sprinkled, 30000u);
+  EXPECT_EQ(a.faults_extracted, b.faults_extracted);
+  std::size_t type_total = 0;
+  for (auto c : a.defects_by_type) type_total += c;
+  EXPECT_EQ(type_total, 30000u);
+}
+
+}  // namespace
+}  // namespace dot::defect
+
+namespace dot::testgen {
+namespace {
+
+TEST(ClusteredYield, ApproachesPoissonForLargeAlpha) {
+  ProcessQuality q;
+  q.defect_density_per_cm2 = 2.0;
+  q.die_area_cm2 = 0.5;
+  EXPECT_NEAR(clustered_yield(q, 1e6), poisson_yield(q), 1e-5);
+}
+
+TEST(ClusteredYield, ClusteringRaisesYield) {
+  ProcessQuality q;
+  q.defect_density_per_cm2 = 2.0;
+  q.die_area_cm2 = 0.5;
+  EXPECT_GT(clustered_yield(q, 0.5), clustered_yield(q, 2.0));
+  EXPECT_GT(clustered_yield(q, 2.0), poisson_yield(q));
+}
+
+TEST(ClusteredYield, RejectsBadAlpha) {
+  EXPECT_THROW(clustered_yield(ProcessQuality{}, 0.0),
+               util::InvalidInputError);
+}
+
+}  // namespace
+}  // namespace dot::testgen

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "defect/critical_area.hpp"
+#include "defect/simulate.hpp"
+#include "flashadc/comparator.hpp"
+#include "util/error.hpp"
+
+namespace dot::defect {
+namespace {
+
+using layout::CellLayout;
+using layout::Layer;
+using layout::Rect;
+
+/// Two parallel metal1 wires, 1.2 um wide, gap g between them, length L.
+CellLayout two_wires(double gap, double length) {
+  CellLayout cell("wires");
+  cell.add_shape({Layer::kMetal1, Rect{0, 0, length, 1.2}, "a"});
+  cell.add_shape({Layer::kMetal1, Rect{0, 1.2 + gap, length, 2.4 + gap},
+                  "b"});
+  return cell;
+}
+
+TEST(CriticalArea, ZeroBelowGapGrowsAbove) {
+  const auto cell = two_wires(2.0, 100.0);
+  const DefectAnalyzer analyzer(cell, {});
+  const auto curve = critical_area_curve(analyzer, DefectType::kExtraMetal1,
+                                         {1.0, 1.9, 2.5, 4.0, 8.0}, 0.1);
+  EXPECT_DOUBLE_EQ(curve.areas[0], 0.0);  // smaller than the gap
+  EXPECT_DOUBLE_EQ(curve.areas[1], 0.0);
+  EXPECT_GT(curve.areas[2], 0.0);
+  // Critical area grows monotonically with spot size.
+  for (std::size_t i = 1; i < curve.areas.size(); ++i)
+    EXPECT_GE(curve.areas[i], curve.areas[i - 1]);
+}
+
+TEST(CriticalArea, MatchesAnalyticStripFormula) {
+  // For two long parallel wires with gap g, a square spot of side s > g
+  // bridges them when its centre lies in a strip of height (s - g)
+  // across the overlap length: A(s) ~ L * (s - g).
+  const double gap = 2.0, length = 100.0;
+  const auto cell = two_wires(gap, length);
+  const DefectAnalyzer analyzer(cell, {});
+  for (double s : {3.0, 5.0}) {
+    const auto curve = critical_area_curve(
+        analyzer, DefectType::kExtraMetal1, {s}, 0.05);
+    const double expected = length * (s - gap);
+    EXPECT_NEAR(curve.areas[0], expected, 0.1 * expected) << "s = " << s;
+  }
+}
+
+TEST(CriticalArea, InterpolationClamps) {
+  CriticalAreaCurve curve;
+  curve.sizes = {1.0, 2.0};
+  curve.areas = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(curve.area_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(curve.area_at(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(curve.area_at(3.0), 10.0);
+  CriticalAreaCurve empty;
+  EXPECT_THROW(empty.area_at(1.0), util::InvalidInputError);
+}
+
+TEST(CriticalArea, FaultProbabilityMatchesMonteCarlo) {
+  // Quadrature over the analytic curve must agree with the sprinkling
+  // campaign's empirical faulting rate for the same defect type.
+  const auto cell = flashadc::build_comparator_layout();
+  const DefectAnalyzer analyzer(cell, {.vdd_net = "vdda"});
+  DefectStatistics stats;
+
+  const auto curve = critical_area_curve(
+      analyzer, DefectType::kExtraMetal1,
+      {0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 16.0, 20.0}, 0.8);
+  const double analytic =
+      fault_probability(curve, stats, cell.bounding_box().area());
+
+  // Monte Carlo with only extra-metal1 defects.
+  DefectStatistics only;
+  only.weights = {};
+  only.weight(DefectType::kExtraMetal1) = 1.0;
+  CampaignOptions opt;
+  opt.statistics = only;
+  opt.defect_count = 200000;
+  opt.seed = 31;
+  const auto mc = run_campaign(analyzer, opt);
+  const double empirical = mc.fault_yield();
+
+  EXPECT_GT(analytic, 0.0);
+  EXPECT_NEAR(analytic, empirical, 0.25 * empirical);
+}
+
+TEST(CriticalArea, BadArgumentsThrow) {
+  const auto cell = two_wires(2.0, 10.0);
+  const DefectAnalyzer analyzer(cell, {});
+  EXPECT_THROW(
+      critical_area_curve(analyzer, DefectType::kExtraMetal1, {1.0}, 0.0),
+      util::InvalidInputError);
+  CriticalAreaCurve curve;
+  curve.sizes = {1.0};
+  curve.areas = {1.0};
+  EXPECT_THROW(fault_probability(curve, DefectStatistics{}, 0.0),
+               util::InvalidInputError);
+}
+
+}  // namespace
+}  // namespace dot::defect

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include "defect/analyze.hpp"
+#include "defect/simulate.hpp"
+#include "defect/statistics.hpp"
+#include "layout/synth.hpp"
+#include "spice/netlist.hpp"
+
+namespace dot::defect {
+namespace {
+
+using fault::FaultKind;
+using layout::CellLayout;
+using layout::Layer;
+using layout::Rect;
+
+TEST(Statistics, WeightsFavorMetallization) {
+  const DefectStatistics stats;
+  const double extra_metal = stats.weight(DefectType::kExtraMetal1) +
+                             stats.weight(DefectType::kExtraMetal2);
+  double total = 0.0;
+  for (int i = 0; i < kDefectTypeCount; ++i)
+    total += stats.weights[static_cast<std::size_t>(i)];
+  EXPECT_GT(extra_metal / total, 0.5);
+}
+
+TEST(Statistics, SampleTypeFollowsWeights) {
+  DefectStatistics stats;
+  stats.weights = {};
+  stats.weight(DefectType::kExtraPoly) = 1.0;
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(stats.sample_type(rng), DefectType::kExtraPoly);
+}
+
+TEST(SampleDefect, UniformOverArea) {
+  DefectStatistics stats;
+  util::Rng rng(2);
+  const Rect area{10, 20, 30, 40};
+  for (int i = 0; i < 1000; ++i) {
+    const Defect d = sample_defect(stats, area, rng);
+    EXPECT_TRUE(area.contains(d.center));
+    EXPECT_GE(d.size, stats.size_min);
+    EXPECT_LE(d.size, stats.size_max);
+  }
+}
+
+/// Hand-built two-trunk cell: nets "a" and "b" as parallel metal1 wires
+/// 2.4 um apart (track pitch), with taps at both ends of each.
+CellLayout two_trunk_cell() {
+  CellLayout cell("trunks");
+  cell.add_shape({Layer::kMetal1, Rect{0, 0.0, 50, 1.2}, "a"});
+  cell.add_shape({Layer::kMetal1, Rect{0, 2.4, 50, 3.6}, "b"});
+  cell.add_tap({"a", "pin", 0, {1, 0.6}});
+  cell.add_tap({"a", "D1", 0, {49, 0.6}});
+  cell.add_tap({"b", "pin", 0, {1, 3.0}});
+  cell.add_tap({"b", "D2", 0, {49, 3.0}});
+  return cell;
+}
+
+TEST(Analyze, ExtraMetalBridgingTwoTrunksIsShort) {
+  const CellLayout cell = two_trunk_cell();
+  const DefectAnalyzer analyzer(cell, {});
+  // Size 4 um centred between the trunks touches both.
+  const auto f = analyzer.analyze(
+      {DefectType::kExtraMetal1, {25.0, 1.8}, 4.0});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->kind, FaultKind::kShort);
+  EXPECT_EQ(f->nets, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(f->material, fault::BridgeMaterial::kMetal);
+}
+
+TEST(Analyze, SmallDefectBetweenTrunksIsHarmless) {
+  const CellLayout cell = two_trunk_cell();
+  const DefectAnalyzer analyzer(cell, {});
+  EXPECT_FALSE(
+      analyzer.analyze({DefectType::kExtraMetal1, {25.0, 1.8}, 1.0})
+          .has_value());
+}
+
+TEST(Analyze, ExtraMetalOnSingleNetIsHarmless) {
+  const CellLayout cell = two_trunk_cell();
+  const DefectAnalyzer analyzer(cell, {});
+  EXPECT_FALSE(
+      analyzer.analyze({DefectType::kExtraMetal1, {25.0, 0.6}, 1.0})
+          .has_value());
+}
+
+TEST(Analyze, WrongLayerDefectIsHarmless) {
+  const CellLayout cell = two_trunk_cell();
+  const DefectAnalyzer analyzer(cell, {});
+  EXPECT_FALSE(
+      analyzer.analyze({DefectType::kExtraPoly, {25.0, 1.8}, 4.0})
+          .has_value());
+}
+
+TEST(Analyze, MissingMetalCutsTrunkIntoOpen) {
+  const CellLayout cell = two_trunk_cell();
+  const DefectAnalyzer analyzer(cell, {});
+  // 2 um missing-metal spot centred on trunk "a" spans its full height.
+  const auto f = analyzer.analyze(
+      {DefectType::kMissingMetal1, {25.0, 0.6}, 2.0});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->kind, FaultKind::kOpen);
+  EXPECT_EQ(f->nets, (std::vector<std::string>{"a"}));
+  // The pin keeps the node; D1 sits on the stranded side.
+  ASSERT_EQ(f->isolated_taps.size(), 1u);
+  EXPECT_EQ(f->isolated_taps[0].device, "D1");
+}
+
+TEST(Analyze, PartialNickDoesNotOpen) {
+  const CellLayout cell = two_trunk_cell();
+  const DefectAnalyzer analyzer(cell, {});
+  // 0.8 um spot nicks the 1.2 um wire without severing it.
+  const auto f = analyzer.analyze(
+      {DefectType::kMissingMetal1, {25.0, 0.2}, 0.8});
+  EXPECT_FALSE(f.has_value());
+}
+
+/// Cell with a metal1 wire crossing over a poly wire (different nets).
+CellLayout crossing_cell() {
+  CellLayout cell("crossing");
+  cell.add_shape({Layer::kMetal1, Rect{0, 4, 20, 5.2}, "m"});
+  cell.add_shape({Layer::kPoly, Rect{9, 0, 10, 10}, "p"});
+  cell.add_tap({"m", "pin", 0, {1, 4.6}});
+  cell.add_tap({"p", "pin", 0, {9.5, 0.5}});
+  return cell;
+}
+
+TEST(Analyze, ThickOxidePinholeAtCrossing) {
+  const CellLayout cell = crossing_cell();
+  const DefectAnalyzer analyzer(cell, {});
+  const auto f = analyzer.analyze(
+      {DefectType::kThickOxidePinhole, {9.5, 4.6}, 0.5});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->kind, FaultKind::kThickOxidePinhole);
+  EXPECT_EQ(f->nets, (std::vector<std::string>{"m", "p"}));
+}
+
+TEST(Analyze, ThickOxideAwayFromCrossingHarmless) {
+  const CellLayout cell = crossing_cell();
+  const DefectAnalyzer analyzer(cell, {});
+  EXPECT_FALSE(analyzer
+                   .analyze({DefectType::kThickOxidePinhole, {3.0, 4.6}, 0.5})
+                   .has_value());
+}
+
+TEST(Analyze, ExtraContactAtCrossing) {
+  const CellLayout cell = crossing_cell();
+  const DefectAnalyzer analyzer(cell, {});
+  const auto f = analyzer.analyze(
+      {DefectType::kExtraContact, {9.5, 4.6}, 1.0});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->kind, FaultKind::kExtraContact);
+  EXPECT_EQ(f->nets, (std::vector<std::string>{"m", "p"}));
+}
+
+/// Transistor-like cell: S/D diffusions with a gate poly between them.
+CellLayout transistor_cell() {
+  CellLayout cell("mos");
+  cell.add_shape({Layer::kActive, Rect{0, 0, 2, 4}, "s"});
+  cell.add_shape({Layer::kActive, Rect{3, 0, 5, 4}, "d"});
+  cell.add_shape({Layer::kPoly, Rect{2, -1, 3, 5}, "g"});
+  cell.add_mos_region({"M1", Rect{2, 0, 3, 4}, "g", "s", "d", false});
+  cell.add_tap({"s", "M1", 2, {1, 2}});
+  cell.add_tap({"d", "M1", 0, {4, 2}});
+  cell.add_tap({"g", "M1", 1, {2.5, 4.5}});
+  return cell;
+}
+
+TEST(Analyze, GateOxidePinholeInChannel) {
+  const CellLayout cell = transistor_cell();
+  const DefectAnalyzer analyzer(cell, {});
+  const auto f = analyzer.analyze(
+      {DefectType::kGateOxidePinhole, {2.5, 2.0}, 0.5});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->kind, FaultKind::kGateOxidePinhole);
+  EXPECT_EQ(f->device, "M1");
+  EXPECT_FALSE(analyzer
+                   .analyze({DefectType::kGateOxidePinhole, {1.0, 2.0}, 0.5})
+                   .has_value());
+}
+
+TEST(Analyze, ExtraActiveAcrossChannelIsShortedDevice) {
+  const CellLayout cell = transistor_cell();
+  const DefectAnalyzer analyzer(cell, {});
+  // Spot bridging s and d while overlapping the gate poly.
+  const auto f = analyzer.analyze(
+      {DefectType::kExtraActive, {2.5, 2.0}, 3.0});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->kind, FaultKind::kShortedDevice);
+  EXPECT_EQ(f->device, "M1");
+}
+
+TEST(Analyze, ExtraActiveAwayFromPolyIsDiffusionShort) {
+  CellLayout cell("diff");
+  cell.add_shape({Layer::kActive, Rect{0, 0, 2, 4}, "s"});
+  cell.add_shape({Layer::kActive, Rect{3, 0, 5, 4}, "d"});
+  cell.add_tap({"s", "pin", 0, {1, 2}});
+  cell.add_tap({"d", "pin", 0, {4, 2}});
+  const DefectAnalyzer analyzer(cell, {});
+  const auto f = analyzer.analyze(
+      {DefectType::kExtraActive, {2.5, 2.0}, 3.0});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->kind, FaultKind::kShort);
+  EXPECT_EQ(f->material, fault::BridgeMaterial::kDiffusion);
+}
+
+TEST(Analyze, NewDeviceWhenBridgingUnderForeignPoly) {
+  // Two diffusions under a poly line that is NOT the gate of a
+  // transistor between them -> parasitic new device.
+  CellLayout cell("newdev");
+  cell.add_shape({Layer::kActive, Rect{0, 0, 2, 4}, "x"});
+  cell.add_shape({Layer::kActive, Rect{3, 0, 5, 4}, "y"});
+  cell.add_shape({Layer::kPoly, Rect{2, -1, 3, 5}, "clk"});
+  cell.add_tap({"x", "pin", 0, {1, 2}});
+  cell.add_tap({"y", "pin", 0, {4, 2}});
+  cell.add_tap({"clk", "pin", 0, {2.5, 4.5}});
+  const DefectAnalyzer analyzer(cell, {});
+  const auto f = analyzer.analyze(
+      {DefectType::kExtraActive, {2.5, 2.0}, 3.0});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->kind, FaultKind::kNewDevice);
+  EXPECT_EQ(f->gate_net, "clk");
+  EXPECT_EQ(f->nets, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(Analyze, JunctionPinholeLeaksToSubstrateOrWell) {
+  CellLayout cell("jp");
+  cell.add_shape({Layer::kActive, Rect{0, 0, 2, 4}, "n1"});
+  cell.add_shape({Layer::kActive, Rect{0, 10, 2, 14}, "n2"});
+  cell.add_nwell(Rect{-1, 9, 3, 15});
+  cell.add_tap({"n1", "pin", 0, {1, 2}});
+  cell.add_tap({"n2", "pin", 0, {1, 12}});
+  const DefectAnalyzer analyzer(cell, {});
+  const auto sub = analyzer.analyze(
+      {DefectType::kJunctionPinhole, {1.0, 2.0}, 0.5});
+  ASSERT_TRUE(sub.has_value());
+  EXPECT_EQ(sub->kind, FaultKind::kJunctionPinhole);
+  EXPECT_FALSE(sub->to_vdd);
+  const auto well = analyzer.analyze(
+      {DefectType::kJunctionPinhole, {1.0, 12.0}, 0.5});
+  ASSERT_TRUE(well.has_value());
+  EXPECT_TRUE(well->to_vdd);
+}
+
+TEST(Analyze, MissingContactOpensRiser) {
+  // Metal1 pad -- contact -- poly pad; killing the contact severs them.
+  CellLayout cell("mc");
+  cell.add_shape({Layer::kMetal1, Rect{0, 0, 2, 2}, "a"});
+  cell.add_shape({Layer::kPoly, Rect{0, 0, 2, 2}, "a"});
+  cell.add_shape({Layer::kContact, Rect{0.6, 0.6, 1.4, 1.4}, "a"});
+  cell.add_tap({"a", "pin", 0, {1, 1}, Layer::kMetal1});
+  cell.add_tap({"a", "M1", 1, {1.0, 0.1}, Layer::kPoly});  // gate side
+  const DefectAnalyzer analyzer(cell, {});
+  const auto f = analyzer.analyze(
+      {DefectType::kMissingContact, {1.0, 1.0}, 1.5});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->kind, FaultKind::kOpen);
+  ASSERT_EQ(f->isolated_taps.size(), 1u);
+  EXPECT_EQ(f->isolated_taps[0].device, "M1");
+}
+
+// --------------------------------------------------------------------
+// End-to-end campaign on a synthesized cell.
+
+layout::CellLayout synthesized_inverter() {
+  spice::Netlist n;
+  spice::MosModel m;
+  n.add_mosfet("MN", spice::MosType::kNmos, "out", "in", "0", "0", 4e-6,
+               1e-6, m);
+  n.add_mosfet("MP", spice::MosType::kPmos, "out", "in", "vdd", "vdd", 8e-6,
+               1e-6, m);
+  layout::SynthOptions opt;
+  opt.pins = {"in", "out", "vdd", "0"};
+  return layout::synthesize_layout(n, "inv", opt);
+}
+
+TEST(Campaign, DeterministicForSeed) {
+  const auto cell = synthesized_inverter();
+  CampaignOptions opt;
+  opt.defect_count = 20000;
+  opt.seed = 7;
+  const auto a = run_campaign(cell, opt);
+  const auto b = run_campaign(cell, opt);
+  EXPECT_EQ(a.faults_extracted, b.faults_extracted);
+  EXPECT_EQ(a.classes.size(), b.classes.size());
+}
+
+TEST(Campaign, YieldAndAccountingConsistent) {
+  const auto cell = synthesized_inverter();
+  CampaignOptions opt;
+  opt.defect_count = 50000;
+  opt.seed = 11;
+  const auto r = run_campaign(cell, opt);
+  EXPECT_EQ(r.defects_sprinkled, 50000u);
+  EXPECT_GT(r.faults_extracted, 0u);
+  EXPECT_LT(r.fault_yield(), 0.5);
+  // Class counts must add up to the fault count.
+  EXPECT_EQ(fault::total_fault_count(r.classes), r.faults_extracted);
+  // Per-kind fault counts add up too.
+  std::size_t kind_total = 0;
+  for (auto c : r.faults_by_kind) kind_total += c;
+  EXPECT_EQ(kind_total, r.faults_extracted);
+  // Sprinkle counters cover every defect.
+  std::size_t type_total = 0;
+  for (auto c : r.defects_by_type) type_total += c;
+  EXPECT_EQ(type_total, r.defects_sprinkled);
+}
+
+TEST(Campaign, ShortsDominateOnSynthesizedCell) {
+  const auto cell = synthesized_inverter();
+  CampaignOptions opt;
+  opt.defect_count = 100000;
+  opt.seed = 13;
+  const auto r = run_campaign(cell, opt);
+  const auto shorts =
+      r.faults_by_kind[static_cast<std::size_t>(FaultKind::kShort)];
+  EXPECT_GT(static_cast<double>(shorts) /
+                static_cast<double>(r.faults_extracted),
+            0.5);
+}
+
+TEST(Campaign, OpensRareInFaultsButRicherInClasses) {
+  // The paper's Table 1: opens are 0.03% of faults but 5.1% of classes.
+  // Directionally: the open share among classes must exceed its share
+  // among faults.
+  const auto cell = synthesized_inverter();
+  CampaignOptions opt;
+  opt.defect_count = 200000;
+  opt.seed = 17;
+  const auto r = run_campaign(cell, opt);
+  const auto open_idx = static_cast<std::size_t>(FaultKind::kOpen);
+  ASSERT_GT(r.faults_by_kind[open_idx], 0u);
+  const double fault_share = static_cast<double>(r.faults_by_kind[open_idx]) /
+                             static_cast<double>(r.faults_extracted);
+  const double class_share =
+      static_cast<double>(r.classes_by_kind[open_idx]) /
+      static_cast<double>(r.classes.size());
+  EXPECT_GT(class_share, fault_share);
+}
+
+}  // namespace
+}  // namespace dot::defect

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "flashadc/biasgen.hpp"
+#include "flashadc/clockgen.hpp"
+#include "flashadc/comparator.hpp"
+#include "flashadc/decoder.hpp"
+#include "flashadc/ladder.hpp"
+#include "layout/drc.hpp"
+
+namespace dot::layout {
+namespace {
+
+TEST(Drc, DetectsNarrowWire) {
+  CellLayout cell("c");
+  cell.add_shape({Layer::kMetal1, Rect{0, 0, 10, 0.5}, "a"});  // too thin
+  const auto v = run_drc(cell);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, DrcRule::kMinWidth);
+}
+
+TEST(Drc, DetectsSpacingViolationBetweenNets) {
+  CellLayout cell("c");
+  cell.add_shape({Layer::kMetal1, Rect{0, 0, 10, 1.2}, "a"});
+  cell.add_shape({Layer::kMetal1, Rect{0, 1.7, 10, 2.9}, "b"});  // gap 0.5
+  const auto v = run_drc(cell);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, DrcRule::kSpacing);
+}
+
+TEST(Drc, SameNetMayAbut) {
+  CellLayout cell("c");
+  cell.add_shape({Layer::kMetal1, Rect{0, 0, 10, 1.2}, "a"});
+  cell.add_shape({Layer::kMetal1, Rect{0, 1.4, 10, 2.6}, "a"});
+  EXPECT_TRUE(run_drc(cell).empty());
+}
+
+TEST(Drc, TransistorChannelExempt) {
+  CellLayout cell("c");
+  cell.add_shape({Layer::kActive, Rect{0, 0, 2, 4}, "s"});
+  cell.add_shape({Layer::kActive, Rect{2.8, 0, 4.8, 4}, "d"});
+  cell.add_shape({Layer::kPoly, Rect{2, -1, 2.8, 5}, "g"});
+  EXPECT_TRUE(run_drc(cell).empty());
+  // Without the gate, the same gap is a violation.
+  CellLayout bare("c2");
+  bare.add_shape({Layer::kActive, Rect{0, 0, 2, 4}, "s"});
+  bare.add_shape({Layer::kActive, Rect{2.8, 0, 4.8, 4}, "d"});
+  EXPECT_EQ(run_drc(bare).size(), 1u);
+}
+
+TEST(Drc, DanglingCutFlaggedSubstrateTapAllowed) {
+  CellLayout cell("c");
+  cell.add_shape({Layer::kMetal1, Rect{0, 0, 2, 2}, "a"});
+  cell.add_shape({Layer::kContact, Rect{0.5, 0.5, 1.3, 1.3}, "a"});
+  // Contact touches only metal1: allowed as a substrate tap.
+  EXPECT_TRUE(run_drc(cell).empty());
+  // A via touching only metal2 is dangling.
+  CellLayout bad("c2");
+  bad.add_shape({Layer::kMetal2, Rect{0, 0, 2, 2}, "a"});
+  bad.add_shape({Layer::kVia1, Rect{0.5, 0.5, 1.3, 1.3}, "a"});
+  const auto v = run_drc(bad);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, DrcRule::kDanglingCut);
+}
+
+TEST(Drc, AllCaseStudyMacrosAreClean) {
+  EXPECT_TRUE(run_drc(flashadc::build_comparator_layout()).empty());
+  EXPECT_TRUE(run_drc(flashadc::build_ladder_layout()).empty());
+  EXPECT_TRUE(run_drc(flashadc::build_biasgen_layout()).empty());
+  EXPECT_TRUE(run_drc(flashadc::build_clockgen_layout()).empty());
+  EXPECT_TRUE(run_drc(flashadc::build_decoder_layout()).empty());
+  flashadc::ComparatorDft dft;
+  dft.leakage_free_flipflop = true;
+  dft.separated_bias_lines = true;
+  EXPECT_TRUE(run_drc(flashadc::build_comparator_layout(dft)).empty());
+}
+
+TEST(Drc, ReportFormats) {
+  CellLayout cell("c");
+  cell.add_shape({Layer::kMetal1, Rect{0, 0, 10, 0.5}, "a"});
+  const std::string report = drc_report(run_drc(cell));
+  EXPECT_NE(report.find("1 DRC violation"), std::string::npos);
+  EXPECT_NE(report.find("metal1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dot::layout

@@ -1,0 +1,34 @@
+#include <gtest/gtest.h>
+
+#include "flashadc/comparator.hpp"
+#include "layout/export_svg.hpp"
+
+namespace dot::layout {
+namespace {
+
+TEST(Svg, RendersComparatorLayout) {
+  const auto cell = flashadc::build_comparator_layout();
+  SvgOptions opt;
+  opt.markers.push_back({Rect{10, 10, 14, 14}, "#ff0000", "defect"});
+  const std::string svg = to_svg(cell, opt);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("defect"), std::string::npos);
+  // Every shape becomes a rect plus background + markers.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1))
+    ++rects;
+  EXPECT_GT(rects, cell.shapes().size());
+}
+
+TEST(Svg, TapsOptional) {
+  const auto cell = flashadc::build_comparator_layout();
+  SvgOptions no_taps;
+  no_taps.draw_taps = false;
+  EXPECT_EQ(to_svg(cell, no_taps).find("<circle"), std::string::npos);
+  EXPECT_NE(to_svg(cell, SvgOptions{}).find("<circle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dot::layout

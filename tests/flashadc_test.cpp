@@ -1,0 +1,424 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flashadc/behavioral.hpp"
+#include "flashadc/biasgen.hpp"
+#include "flashadc/clockgen.hpp"
+#include "flashadc/comparator.hpp"
+#include "flashadc/comparator_sim.hpp"
+#include "flashadc/decoder.hpp"
+#include "flashadc/ladder.hpp"
+#include "flashadc/tech.hpp"
+#include "fault/model.hpp"
+
+namespace dot::flashadc {
+namespace {
+
+using macro::VoltageSignature;
+
+// ---------------------------------------------------------------- tech
+
+TEST(Tech, LsbMatchesEightBitRange) {
+  EXPECT_NEAR(lsb(), (kVrefHi - kVrefLo) / 256.0, 1e-15);
+  EXPECT_NEAR(lsb(), 7.8e-3, 0.2e-3);
+}
+
+// ---------------------------------------------------------- comparator
+
+TEST(Comparator, NetlistIsConnectedAndBalanced) {
+  const auto n = build_comparator_netlist();
+  EXPECT_GT(n.devices().size(), 20u);
+  EXPECT_NE(n.find_device("M1"), nullptr);
+  EXPECT_NE(n.find_device("MW2"), nullptr);
+}
+
+TEST(Comparator, LayoutSynthesizesWithPins) {
+  const auto cell = build_comparator_layout();
+  int pin_taps = 0;
+  for (const auto& tap : cell.taps())
+    if (tap.device == "pin") ++pin_taps;
+  EXPECT_EQ(pin_taps, static_cast<int>(comparator_pins().size()));
+  EXPECT_GT(cell.area(), 5000.0);
+}
+
+TEST(Comparator, BiasLinesAdjacentNominally) {
+  const auto cell = build_comparator_layout();
+  auto trunk_y = [&](const std::string& net) {
+    double best = -1, y = 0;
+    for (const auto& s : cell.shapes())
+      if (s.net == net && s.layer == layout::Layer::kMetal1 &&
+          s.rect.width() > best) {
+        best = s.rect.width();
+        y = s.rect.center().y;
+      }
+    return y;
+  };
+  const double pitch = layout::TechRules{}.track_pitch();
+  EXPECT_NEAR(std::fabs(trunk_y("vbc") - trunk_y("vbn")), pitch, 1e-9);
+
+  ComparatorDft dft;
+  dft.separated_bias_lines = true;
+  const auto cell2 = build_comparator_layout(dft);
+  auto trunk_y2 = [&](const std::string& net) {
+    double best = -1, y = 0;
+    for (const auto& s : cell2.shapes())
+      if (s.net == net && s.layer == layout::Layer::kMetal1 &&
+          s.rect.width() > best) {
+        best = s.rect.width();
+        y = s.rect.center().y;
+      }
+    return y;
+  };
+  EXPECT_GT(std::fabs(trunk_y2("vbc") - trunk_y2("vbn")), 1.5 * pitch);
+}
+
+TEST(Comparator, ResolvesPolarityAcrossGrid) {
+  const auto macro_netlist = build_comparator_netlist();
+  const auto runs = simulate_comparator_grid(macro_netlist);
+  EXPECT_EQ(runs[0].decision, -1);
+  EXPECT_EQ(runs[1].decision, -1);
+  EXPECT_EQ(runs[2].decision, 1);
+  EXPECT_EQ(runs[3].decision, 1);
+  for (const auto& run : runs) EXPECT_TRUE(run.converged);
+}
+
+TEST(Comparator, ClockLevelsReachRails) {
+  const auto run = simulate_comparator(build_comparator_netlist(), 0.3);
+  EXPECT_NEAR(run.clock_levels[0], kVddd, 0.1);  // clk1 hi
+  EXPECT_NEAR(run.clock_levels[1], 0.0, 0.1);    // clk1 lo
+  EXPECT_NEAR(run.clock_levels[2], kVddd, 0.1);  // clk2 hi
+  EXPECT_NEAR(run.clock_levels[4], kVddd, 0.1);  // clk3 hi
+}
+
+TEST(Comparator, NominalFlipflopDrawsSamplingCurrent) {
+  const auto nominal = simulate_comparator(build_comparator_netlist(), 0.3);
+  ComparatorDft dft;
+  dft.leakage_free_flipflop = true;
+  const auto redesigned =
+      simulate_comparator(build_comparator_netlist(dft), 0.3);
+  // Paper: the flipflop draws a strongly process-dependent current in
+  // the sampling phase; the DfT redesign eliminates it.
+  EXPECT_GT(nominal.ivdd[0], 20.0 * redesigned.ivdd[0]);
+  // Outside sampling both designs are quiet at similar levels.
+  EXPECT_NEAR(nominal.ivdd[1], redesigned.ivdd[1], 20e-6);
+}
+
+TEST(Comparator, IddqNearZeroFaultFree) {
+  const auto run = simulate_comparator(build_comparator_netlist(), 0.3);
+  for (double i : run.iddq) EXPECT_LT(std::fabs(i), 1e-6);
+}
+
+TEST(Comparator, MeasurementLayoutMatchesVector) {
+  const auto layout = comparator_measurement_layout();
+  EXPECT_EQ(layout.size(), 24u);
+  const auto lo = simulate_comparator(build_comparator_netlist(), -0.3);
+  const auto hi = simulate_comparator(build_comparator_netlist(), 0.3);
+  EXPECT_EQ(comparator_measurements(lo, hi).size(), layout.size());
+}
+
+// Classification unit tests with synthetic run records.
+ComparatorRun synthetic_run(int decision) {
+  ComparatorRun run;
+  run.decision = decision;
+  run.converged = true;
+  run.clock_levels = {5, 0, 5, 0, 5, 0};
+  return run;
+}
+
+std::array<ComparatorRun, 4> synthetic_grid(int d0, int d1, int d2, int d3) {
+  return {synthetic_run(d0), synthetic_run(d1), synthetic_run(d2),
+          synthetic_run(d3)};
+}
+
+TEST(Classify, NominalMatchesIsNoDeviation) {
+  const auto nominal = synthetic_grid(-1, -1, 1, 1);
+  EXPECT_EQ(classify_comparator(nominal, nominal),
+            VoltageSignature::kNoDeviation);
+}
+
+TEST(Classify, AllSameIsStuck) {
+  const auto nominal = synthetic_grid(-1, -1, 1, 1);
+  EXPECT_EQ(classify_comparator(synthetic_grid(1, 1, 1, 1), nominal),
+            VoltageSignature::kOutputStuckAt);
+  EXPECT_EQ(classify_comparator(synthetic_grid(-1, -1, -1, -1), nominal),
+            VoltageSignature::kOutputStuckAt);
+}
+
+TEST(Classify, ShiftedThresholdIsOffset) {
+  const auto nominal = synthetic_grid(-1, -1, 1, 1);
+  // Wrong at +9 mV but right at +300 mV: threshold shifted past 8 mV.
+  EXPECT_EQ(classify_comparator(synthetic_grid(-1, -1, -1, 1), nominal),
+            VoltageSignature::kOffset);
+  EXPECT_EQ(classify_comparator(synthetic_grid(-1, 1, 1, 1), nominal),
+            VoltageSignature::kOffset);
+}
+
+TEST(Classify, NonMonotonicIsMixed) {
+  const auto nominal = synthetic_grid(-1, -1, 1, 1);
+  EXPECT_EQ(classify_comparator(synthetic_grid(1, -1, 1, 1), nominal),
+            VoltageSignature::kMixed);
+}
+
+TEST(Classify, InvalidFlipflopLevels) {
+  const auto nominal = synthetic_grid(-1, -1, 1, 1);
+  EXPECT_EQ(classify_comparator(synthetic_grid(0, 0, 0, 0), nominal),
+            VoltageSignature::kOutputStuckAt);
+  EXPECT_EQ(classify_comparator(synthetic_grid(-1, 0, 1, 1), nominal),
+            VoltageSignature::kMixed);
+}
+
+TEST(Classify, ClockLevelDeviation) {
+  const auto nominal = synthetic_grid(-1, -1, 1, 1);
+  auto faulty = nominal;
+  for (auto& run : faulty) run.clock_levels[2] = 4.7;  // clk2 hi sagged
+  EXPECT_EQ(classify_comparator(faulty, nominal),
+            VoltageSignature::kClockValue);
+}
+
+TEST(Classify, NonConvergenceIsStuck) {
+  const auto nominal = synthetic_grid(-1, -1, 1, 1);
+  auto faulty = nominal;
+  faulty[2].converged = false;
+  EXPECT_EQ(classify_comparator(faulty, nominal),
+            VoltageSignature::kOutputStuckAt);
+}
+
+// Fault-injection integration: a hard short across the comparator
+// outputs must not look fault-free.
+TEST(Comparator, OutputShortIsDetectedAsBrokenFlipflop) {
+  const auto good = build_comparator_netlist();
+  fault::CircuitFault f;
+  f.kind = fault::FaultKind::kShort;
+  f.nets = {"outn", "outp"};
+  f.material = fault::BridgeMaterial::kMetal;
+  const auto bad = fault::apply_fault(good, f, fault::FaultModelOptions{});
+  const auto nominal = simulate_comparator_grid(good);
+  const auto faulty = simulate_comparator_grid(bad);
+  EXPECT_NE(classify_comparator(faulty, nominal),
+            VoltageSignature::kNoDeviation);
+}
+
+TEST(Comparator, ClockLineNearMissShortsYieldClockValueSignature) {
+  // High-ohmic (non-catastrophic) faults on the clock distribution lines
+  // shift the clock levels without necessarily breaking the function:
+  // the paper's "Clock value" signature. At least one of the plausible
+  // clock-line near-miss shorts must classify that way.
+  const auto good = build_comparator_netlist();
+  const auto nominal = simulate_comparator_grid(good);
+  const std::vector<std::pair<std::string, std::string>> candidates = {
+      {"clk2", "tail3"}, {"clk3", "lat"}, {"clk1", "q"}, {"clk3", "outn"},
+      {"clk1", "vin"}};
+  bool found_clock_value = false;
+  for (const auto& [a, b] : candidates) {
+    fault::CircuitFault f;
+    f.kind = fault::FaultKind::kShort;
+    f.nets = {std::min(a, b), std::max(a, b)};
+    f.material = fault::BridgeMaterial::kMetal;
+    const auto bad = fault::apply_fault(good, f, fault::FaultModelOptions{},
+                                        0, /*non_catastrophic=*/true);
+    const auto faulty = simulate_comparator_grid(bad);
+    found_clock_value =
+        found_clock_value || classify_comparator(faulty, nominal) ==
+                                 VoltageSignature::kClockValue;
+  }
+  EXPECT_TRUE(found_clock_value);
+}
+
+// --------------------------------------------------------------- ladder
+
+TEST(Ladder, NominalTapsAreUniform) {
+  const auto sol = solve_ladder(build_ladder_netlist());
+  ASSERT_TRUE(sol.converged);
+  ASSERT_EQ(sol.taps.size(), 256u);
+  for (int i = 0; i < 256; ++i) {
+    const double expected = kVrefLo + (i + 1) * lsb();
+    EXPECT_NEAR(sol.taps[static_cast<std::size_t>(i)], expected, 1e-6)
+        << "tap " << i;
+  }
+}
+
+TEST(Ladder, ReferenceCurrentMatchesResistance) {
+  const auto sol = solve_ladder(build_ladder_netlist());
+  // Coarse 16 * 12 Ohm in parallel with fine 16 * (16*60) per segment.
+  const double seg = 1.0 / (1.0 / kCoarseOhms +
+                            1.0 / (kFinePerSegment * kFineOhms));
+  const double expected = (kVrefHi - kVrefLo) / (kCoarseSegments * seg);
+  EXPECT_NEAR(sol.iref_p, expected, 1e-3);
+  EXPECT_NEAR(sol.iref_m, -expected, 1e-3);
+}
+
+TEST(Ladder, ShortAcrossSegmentShiftsTapsAndCurrent) {
+  const auto good = build_ladder_netlist();
+  fault::CircuitFault f;
+  f.kind = fault::FaultKind::kShort;
+  f.nets = {"c4", "c8"};
+  f.material = fault::BridgeMaterial::kMetal;
+  const auto bad = fault::apply_fault(good, f, fault::FaultModelOptions{});
+  const auto nominal = solve_ladder(good);
+  const auto faulty = solve_ladder(bad);
+  ASSERT_TRUE(faulty.converged);
+  // A quarter of the string is gone: current jumps, taps collapse.
+  EXPECT_GT(faulty.iref_p, 1.2 * nominal.iref_p);
+  EXPECT_NEAR(faulty.taps[80], faulty.taps[100], 0.05);
+}
+
+TEST(Ladder, TapVectorPropagatesToMissingCode) {
+  const auto good = build_ladder_netlist();
+  fault::CircuitFault f;
+  f.kind = fault::FaultKind::kShort;
+  f.nets = {ladder_tap_net(40), ladder_tap_net(42)};
+  f.material = fault::BridgeMaterial::kPoly;
+  const auto bad = fault::apply_fault(good, f, fault::FaultModelOptions{});
+  const auto sol = solve_ladder(bad);
+  ASSERT_TRUE(sol.converged);
+  const FlashAdcModel adc(sol.taps);
+  EXPECT_TRUE(has_missing_code(adc));
+  // The fault-free ladder shows no missing code.
+  EXPECT_FALSE(has_missing_code(FlashAdcModel(solve_ladder(good).taps)));
+}
+
+// -------------------------------------------------------------- biasgen
+
+TEST(Biasgen, ProducesCloseBiasLevels) {
+  const auto sol = solve_biasgen(build_biasgen_netlist());
+  ASSERT_TRUE(sol.converged);
+  // Two bias voltages around a volt, deliberately close together.
+  EXPECT_GT(sol.vbn, 0.7);
+  EXPECT_LT(sol.vbn, 1.4);
+  EXPECT_GT(sol.vbc, 0.7);
+  EXPECT_LT(sol.vbc, 1.4);
+  EXPECT_LT(std::fabs(sol.vbc - sol.vbn), 0.3);
+  EXPECT_GT(sol.ivdd, 1e-6);
+}
+
+TEST(Biasgen, SupplyShortChangesCurrentMassively) {
+  const auto good = build_biasgen_netlist();
+  fault::CircuitFault f;
+  f.kind = fault::FaultKind::kShort;
+  f.nets = {"vbn", "vdda"};
+  f.material = fault::BridgeMaterial::kMetal;
+  const auto bad = fault::apply_fault(good, f, fault::FaultModelOptions{});
+  const auto nominal = solve_biasgen(good);
+  const auto faulty = solve_biasgen(bad);
+  ASSERT_TRUE(faulty.converged);
+  EXPECT_GT(faulty.ivdd, 5.0 * nominal.ivdd);
+  EXPECT_GT(faulty.vbn, 4.0);  // bias line pulled to the supply
+}
+
+// ------------------------------------------------------------- clockgen
+
+TEST(Clockgen, PhasesAtLogicLevels) {
+  const auto sol = solve_clockgen(build_clockgen_netlist());
+  ASSERT_TRUE(sol.converged);
+  for (int i = 0; i < 3; ++i) {
+    const bool low_ok = sol.out_low[i] < 0.5 || sol.out_low[i] > kVddd - 0.5;
+    const bool high_ok =
+        sol.out_high[i] < 0.5 || sol.out_high[i] > kVddd - 0.5;
+    EXPECT_TRUE(low_ok) << "phase " << i;
+    EXPECT_TRUE(high_ok) << "phase " << i;
+  }
+  // clk1 follows the clock input (buffered): differs between states.
+  EXPECT_NE(sol.out_low[0] > 2.5, sol.out_high[0] > 2.5);
+}
+
+TEST(Clockgen, QuiescentIddqIsTiny) {
+  const auto sol = solve_clockgen(build_clockgen_netlist());
+  EXPECT_LT(sol.iddq_low, 1e-6);
+  EXPECT_LT(sol.iddq_high, 1e-6);
+}
+
+TEST(Clockgen, InternalShortRaisesIddq) {
+  const auto good = build_clockgen_netlist();
+  fault::CircuitFault f;
+  f.kind = fault::FaultKind::kShort;
+  f.nets = {"p1", "p1b"};  // consecutive buffer stages fight
+  f.material = fault::BridgeMaterial::kMetal;
+  const auto bad = fault::apply_fault(good, f, fault::FaultModelOptions{
+                                                   .vdd_net = "vddd"});
+  const auto faulty = solve_clockgen(bad);
+  ASSERT_TRUE(faulty.converged);
+  EXPECT_GT(std::max(faulty.iddq_low, faulty.iddq_high), 1e-4);
+}
+
+// -------------------------------------------------------------- decoder
+
+TEST(Decoder, RowsFollowThermometerTruthTable) {
+  const auto sol = solve_decoder(build_decoder_netlist());
+  ASSERT_TRUE(sol.converged);
+  for (int v = 0; v <= 4; ++v)
+    for (int r = 0; r < 4; ++r)
+      EXPECT_EQ(sol.rows[static_cast<std::size_t>(v)]
+                        [static_cast<std::size_t>(r)] > kVddd / 2,
+                decoder_row_expected(v, r))
+          << "vector " << v << " row " << r;
+}
+
+TEST(Decoder, QuiescentIddqTinyAcrossVectors) {
+  const auto sol = solve_decoder(build_decoder_netlist());
+  for (double i : sol.iddq) EXPECT_LT(i, 1e-6);
+}
+
+TEST(Decoder, StuckRowDetectedFunctionally) {
+  const auto good = build_decoder_netlist();
+  fault::CircuitFault f;
+  f.kind = fault::FaultKind::kShort;
+  f.nets = {"0", "r1"};
+  f.material = fault::BridgeMaterial::kMetal;
+  const auto bad = fault::apply_fault(good, f, fault::FaultModelOptions{
+                                                   .vdd_net = "vddd"});
+  const auto sol = solve_decoder(bad);
+  ASSERT_TRUE(sol.converged);
+  // Row r1 can no longer go high for vector 2.
+  EXPECT_LT(sol.rows[2][1], kVddd / 2);
+}
+
+// ----------------------------------------------------------- behavioral
+
+TEST(Behavioral, IdealConverterStaircase) {
+  const FlashAdcModel adc;
+  EXPECT_EQ(adc.convert(kVrefLo - 0.01), 0);
+  EXPECT_EQ(adc.convert(kVrefHi + 0.01), 255);
+  EXPECT_EQ(adc.convert(kVrefLo + 100.5 * lsb()), 100);
+}
+
+TEST(Behavioral, FaultFreeSeesAllCodes) {
+  const FlashAdcModel adc;
+  const auto seen = codes_seen(adc);
+  for (int code = 0; code < 256; ++code)
+    EXPECT_TRUE(seen[static_cast<std::size_t>(code)]) << "code " << code;
+}
+
+TEST(Behavioral, StuckComparatorCausesMissingCode) {
+  FlashAdcModel adc;
+  adc.set_comparator(100, {ComparatorMode::kStuckLow, 0.0});
+  EXPECT_TRUE(has_missing_code(adc));
+  FlashAdcModel adc2;
+  adc2.set_comparator(100, {ComparatorMode::kStuckHigh, 0.0});
+  EXPECT_TRUE(has_missing_code(adc2));
+}
+
+TEST(Behavioral, OffsetBeyondOneLsbCausesMissingCode) {
+  FlashAdcModel adc;
+  adc.set_comparator(100, {ComparatorMode::kOffset, 2.5 * lsb()});
+  EXPECT_TRUE(has_missing_code(adc));
+}
+
+TEST(Behavioral, SmallOffsetHarmless) {
+  FlashAdcModel adc;
+  adc.set_comparator(100, {ComparatorMode::kOffset, 0.3 * lsb()});
+  EXPECT_FALSE(has_missing_code(adc));
+}
+
+TEST(Behavioral, StuckDecoderRowCausesMissingCode) {
+  FlashAdcModel adc;
+  adc.set_row_stuck(100, false);
+  EXPECT_TRUE(has_missing_code(adc));
+}
+
+TEST(Behavioral, TestTimeMatchesSampleCount) {
+  EXPECT_NEAR(missing_code_test_time(), 1000 * kCyclePeriod, 1e-12);
+}
+
+}  // namespace
+}  // namespace dot::flashadc

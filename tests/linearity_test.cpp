@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "flashadc/ladder.hpp"
+#include "flashadc/linearity.hpp"
+#include "fault/model.hpp"
+#include "testgen/spec_test.hpp"
+#include "util/error.hpp"
+
+namespace dot::flashadc {
+namespace {
+
+TEST(Linearity, IdealConverterIsClean) {
+  const FlashAdcModel adc;
+  const auto lin = measure_linearity(adc);
+  EXPECT_EQ(lin.missing_codes, 0);
+  EXPECT_TRUE(lin.monotonic);
+  EXPECT_LT(lin.worst_dnl, 0.2);
+  EXPECT_LT(lin.worst_inl, 0.2);
+  ASSERT_EQ(lin.transitions.size(), 255u);
+  // Transitions are evenly spaced by one LSB.
+  EXPECT_NEAR(lin.transitions[100] - lin.transitions[99], lsb(),
+              lsb() / 4.0);
+}
+
+TEST(Linearity, OffsetComparatorShowsDnlError) {
+  FlashAdcModel adc;
+  adc.set_comparator(100, {ComparatorMode::kOffset, 0.6 * lsb()});
+  const auto lin = measure_linearity(adc);
+  EXPECT_GT(lin.worst_dnl, 0.4);
+  EXPECT_EQ(lin.missing_codes, 0);  // below one LSB: no missing code
+}
+
+TEST(Linearity, StuckComparatorShowsMissingCode) {
+  FlashAdcModel adc;
+  adc.set_comparator(100, {ComparatorMode::kStuckLow, 0.0});
+  const auto lin = measure_linearity(adc);
+  EXPECT_GT(lin.missing_codes, 0);
+  EXPECT_GT(lin.worst_dnl, 0.9);
+}
+
+TEST(Linearity, LadderShortShowsInlBow) {
+  // A coarse-ladder short compresses part of the transfer curve: the
+  // INL blows up even where codes still exist.
+  auto ladder = build_ladder_netlist();
+  fault::CircuitFault f;
+  f.kind = fault::FaultKind::kShort;
+  f.nets = {"c4", "c6"};
+  f.material = fault::BridgeMaterial::kMetal;
+  const auto bad = fault::apply_fault(ladder, f, fault::FaultModelOptions{});
+  const auto sol = solve_ladder(bad);
+  ASSERT_TRUE(sol.converged);
+  const auto lin = measure_linearity(FlashAdcModel(sol.taps));
+  EXPECT_GT(lin.worst_inl, 2.0);
+}
+
+TEST(Linearity, BadResolutionThrows) {
+  EXPECT_THROW(measure_linearity(FlashAdcModel{}, 0),
+               util::InvalidInputError);
+}
+
+TEST(SpecTest, TimeAccountsAllComponents) {
+  testgen::SpecTestTiming timing;
+  const double t = testgen::spec_test_time(timing);
+  // Dominated by per-measurement setup: 6 x 20 ms.
+  EXPECT_GT(t, 0.12);
+  EXPECT_LT(t, 0.2);
+  timing.setup_per_measurement = 0.0;
+  const double acquisition = testgen::spec_test_time(timing);
+  EXPECT_NEAR(acquisition,
+              256.0 * 64 * 100e-9 + 4096.0 * 8 * 100e-9, 1e-9);
+}
+
+TEST(SpecTest, CoverageFollowsSignatureMix) {
+  using macro::VoltageSignature;
+  std::vector<testgen::SignatureWeight> sigs = {
+      {VoltageSignature::kOutputStuckAt, 50.0},
+      {VoltageSignature::kClockValue, 30.0},
+      {VoltageSignature::kNoDeviation, 20.0},
+  };
+  testgen::SpecCoverageModel model;
+  model.clock_value_catch = 0.5;
+  const double cov = testgen::spec_test_coverage(sigs, model);
+  EXPECT_NEAR(cov, (50.0 + 15.0) / 100.0, 1e-12);
+  EXPECT_DOUBLE_EQ(testgen::spec_test_coverage({}), 0.0);
+}
+
+}  // namespace
+}  // namespace dot::flashadc

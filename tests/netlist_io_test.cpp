@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "spice/netlist_io.hpp"
+#include "util/error.hpp"
+
+namespace dot::spice {
+namespace {
+
+TEST(SiNumber, PlainAndSuffixed) {
+  EXPECT_DOUBLE_EQ(parse_si_number("42"), 42.0);
+  EXPECT_DOUBLE_EQ(parse_si_number("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(parse_si_number("4u"), 4e-6);
+  EXPECT_DOUBLE_EQ(parse_si_number("2.2k"), 2200.0);
+  EXPECT_DOUBLE_EQ(parse_si_number("1meg"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_si_number("100n"), 100e-9);
+  EXPECT_DOUBLE_EQ(parse_si_number("5p"), 5e-12);
+  EXPECT_DOUBLE_EQ(parse_si_number("1f"), 1e-15);
+  EXPECT_DOUBLE_EQ(parse_si_number("3m"), 3e-3);
+  EXPECT_DOUBLE_EQ(parse_si_number("2g"), 2e9);
+  EXPECT_DOUBLE_EQ(parse_si_number("1e-6"), 1e-6);
+}
+
+TEST(SiNumber, RejectsGarbage) {
+  EXPECT_THROW(parse_si_number(""), util::InvalidInputError);
+  EXPECT_THROW(parse_si_number("abc"), util::InvalidInputError);
+  EXPECT_THROW(parse_si_number("1x"), util::InvalidInputError);
+}
+
+TEST(DeckParse, BasicRcCircuit) {
+  const std::string deck = R"(
+* comment line
+R1 in out 1k
+C1 out 0 100n
+V1 in 0 DC 5
+)";
+  const Netlist n = parse_deck(deck);
+  EXPECT_EQ(n.devices().size(), 3u);
+  EXPECT_DOUBLE_EQ(std::get<Resistor>(*n.find_device("R1")).ohms, 1000.0);
+  EXPECT_DOUBLE_EQ(std::get<Capacitor>(*n.find_device("C1")).farads, 1e-7);
+  EXPECT_DOUBLE_EQ(
+      std::get<VoltageSource>(*n.find_device("V1")).spec.dc_value(), 5.0);
+}
+
+TEST(DeckParse, SourceShapes) {
+  const std::string deck = R"(
+V1 a 0 PULSE(0 5 10n 1n 1n 20n 100n)
+V2 b 0 SIN(2.5 1 1meg 0)
+V3 c 0 TRI(1 3 4u 0)
+V4 d 0 PWL(0 0 1u 5 2u 0)
+I1 0 e DC 1m
+)";
+  const Netlist n = parse_deck(deck);
+  const auto& pulse = std::get<VoltageSource>(*n.find_device("V1")).spec;
+  EXPECT_DOUBLE_EQ(pulse.eval(25e-9), 5.0);
+  EXPECT_DOUBLE_EQ(pulse.eval(0.0), 0.0);
+  const auto& sine = std::get<VoltageSource>(*n.find_device("V2")).spec;
+  EXPECT_NEAR(sine.eval(0.25e-6), 3.5, 1e-9);
+  const auto& tri = std::get<VoltageSource>(*n.find_device("V3")).spec;
+  EXPECT_DOUBLE_EQ(tri.eval(2e-6), 3.0);
+  const auto& pwl = std::get<VoltageSource>(*n.find_device("V4")).spec;
+  EXPECT_DOUBLE_EQ(pwl.eval(0.5e-6), 2.5);
+  EXPECT_DOUBLE_EQ(
+      std::get<CurrentSource>(*n.find_device("I1")).spec.dc_value(), 1e-3);
+}
+
+TEST(DeckParse, MosfetWithModelParameters) {
+  const Netlist n = parse_deck(
+      "M1 d g s 0 NMOS W=4u L=1u VT0=0.65 KP=120u LAMBDA=0.05 GAMMA=0.3\n");
+  const auto& mos = std::get<Mosfet>(*n.find_device("M1"));
+  EXPECT_EQ(mos.type, MosType::kNmos);
+  EXPECT_DOUBLE_EQ(mos.w, 4e-6);
+  EXPECT_DOUBLE_EQ(mos.model.vt0, 0.65);
+  EXPECT_DOUBLE_EQ(mos.model.kp, 120e-6);
+  EXPECT_DOUBLE_EQ(mos.model.gamma, 0.3);
+}
+
+TEST(DeckParse, VcvsAndSwitch) {
+  const Netlist n = parse_deck(
+      "E1 p 0 cp 0 10\n"
+      "S1 a b ctl 0 VON=3 VOFF=2 RON=5 ROFF=1e8\n");
+  EXPECT_DOUBLE_EQ(std::get<Vcvs>(*n.find_device("E1")).gain, 10.0);
+  const auto& sw = std::get<Switch>(*n.find_device("S1"));
+  EXPECT_DOUBLE_EQ(sw.v_on, 3.0);
+  EXPECT_DOUBLE_EQ(sw.r_on, 5.0);
+}
+
+TEST(DeckParse, ErrorsCarryLineNumbers) {
+  try {
+    parse_deck("R1 a b 1k\nXBAD a b c\n");
+    FAIL() << "expected throw";
+  } catch (const util::InvalidInputError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_deck("R1 a b\n"), util::InvalidInputError);
+  EXPECT_THROW(parse_deck("V1 a 0 WOBBLE(1 2)\n"), util::InvalidInputError);
+  EXPECT_THROW(parse_deck("M1 d g s 0 XMOS W=1u L=1u\n"),
+               util::InvalidInputError);
+}
+
+TEST(DeckRoundTrip, WriterOutputReparsesIdentically) {
+  Netlist n;
+  MosModel m;
+  m.vt0 = 0.66;
+  n.add_vsource("VDD", "vdd", "0", SourceSpec::dc(5.0));
+  PulseParams p;
+  p.initial = 0;
+  p.pulsed = 5;
+  p.delay = 1e-9;
+  p.rise = 1e-9;
+  p.fall = 2e-9;
+  p.width = 10e-9;
+  p.period = 50e-9;
+  n.add_vsource("VCK", "ck", "0", SourceSpec::pulse(p));
+  n.add_isource("IB", "0", "bias", SourceSpec::dc(10e-6));
+  n.add_resistor("R1", "a", "b", 123.5);
+  n.add_capacitor("C1", "b", "0", 3.3e-12);
+  n.add_mosfet("M1", MosType::kPmos, "a", "ck", "vdd", "vdd", 7e-6, 2e-6, m);
+  n.add_vcvs("E1", "x", "0", "a", "b", -2.5);
+  Switch sw;
+  sw.r_on = 12.0;
+  n.add_switch(sw, "S1", "a", "x", "ck", "0");
+
+  const std::string deck1 = to_deck(n);
+  const Netlist reparsed = parse_deck(deck1);
+  const std::string deck2 = to_deck(reparsed);
+  EXPECT_EQ(deck1, deck2);
+  EXPECT_EQ(reparsed.devices().size(), n.devices().size());
+}
+
+}  // namespace
+}  // namespace dot::spice

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "testgen/program.hpp"
+
+namespace dot::testgen {
+namespace {
+
+macro::GoodEnvelope sample_envelope() {
+  macro::MeasurementLayout layout;
+  layout.add("ivdd_sample", macro::MeasurementKind::kIVdd);
+  layout.add("iddq_sample", macro::MeasurementKind::kIddq);
+  layout.add("iin_sample", macro::MeasurementKind::kIinput);
+  layout.add("clk_level", macro::MeasurementKind::kOther);
+  std::vector<std::vector<double>> samples(
+      25, {1e-3, 1e-9, 2e-6, 5.0});
+  macro::BandPolicy policy;
+  policy.abs_floor = 1e-6;
+  return macro::build_envelope(layout, samples, policy);
+}
+
+TEST(Program, GeneratesSelectedStepsWithLimits) {
+  const auto envelope = sample_envelope();
+  const auto program = generate_program(
+      envelope, {Mechanism::kMissingCode, Mechanism::kIVdd});
+  // missing code + ivdd measurement + settling.
+  ASSERT_EQ(program.steps().size(), 3u);
+  EXPECT_EQ(program.steps()[0].mechanism, Mechanism::kMissingCode);
+  const auto& ivdd = program.steps()[1];
+  EXPECT_EQ(ivdd.mechanism, Mechanism::kIVdd);
+  EXPECT_LT(ivdd.limit_lo, 1e-3);
+  EXPECT_GT(ivdd.limit_hi, 1e-3);
+  // kOther dims and unselected mechanisms are excluded.
+  for (const auto& step : program.steps())
+    EXPECT_EQ(step.name.find("clk_level"), std::string::npos);
+}
+
+TEST(Program, TimingMatchesTestTimeModel) {
+  const auto envelope = sample_envelope();
+  const std::vector<Mechanism> all = {
+      Mechanism::kMissingCode, Mechanism::kIVdd, Mechanism::kIddq,
+      Mechanism::kIinput};
+  TesterTiming timing;
+  const auto program = generate_program(envelope, all, timing);
+  // One measurement per current dim here (3) vs test_time()'s
+  // 6-readings-per-mechanism assumption; compare the structural parts.
+  double expected = timing.missing_code_samples * timing.cycle_period +
+                    3 * timing.current_measure +
+                    timing.current_readings * timing.current_settle;
+  EXPECT_NEAR(program.total_time(), expected, 1e-12);
+}
+
+TEST(Program, CurrentOnlySkipsMissingCode) {
+  const auto program =
+      generate_program(sample_envelope(), {Mechanism::kIddq});
+  ASSERT_EQ(program.steps().size(), 2u);  // iddq + settling
+  EXPECT_EQ(program.steps()[0].mechanism, Mechanism::kIddq);
+}
+
+TEST(Program, TextRenders) {
+  const auto program = generate_program(
+      sample_envelope(),
+      {Mechanism::kMissingCode, Mechanism::kIddq});
+  const std::string text = program.text();
+  EXPECT_NE(text.find("missing-code sweep"), std::string::npos);
+  EXPECT_NE(text.find("iddq_sample"), std::string::npos);
+  EXPECT_NE(text.find("total tester time"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dot::testgen

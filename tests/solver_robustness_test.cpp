@@ -1,0 +1,139 @@
+// Robustness tests for the nonlinear solver machinery: continuation
+// fallbacks, loose acceptance of micro limit cycles, transient step
+// halving, and hard-fault operating points (rail shorts).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flashadc/comparator.hpp"
+#include "flashadc/comparator_sim.hpp"
+#include "fault/model.hpp"
+#include "spice/dc.hpp"
+#include "spice/transient.hpp"
+#include "util/error.hpp"
+
+namespace dot::spice {
+namespace {
+
+MosModel simple_model() {
+  MosModel m;
+  m.gamma = 0.0;
+  m.lambda = 0.02;
+  return m;
+}
+
+TEST(Robustness, BistableLatchFindsAnOperatingPoint) {
+  // Cross-coupled inverters with no stimulus: three DC solutions exist;
+  // the solver must land on one of them, not fail.
+  Netlist n;
+  n.add_vsource("VDD", "vdd", "0", SourceSpec::dc(5.0));
+  const auto m = simple_model();
+  n.add_mosfet("MPA", MosType::kPmos, "q", "qb", "vdd", "vdd", 8e-6, 1e-6, m);
+  n.add_mosfet("MNA", MosType::kNmos, "q", "qb", "0", "0", 4e-6, 1e-6, m);
+  n.add_mosfet("MPB", MosType::kPmos, "qb", "q", "vdd", "vdd", 8e-6, 1e-6, m);
+  n.add_mosfet("MNB", MosType::kNmos, "qb", "q", "0", "0", 4e-6, 1e-6, m);
+  const MnaMap map(n);
+  const auto result = dc_operating_point(n, map);
+  EXPECT_TRUE(result.converged);
+  const double q = map.voltage(result.x, *n.find_node("q"));
+  EXPECT_GE(q, -0.1);
+  EXPECT_LE(q, 5.1);
+}
+
+TEST(Robustness, HardRailShortConverges) {
+  // 0.2 Ohm across the ideal 5 V supply: 25 A flows, everything else
+  // stays biased. Regression test for the Newton micro-limit-cycle that
+  // used to kill this operating point.
+  const auto macro = flashadc::build_comparator_netlist();
+  fault::CircuitFault f;
+  f.kind = fault::FaultKind::kShort;
+  f.nets = {"0", "vdda"};
+  f.material = fault::BridgeMaterial::kMetal;
+  const auto bad = fault::apply_fault(macro, f,
+                                      fault::FaultModelOptions{.vdd_net = "vdda"});
+  const auto run = flashadc::simulate_comparator(bad, 0.3);
+  ASSERT_TRUE(run.converged);
+  EXPECT_NEAR(run.ivdd[1], 25.0, 0.5);  // dominated by the short
+}
+
+TEST(Robustness, LooseAcceptanceRespectsBound) {
+  // A well-behaved linear circuit must converge strictly (iterations
+  // small), not via the loose path.
+  Netlist n;
+  n.add_vsource("V1", "a", "0", SourceSpec::dc(1.0));
+  n.add_resistor("R1", "a", "b", 1e3);
+  n.add_resistor("R2", "b", "0", 1e3);
+  const MnaMap map(n);
+  DcOptions opt;
+  const auto result = dc_operating_point(n, map, opt);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 5);
+}
+
+TEST(Robustness, SourceSteppingRecoversHardStart) {
+  // Strongly regenerative circuit plus a big supply: even if plain
+  // Newton oscillates, the continuation ladder must find the solution.
+  Netlist n;
+  n.add_vsource("VDD", "vdd", "0", SourceSpec::dc(5.0));
+  const auto m = simple_model();
+  // Chain of 6 inverters in a ring broken by a resistor (quasi-stable).
+  std::string prev = "vdd";
+  for (int i = 0; i < 6; ++i) {
+    const std::string in = i == 0 ? "x5" : "x" + std::to_string(i - 1);
+    const std::string out = "x" + std::to_string(i);
+    n.add_mosfet("MP" + std::to_string(i), MosType::kPmos, out, in, "vdd",
+                 "vdd", 8e-6, 1e-6, m);
+    n.add_mosfet("MN" + std::to_string(i), MosType::kNmos, out, in, "0", "0",
+                 4e-6, 1e-6, m);
+  }
+  n.add_resistor("RB", "x5", "x0", 100e3);
+  const MnaMap map(n);
+  const auto result = dc_operating_point(n, map);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(Robustness, TransientStepHalvingHandlesFastEdge) {
+  // 10 ps edges with a 1 ns base step force the halving path.
+  Netlist n;
+  PulseParams p;
+  p.initial = 0.0;
+  p.pulsed = 5.0;
+  p.delay = 5e-9;
+  p.rise = 10e-12;
+  p.fall = 10e-12;
+  p.width = 5e-9;
+  n.add_vsource("V1", "in", "0", SourceSpec::pulse(p));
+  n.add_resistor("R1", "in", "out", 100.0);
+  n.add_capacitor("C1", "out", "0", 1e-12);
+  TranOptions opt;
+  opt.t_stop = 20e-9;
+  opt.dt = 1e-9;
+  const auto result = transient(n, opt);
+  EXPECT_NEAR(result.voltage_at(9.9e-9, "out"), 5.0, 0.05);
+  EXPECT_NEAR(result.voltage_at(19.9e-9, "out"), 0.0, 0.05);
+}
+
+TEST(Robustness, TransientThrowsWhenTrulyStuck) {
+  // An inconsistent circuit: two ideal voltage sources fighting across
+  // the same node pair makes the system singular at every step size.
+  Netlist n;
+  n.add_vsource("V1", "a", "0", SourceSpec::dc(1.0));
+  n.add_vsource("V2", "a", "0", SourceSpec::dc(2.0));
+  n.add_resistor("RL", "a", "0", 1e3);
+  TranOptions opt;
+  opt.t_stop = 1e-9;
+  opt.dt = 1e-10;
+  EXPECT_THROW(transient(n, opt), util::ConvergenceError);
+}
+
+TEST(Robustness, DcThrowsOnConflictingSources) {
+  Netlist n;
+  n.add_vsource("V1", "a", "0", SourceSpec::dc(1.0));
+  n.add_vsource("V2", "a", "0", SourceSpec::dc(2.0));
+  n.add_resistor("RL", "a", "0", 1e3);
+  const MnaMap map(n);
+  EXPECT_THROW(dc_operating_point(n, map), util::ConvergenceError);
+}
+
+}  // namespace
+}  // namespace dot::spice

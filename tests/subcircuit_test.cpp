@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "spice/dc.hpp"
+#include "spice/subcircuit.hpp"
+#include "util/error.hpp"
+
+namespace dot::spice {
+namespace {
+
+Netlist divider_cell() {
+  Netlist n;
+  n.add_resistor("RT", "in", "out", 1e3);
+  n.add_resistor("RB", "out", "0", 1e3);
+  return n;
+}
+
+TEST(Subcircuit, PinsConnectInternalsPrefixed) {
+  Netlist top;
+  top.add_vsource("V1", "vin", "0", SourceSpec::dc(4.0));
+  instantiate(top, divider_cell(), "u1", {{"in", "vin"}, {"out", "mid"}});
+  instantiate(top, divider_cell(), "u2", {{"in", "mid"}, {"out", "lo"}});
+  EXPECT_NE(top.find_device("u1.RT"), nullptr);
+  EXPECT_NE(top.find_device("u2.RB"), nullptr);
+  const MnaMap map(top);
+  const auto r = dc_operating_point(top, map);
+  // Second divider loads the first: v_mid = 4 * (2k||1k... ) solve:
+  // mid node: from vin through 1k, down 1k, and into u2 (2k to gnd).
+  // v_mid = 4 * (1k || 2k) / (1k + (1k || 2k)) = 4 * 0.6667k/1.6667k = 1.6
+  EXPECT_NEAR(map.voltage(r.x, *top.find_node("mid")), 1.6, 1e-6);
+  EXPECT_NEAR(map.voltage(r.x, *top.find_node("lo")), 0.8, 1e-6);
+}
+
+TEST(Subcircuit, GroundStaysGround) {
+  Netlist top;
+  instantiate(top, divider_cell(), "u1", {{"in", "a"}});
+  const auto& rb = std::get<Resistor>(*top.find_device("u1.RB"));
+  EXPECT_EQ(rb.b, kGround);
+  // Unmapped internal node got the prefix.
+  EXPECT_TRUE(top.find_node("u1.out").has_value());
+}
+
+TEST(Subcircuit, NameCollisionThrows) {
+  Netlist top;
+  instantiate(top, divider_cell(), "u1", {});
+  EXPECT_THROW(instantiate(top, divider_cell(), "u1", {}),
+               util::InvalidInputError);
+}
+
+TEST(Subcircuit, UnknownPinThrows) {
+  Netlist top;
+  EXPECT_THROW(instantiate(top, divider_cell(), "u1", {{"nope", "x"}}),
+               util::InvalidInputError);
+}
+
+TEST(Subcircuit, BranchDevicesWork) {
+  // Instantiated voltage sources keep working branch currents.
+  Netlist cell;
+  cell.add_vsource("VREF", "ref", "0", SourceSpec::dc(1.5));
+  cell.add_resistor("R1", "ref", "out", 1e3);
+  Netlist top;
+  instantiate(top, cell, "a", {{"out", "o1"}});
+  top.add_resistor("RL", "o1", "0", 1e3);
+  const MnaMap map(top);
+  const auto r = dc_operating_point(top, map);
+  EXPECT_NEAR(map.branch_current(r.x, "a.VREF"), -0.75e-3, 1e-9);
+}
+
+}  // namespace
+}  // namespace dot::spice

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/sweep.hpp"
+#include "util/error.hpp"
+
+namespace dot::spice {
+namespace {
+
+MosModel simple() {
+  MosModel m;
+  m.gamma = 0.0;
+  m.lambda = 0.02;
+  return m;
+}
+
+Netlist inverter() {
+  Netlist n;
+  n.add_vsource("VDD", "vdd", "0", SourceSpec::dc(5.0));
+  n.add_vsource("VIN", "in", "0", SourceSpec::dc(0.0));
+  n.add_mosfet("MN", MosType::kNmos, "out", "in", "0", "0", 4e-6, 1e-6,
+               simple());
+  n.add_mosfet("MP", MosType::kPmos, "out", "in", "vdd", "vdd", 11e-6, 1e-6,
+               simple());
+  return n;
+}
+
+TEST(DcSweep, InverterTransferCurve) {
+  DcSweepOptions opt;
+  opt.source = "VIN";
+  opt.from = 0.0;
+  opt.to = 5.0;
+  opt.step = 0.05;
+  const auto r = dc_sweep(inverter(), opt);
+  EXPECT_EQ(r.points(), 101u);
+  EXPECT_GT(r.voltage(0, "out"), 4.9);
+  EXPECT_LT(r.voltage(r.points() - 1, "out"), 0.1);
+  // Output is monotonically non-increasing in the input.
+  for (std::size_t i = 1; i < r.points(); ++i)
+    EXPECT_LE(r.voltage(i, "out"), r.voltage(i - 1, "out") + 1e-6);
+  // Switching threshold near midscale for this sizing (beta-matched).
+  const double vm = r.crossing("out", 2.5);
+  EXPECT_GT(vm, 2.0);
+  EXPECT_LT(vm, 3.0);
+}
+
+TEST(DcSweep, CrossingNanWhenNoCrossing) {
+  DcSweepOptions opt;
+  opt.source = "VIN";
+  opt.from = 0.0;
+  opt.to = 0.3;
+  opt.step = 0.1;
+  const auto r = dc_sweep(inverter(), opt);
+  EXPECT_TRUE(std::isnan(r.crossing("out", 0.5)));
+}
+
+TEST(DcSweep, BadOptionsThrow) {
+  DcSweepOptions opt;
+  opt.source = "NOPE";
+  EXPECT_THROW(dc_sweep(inverter(), opt), util::InvalidInputError);
+  opt.source = "VIN";
+  opt.step = -1.0;
+  EXPECT_THROW(dc_sweep(inverter(), opt), util::InvalidInputError);
+}
+
+TEST(OpReport, ReportsBiasAndPower) {
+  Netlist n;
+  n.add_vsource("V1", "in", "0", SourceSpec::dc(2.0));
+  n.add_resistor("R1", "in", "out", 1e3);
+  n.add_diode("D1", "out", "0");
+  const MnaMap map(n);
+  const auto dc = dc_operating_point(n, map);
+  const auto report = operating_point_report(n, map, dc.x);
+  ASSERT_EQ(report.size(), 3u);
+  // Resistor current = diode current = source current magnitude.
+  const auto& r1 = report[1];
+  EXPECT_EQ(r1.kind, "resistor");
+  const auto& d1 = report[2];
+  EXPECT_EQ(d1.kind, "diode");
+  EXPECT_NEAR(r1.current, d1.current, 1e-9);
+  EXPECT_NEAR(report[0].current, -r1.current, 1e-9);
+  // Power balance: source delivers what R and D dissipate.
+  EXPECT_NEAR(report[0].power, r1.power + d1.power, 1e-9);
+  const std::string text = op_report_text(report);
+  EXPECT_NE(text.find("diode"), std::string::npos);
+}
+
+TEST(OpReport, MosfetRegionAnnotated) {
+  Netlist n;
+  n.add_vsource("VDD", "vdd", "0", SourceSpec::dc(5.0));
+  n.add_vsource("VG", "g", "0", SourceSpec::dc(1.2));
+  n.add_resistor("RD", "vdd", "d", 2e3);
+  n.add_mosfet("M1", MosType::kNmos, "d", "g", "0", "0", 10e-6, 1e-6,
+               simple());
+  const MnaMap map(n);
+  const auto dc = dc_operating_point(n, map);
+  const auto report = operating_point_report(n, map, dc.x);
+  const auto& mos = report.back();
+  EXPECT_EQ(mos.kind, "mosfet");
+  EXPECT_NE(mos.detail.find("saturation"), std::string::npos);
+  EXPECT_GT(mos.current, 0.0);
+}
+
+}  // namespace
+}  // namespace dot::spice

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace dot::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, BelowCoversRangeWithoutBias) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedRejectsAllZero) {
+  Rng rng(29);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted(weights), std::invalid_argument);
+}
+
+TEST(Rng, PowerLawStaysInRange) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.power_law(1.0, 100.0, 3.0);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(Rng, PowerLawFavorsSmallSizes) {
+  // For density ~ 1/x^3 on [1, 100], P(X < 2) = (1 - 2^-2)/(1 - 100^-2)
+  // = 0.7501...; check the empirical fraction.
+  Rng rng(37);
+  int below2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    below2 += rng.power_law(1.0, 100.0, 3.0) < 2.0;
+  EXPECT_NEAR(static_cast<double>(below2) / n, 0.750, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.fork();
+  // The two streams should not be identical.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += parent() == child();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Band, ContainsEdgesInclusive) {
+  Band b{-1.0, 2.0};
+  EXPECT_TRUE(b.contains(-1.0));
+  EXPECT_TRUE(b.contains(2.0));
+  EXPECT_FALSE(b.contains(2.0001));
+  EXPECT_FALSE(b.contains(-1.0001));
+}
+
+TEST(SignatureSpace, InsideRequiresAllDimensions) {
+  SignatureSpace space;
+  space.add_dimension("ivdd", Band{1.0, 2.0});
+  space.add_dimension("iddq", Band{-0.1, 0.1});
+  EXPECT_TRUE(space.inside({1.5, 0.0}));
+  EXPECT_FALSE(space.inside({2.5, 0.0}));
+  EXPECT_FALSE(space.inside({1.5, 0.2}));
+  EXPECT_EQ(space.violations({2.5, 0.2}).size(), 2u);
+  EXPECT_EQ(space.find("iddq"), 1u);
+  EXPECT_EQ(space.find("nope"), SignatureSpace::npos);
+}
+
+TEST(SignatureSpace, DimensionMismatchThrows) {
+  SignatureSpace space;
+  space.add_dimension("a", Band{0, 1});
+  EXPECT_THROW(space.inside({0.5, 0.5}), std::invalid_argument);
+}
+
+TEST(EnvelopeBuilder, ThreeSigmaBand) {
+  EnvelopeBuilder builder(3.0);
+  Rng rng(43);
+  for (int i = 0; i < 50000; ++i)
+    builder.add_sample({rng.normal(10.0, 1.0)});
+  const SignatureSpace space = builder.build({"m"});
+  EXPECT_NEAR(space.band(0).lo, 7.0, 0.1);
+  EXPECT_NEAR(space.band(0).hi, 13.0, 0.1);
+}
+
+TEST(EnvelopeBuilder, MinWidthGuardsDeterministicMeasurements) {
+  EnvelopeBuilder builder(3.0, 0.2);
+  for (int i = 0; i < 10; ++i) builder.add_sample({5.0});
+  const SignatureSpace space = builder.build({"m"});
+  EXPECT_NEAR(space.band(0).width(), 0.2, 1e-12);
+  EXPECT_TRUE(space.inside({5.05}));
+  EXPECT_FALSE(space.inside({5.2}));
+}
+
+TEST(EnvelopeBuilder, InconsistentSampleSizeThrows) {
+  EnvelopeBuilder builder;
+  builder.add_sample({1.0, 2.0});
+  EXPECT_THROW(builder.add_sample({1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"fault", "%"});
+  t.add_row({"short", "95.5"});
+  t.add_row({"open", "0.03"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| fault |"), std::string::npos);
+  EXPECT_NE(s.find("| short |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Formatting, FmtPctSi) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(pct(0.933, 1), "93.3");
+  EXPECT_EQ(si(3.2e-6, "s", 2), "3.20 us");
+  EXPECT_EQ(si(4.4e-3, "A", 1), "4.4 mA");
+  EXPECT_EQ(si(2000.0, "Ohm", 0), "2 kOhm");
+}
+
+}  // namespace
+}  // namespace dot::util
