@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bands.dir/bench_ablation_bands.cpp.o"
+  "CMakeFiles/bench_ablation_bands.dir/bench_ablation_bands.cpp.o.d"
+  "bench_ablation_bands"
+  "bench_ablation_bands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

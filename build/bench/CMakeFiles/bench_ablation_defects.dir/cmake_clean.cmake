@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_defects.dir/bench_ablation_defects.cpp.o"
+  "CMakeFiles/bench_ablation_defects.dir/bench_ablation_defects.cpp.o.d"
+  "bench_ablation_defects"
+  "bench_ablation_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_samples.dir/bench_ablation_samples.cpp.o"
+  "CMakeFiles/bench_ablation_samples.dir/bench_ablation_samples.cpp.o.d"
+  "bench_ablation_samples"
+  "bench_ablation_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_global.dir/bench_fig4_global.cpp.o"
+  "CMakeFiles/bench_fig4_global.dir/bench_fig4_global.cpp.o.d"
+  "bench_fig4_global"
+  "bench_fig4_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_dft.dir/bench_fig5_dft.cpp.o"
+  "CMakeFiles/bench_fig5_dft.dir/bench_fig5_dft.cpp.o.d"
+  "bench_fig5_dft"
+  "bench_fig5_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

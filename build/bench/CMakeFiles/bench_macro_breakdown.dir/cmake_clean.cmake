@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_macro_breakdown.dir/bench_macro_breakdown.cpp.o"
+  "CMakeFiles/bench_macro_breakdown.dir/bench_macro_breakdown.cpp.o.d"
+  "bench_macro_breakdown"
+  "bench_macro_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_macro_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spec_comparison.dir/bench_spec_comparison.cpp.o"
+  "CMakeFiles/bench_spec_comparison.dir/bench_spec_comparison.cpp.o.d"
+  "bench_spec_comparison"
+  "bench_spec_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spec_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

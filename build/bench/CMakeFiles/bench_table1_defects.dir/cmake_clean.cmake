@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_defects.dir/bench_table1_defects.cpp.o"
+  "CMakeFiles/bench_table1_defects.dir/bench_table1_defects.cpp.o.d"
+  "bench_table1_defects"
+  "bench_table1_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

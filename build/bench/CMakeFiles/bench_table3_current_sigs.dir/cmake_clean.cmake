@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_current_sigs.dir/bench_table3_current_sigs.cpp.o"
+  "CMakeFiles/bench_table3_current_sigs.dir/bench_table3_current_sigs.cpp.o.d"
+  "bench_table3_current_sigs"
+  "bench_table3_current_sigs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_current_sigs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_testtime.dir/bench_testtime.cpp.o"
+  "CMakeFiles/bench_testtime.dir/bench_testtime.cpp.o.d"
+  "bench_testtime"
+  "bench_testtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_testtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

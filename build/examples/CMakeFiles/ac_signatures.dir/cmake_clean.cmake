@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_signatures.dir/ac_signatures.cpp.o"
+  "CMakeFiles/ac_signatures.dir/ac_signatures.cpp.o.d"
+  "ac_signatures"
+  "ac_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adc_coverage.dir/adc_coverage.cpp.o"
+  "CMakeFiles/adc_coverage.dir/adc_coverage.cpp.o.d"
+  "adc_coverage"
+  "adc_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adc_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_macro.dir/custom_macro.cpp.o"
+  "CMakeFiles/custom_macro.dir/custom_macro.cpp.o.d"
+  "custom_macro"
+  "custom_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dft_exploration.cpp" "examples/CMakeFiles/dft_exploration.dir/dft_exploration.cpp.o" "gcc" "examples/CMakeFiles/dft_exploration.dir/dft_exploration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flashadc/CMakeFiles/dot_flashadc.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/dot_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/defect/CMakeFiles/dot_defect.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/dot_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/macro/CMakeFiles/dot_macro.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/dot_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/dot_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/dot_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_exploration.dir/dft_exploration.cpp.o"
+  "CMakeFiles/dft_exploration.dir/dft_exploration.cpp.o.d"
+  "dft_exploration"
+  "dft_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_diagnosis.dir/fault_diagnosis.cpp.o"
+  "CMakeFiles/fault_diagnosis.dir/fault_diagnosis.cpp.o.d"
+  "fault_diagnosis"
+  "fault_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

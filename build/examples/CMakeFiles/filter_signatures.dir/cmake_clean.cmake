@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_signatures.dir/filter_signatures.cpp.o"
+  "CMakeFiles/filter_signatures.dir/filter_signatures.cpp.o.d"
+  "filter_signatures"
+  "filter_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for filter_signatures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_viewer.dir/layout_viewer.cpp.o"
+  "CMakeFiles/layout_viewer.dir/layout_viewer.cpp.o.d"
+  "layout_viewer"
+  "layout_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

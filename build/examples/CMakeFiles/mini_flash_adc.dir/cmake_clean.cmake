@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_flash_adc.dir/mini_flash_adc.cpp.o"
+  "CMakeFiles/mini_flash_adc.dir/mini_flash_adc.cpp.o.d"
+  "mini_flash_adc"
+  "mini_flash_adc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_flash_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

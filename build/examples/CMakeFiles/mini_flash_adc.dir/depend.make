@@ -1,0 +1,2 @@
+# Empty dependencies file for mini_flash_adc.
+# This may be replaced when dependencies are built.

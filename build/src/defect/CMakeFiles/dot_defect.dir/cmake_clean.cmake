@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_defect.dir/analyze.cpp.o"
+  "CMakeFiles/dot_defect.dir/analyze.cpp.o.d"
+  "CMakeFiles/dot_defect.dir/critical_area.cpp.o"
+  "CMakeFiles/dot_defect.dir/critical_area.cpp.o.d"
+  "CMakeFiles/dot_defect.dir/simulate.cpp.o"
+  "CMakeFiles/dot_defect.dir/simulate.cpp.o.d"
+  "CMakeFiles/dot_defect.dir/statistics.cpp.o"
+  "CMakeFiles/dot_defect.dir/statistics.cpp.o.d"
+  "libdot_defect.a"
+  "libdot_defect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_defect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

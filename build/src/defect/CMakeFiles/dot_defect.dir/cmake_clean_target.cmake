@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdot_defect.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_fault.dir/fault.cpp.o"
+  "CMakeFiles/dot_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/dot_fault.dir/model.cpp.o"
+  "CMakeFiles/dot_fault.dir/model.cpp.o.d"
+  "libdot_fault.a"
+  "libdot_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flashadc/behavioral.cpp" "src/flashadc/CMakeFiles/dot_flashadc.dir/behavioral.cpp.o" "gcc" "src/flashadc/CMakeFiles/dot_flashadc.dir/behavioral.cpp.o.d"
+  "/root/repo/src/flashadc/biasgen.cpp" "src/flashadc/CMakeFiles/dot_flashadc.dir/biasgen.cpp.o" "gcc" "src/flashadc/CMakeFiles/dot_flashadc.dir/biasgen.cpp.o.d"
+  "/root/repo/src/flashadc/campaign.cpp" "src/flashadc/CMakeFiles/dot_flashadc.dir/campaign.cpp.o" "gcc" "src/flashadc/CMakeFiles/dot_flashadc.dir/campaign.cpp.o.d"
+  "/root/repo/src/flashadc/clockgen.cpp" "src/flashadc/CMakeFiles/dot_flashadc.dir/clockgen.cpp.o" "gcc" "src/flashadc/CMakeFiles/dot_flashadc.dir/clockgen.cpp.o.d"
+  "/root/repo/src/flashadc/comparator.cpp" "src/flashadc/CMakeFiles/dot_flashadc.dir/comparator.cpp.o" "gcc" "src/flashadc/CMakeFiles/dot_flashadc.dir/comparator.cpp.o.d"
+  "/root/repo/src/flashadc/comparator_sim.cpp" "src/flashadc/CMakeFiles/dot_flashadc.dir/comparator_sim.cpp.o" "gcc" "src/flashadc/CMakeFiles/dot_flashadc.dir/comparator_sim.cpp.o.d"
+  "/root/repo/src/flashadc/decoder.cpp" "src/flashadc/CMakeFiles/dot_flashadc.dir/decoder.cpp.o" "gcc" "src/flashadc/CMakeFiles/dot_flashadc.dir/decoder.cpp.o.d"
+  "/root/repo/src/flashadc/ladder.cpp" "src/flashadc/CMakeFiles/dot_flashadc.dir/ladder.cpp.o" "gcc" "src/flashadc/CMakeFiles/dot_flashadc.dir/ladder.cpp.o.d"
+  "/root/repo/src/flashadc/linearity.cpp" "src/flashadc/CMakeFiles/dot_flashadc.dir/linearity.cpp.o" "gcc" "src/flashadc/CMakeFiles/dot_flashadc.dir/linearity.cpp.o.d"
+  "/root/repo/src/flashadc/report.cpp" "src/flashadc/CMakeFiles/dot_flashadc.dir/report.cpp.o" "gcc" "src/flashadc/CMakeFiles/dot_flashadc.dir/report.cpp.o.d"
+  "/root/repo/src/flashadc/tech.cpp" "src/flashadc/CMakeFiles/dot_flashadc.dir/tech.cpp.o" "gcc" "src/flashadc/CMakeFiles/dot_flashadc.dir/tech.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/macro/CMakeFiles/dot_macro.dir/DependInfo.cmake"
+  "/root/repo/build/src/defect/CMakeFiles/dot_defect.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/dot_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/dot_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/dot_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/dot_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

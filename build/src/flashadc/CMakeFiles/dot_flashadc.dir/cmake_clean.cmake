@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_flashadc.dir/behavioral.cpp.o"
+  "CMakeFiles/dot_flashadc.dir/behavioral.cpp.o.d"
+  "CMakeFiles/dot_flashadc.dir/biasgen.cpp.o"
+  "CMakeFiles/dot_flashadc.dir/biasgen.cpp.o.d"
+  "CMakeFiles/dot_flashadc.dir/campaign.cpp.o"
+  "CMakeFiles/dot_flashadc.dir/campaign.cpp.o.d"
+  "CMakeFiles/dot_flashadc.dir/clockgen.cpp.o"
+  "CMakeFiles/dot_flashadc.dir/clockgen.cpp.o.d"
+  "CMakeFiles/dot_flashadc.dir/comparator.cpp.o"
+  "CMakeFiles/dot_flashadc.dir/comparator.cpp.o.d"
+  "CMakeFiles/dot_flashadc.dir/comparator_sim.cpp.o"
+  "CMakeFiles/dot_flashadc.dir/comparator_sim.cpp.o.d"
+  "CMakeFiles/dot_flashadc.dir/decoder.cpp.o"
+  "CMakeFiles/dot_flashadc.dir/decoder.cpp.o.d"
+  "CMakeFiles/dot_flashadc.dir/ladder.cpp.o"
+  "CMakeFiles/dot_flashadc.dir/ladder.cpp.o.d"
+  "CMakeFiles/dot_flashadc.dir/linearity.cpp.o"
+  "CMakeFiles/dot_flashadc.dir/linearity.cpp.o.d"
+  "CMakeFiles/dot_flashadc.dir/report.cpp.o"
+  "CMakeFiles/dot_flashadc.dir/report.cpp.o.d"
+  "CMakeFiles/dot_flashadc.dir/tech.cpp.o"
+  "CMakeFiles/dot_flashadc.dir/tech.cpp.o.d"
+  "libdot_flashadc.a"
+  "libdot_flashadc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_flashadc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dot_flashadc.
+# This may be replaced when dependencies are built.

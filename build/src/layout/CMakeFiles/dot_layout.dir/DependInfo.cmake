@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/cell.cpp" "src/layout/CMakeFiles/dot_layout.dir/cell.cpp.o" "gcc" "src/layout/CMakeFiles/dot_layout.dir/cell.cpp.o.d"
+  "/root/repo/src/layout/cell_io.cpp" "src/layout/CMakeFiles/dot_layout.dir/cell_io.cpp.o" "gcc" "src/layout/CMakeFiles/dot_layout.dir/cell_io.cpp.o.d"
+  "/root/repo/src/layout/drc.cpp" "src/layout/CMakeFiles/dot_layout.dir/drc.cpp.o" "gcc" "src/layout/CMakeFiles/dot_layout.dir/drc.cpp.o.d"
+  "/root/repo/src/layout/export_svg.cpp" "src/layout/CMakeFiles/dot_layout.dir/export_svg.cpp.o" "gcc" "src/layout/CMakeFiles/dot_layout.dir/export_svg.cpp.o.d"
+  "/root/repo/src/layout/extract.cpp" "src/layout/CMakeFiles/dot_layout.dir/extract.cpp.o" "gcc" "src/layout/CMakeFiles/dot_layout.dir/extract.cpp.o.d"
+  "/root/repo/src/layout/geometry.cpp" "src/layout/CMakeFiles/dot_layout.dir/geometry.cpp.o" "gcc" "src/layout/CMakeFiles/dot_layout.dir/geometry.cpp.o.d"
+  "/root/repo/src/layout/layers.cpp" "src/layout/CMakeFiles/dot_layout.dir/layers.cpp.o" "gcc" "src/layout/CMakeFiles/dot_layout.dir/layers.cpp.o.d"
+  "/root/repo/src/layout/synth.cpp" "src/layout/CMakeFiles/dot_layout.dir/synth.cpp.o" "gcc" "src/layout/CMakeFiles/dot_layout.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/dot_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/dot_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_layout.dir/cell.cpp.o"
+  "CMakeFiles/dot_layout.dir/cell.cpp.o.d"
+  "CMakeFiles/dot_layout.dir/cell_io.cpp.o"
+  "CMakeFiles/dot_layout.dir/cell_io.cpp.o.d"
+  "CMakeFiles/dot_layout.dir/drc.cpp.o"
+  "CMakeFiles/dot_layout.dir/drc.cpp.o.d"
+  "CMakeFiles/dot_layout.dir/export_svg.cpp.o"
+  "CMakeFiles/dot_layout.dir/export_svg.cpp.o.d"
+  "CMakeFiles/dot_layout.dir/extract.cpp.o"
+  "CMakeFiles/dot_layout.dir/extract.cpp.o.d"
+  "CMakeFiles/dot_layout.dir/geometry.cpp.o"
+  "CMakeFiles/dot_layout.dir/geometry.cpp.o.d"
+  "CMakeFiles/dot_layout.dir/layers.cpp.o"
+  "CMakeFiles/dot_layout.dir/layers.cpp.o.d"
+  "CMakeFiles/dot_layout.dir/synth.cpp.o"
+  "CMakeFiles/dot_layout.dir/synth.cpp.o.d"
+  "libdot_layout.a"
+  "libdot_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

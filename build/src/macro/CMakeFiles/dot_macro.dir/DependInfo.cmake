@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/macro/detection.cpp" "src/macro/CMakeFiles/dot_macro.dir/detection.cpp.o" "gcc" "src/macro/CMakeFiles/dot_macro.dir/detection.cpp.o.d"
+  "/root/repo/src/macro/diagnosis.cpp" "src/macro/CMakeFiles/dot_macro.dir/diagnosis.cpp.o" "gcc" "src/macro/CMakeFiles/dot_macro.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/macro/envelope.cpp" "src/macro/CMakeFiles/dot_macro.dir/envelope.cpp.o" "gcc" "src/macro/CMakeFiles/dot_macro.dir/envelope.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/dot_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/dot_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/dot_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

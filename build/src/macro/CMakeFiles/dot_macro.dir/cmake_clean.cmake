@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_macro.dir/detection.cpp.o"
+  "CMakeFiles/dot_macro.dir/detection.cpp.o.d"
+  "CMakeFiles/dot_macro.dir/diagnosis.cpp.o"
+  "CMakeFiles/dot_macro.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/dot_macro.dir/envelope.cpp.o"
+  "CMakeFiles/dot_macro.dir/envelope.cpp.o.d"
+  "libdot_macro.a"
+  "libdot_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

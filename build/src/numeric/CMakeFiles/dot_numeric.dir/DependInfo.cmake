@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/complex_lu.cpp" "src/numeric/CMakeFiles/dot_numeric.dir/complex_lu.cpp.o" "gcc" "src/numeric/CMakeFiles/dot_numeric.dir/complex_lu.cpp.o.d"
+  "/root/repo/src/numeric/lu.cpp" "src/numeric/CMakeFiles/dot_numeric.dir/lu.cpp.o" "gcc" "src/numeric/CMakeFiles/dot_numeric.dir/lu.cpp.o.d"
+  "/root/repo/src/numeric/matrix.cpp" "src/numeric/CMakeFiles/dot_numeric.dir/matrix.cpp.o" "gcc" "src/numeric/CMakeFiles/dot_numeric.dir/matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

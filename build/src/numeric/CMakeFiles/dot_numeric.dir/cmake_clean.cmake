@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_numeric.dir/complex_lu.cpp.o"
+  "CMakeFiles/dot_numeric.dir/complex_lu.cpp.o.d"
+  "CMakeFiles/dot_numeric.dir/lu.cpp.o"
+  "CMakeFiles/dot_numeric.dir/lu.cpp.o.d"
+  "CMakeFiles/dot_numeric.dir/matrix.cpp.o"
+  "CMakeFiles/dot_numeric.dir/matrix.cpp.o.d"
+  "libdot_numeric.a"
+  "libdot_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/ac.cpp" "src/spice/CMakeFiles/dot_spice.dir/ac.cpp.o" "gcc" "src/spice/CMakeFiles/dot_spice.dir/ac.cpp.o.d"
+  "/root/repo/src/spice/dc.cpp" "src/spice/CMakeFiles/dot_spice.dir/dc.cpp.o" "gcc" "src/spice/CMakeFiles/dot_spice.dir/dc.cpp.o.d"
+  "/root/repo/src/spice/devices.cpp" "src/spice/CMakeFiles/dot_spice.dir/devices.cpp.o" "gcc" "src/spice/CMakeFiles/dot_spice.dir/devices.cpp.o.d"
+  "/root/repo/src/spice/mna.cpp" "src/spice/CMakeFiles/dot_spice.dir/mna.cpp.o" "gcc" "src/spice/CMakeFiles/dot_spice.dir/mna.cpp.o.d"
+  "/root/repo/src/spice/montecarlo.cpp" "src/spice/CMakeFiles/dot_spice.dir/montecarlo.cpp.o" "gcc" "src/spice/CMakeFiles/dot_spice.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "src/spice/CMakeFiles/dot_spice.dir/netlist.cpp.o" "gcc" "src/spice/CMakeFiles/dot_spice.dir/netlist.cpp.o.d"
+  "/root/repo/src/spice/netlist_io.cpp" "src/spice/CMakeFiles/dot_spice.dir/netlist_io.cpp.o" "gcc" "src/spice/CMakeFiles/dot_spice.dir/netlist_io.cpp.o.d"
+  "/root/repo/src/spice/source_spec.cpp" "src/spice/CMakeFiles/dot_spice.dir/source_spec.cpp.o" "gcc" "src/spice/CMakeFiles/dot_spice.dir/source_spec.cpp.o.d"
+  "/root/repo/src/spice/subcircuit.cpp" "src/spice/CMakeFiles/dot_spice.dir/subcircuit.cpp.o" "gcc" "src/spice/CMakeFiles/dot_spice.dir/subcircuit.cpp.o.d"
+  "/root/repo/src/spice/sweep.cpp" "src/spice/CMakeFiles/dot_spice.dir/sweep.cpp.o" "gcc" "src/spice/CMakeFiles/dot_spice.dir/sweep.cpp.o.d"
+  "/root/repo/src/spice/transient.cpp" "src/spice/CMakeFiles/dot_spice.dir/transient.cpp.o" "gcc" "src/spice/CMakeFiles/dot_spice.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/dot_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

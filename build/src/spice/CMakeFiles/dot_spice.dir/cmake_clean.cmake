@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_spice.dir/ac.cpp.o"
+  "CMakeFiles/dot_spice.dir/ac.cpp.o.d"
+  "CMakeFiles/dot_spice.dir/dc.cpp.o"
+  "CMakeFiles/dot_spice.dir/dc.cpp.o.d"
+  "CMakeFiles/dot_spice.dir/devices.cpp.o"
+  "CMakeFiles/dot_spice.dir/devices.cpp.o.d"
+  "CMakeFiles/dot_spice.dir/mna.cpp.o"
+  "CMakeFiles/dot_spice.dir/mna.cpp.o.d"
+  "CMakeFiles/dot_spice.dir/montecarlo.cpp.o"
+  "CMakeFiles/dot_spice.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/dot_spice.dir/netlist.cpp.o"
+  "CMakeFiles/dot_spice.dir/netlist.cpp.o.d"
+  "CMakeFiles/dot_spice.dir/netlist_io.cpp.o"
+  "CMakeFiles/dot_spice.dir/netlist_io.cpp.o.d"
+  "CMakeFiles/dot_spice.dir/source_spec.cpp.o"
+  "CMakeFiles/dot_spice.dir/source_spec.cpp.o.d"
+  "CMakeFiles/dot_spice.dir/subcircuit.cpp.o"
+  "CMakeFiles/dot_spice.dir/subcircuit.cpp.o.d"
+  "CMakeFiles/dot_spice.dir/sweep.cpp.o"
+  "CMakeFiles/dot_spice.dir/sweep.cpp.o.d"
+  "CMakeFiles/dot_spice.dir/transient.cpp.o"
+  "CMakeFiles/dot_spice.dir/transient.cpp.o.d"
+  "libdot_spice.a"
+  "libdot_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

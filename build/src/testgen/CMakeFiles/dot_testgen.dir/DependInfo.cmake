@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testgen/program.cpp" "src/testgen/CMakeFiles/dot_testgen.dir/program.cpp.o" "gcc" "src/testgen/CMakeFiles/dot_testgen.dir/program.cpp.o.d"
+  "/root/repo/src/testgen/quality.cpp" "src/testgen/CMakeFiles/dot_testgen.dir/quality.cpp.o" "gcc" "src/testgen/CMakeFiles/dot_testgen.dir/quality.cpp.o.d"
+  "/root/repo/src/testgen/spec_test.cpp" "src/testgen/CMakeFiles/dot_testgen.dir/spec_test.cpp.o" "gcc" "src/testgen/CMakeFiles/dot_testgen.dir/spec_test.cpp.o.d"
+  "/root/repo/src/testgen/testset.cpp" "src/testgen/CMakeFiles/dot_testgen.dir/testset.cpp.o" "gcc" "src/testgen/CMakeFiles/dot_testgen.dir/testset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/macro/CMakeFiles/dot_macro.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/dot_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/dot_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/dot_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_testgen.dir/program.cpp.o"
+  "CMakeFiles/dot_testgen.dir/program.cpp.o.d"
+  "CMakeFiles/dot_testgen.dir/quality.cpp.o"
+  "CMakeFiles/dot_testgen.dir/quality.cpp.o.d"
+  "CMakeFiles/dot_testgen.dir/spec_test.cpp.o"
+  "CMakeFiles/dot_testgen.dir/spec_test.cpp.o.d"
+  "CMakeFiles/dot_testgen.dir/testset.cpp.o"
+  "CMakeFiles/dot_testgen.dir/testset.cpp.o.d"
+  "libdot_testgen.a"
+  "libdot_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

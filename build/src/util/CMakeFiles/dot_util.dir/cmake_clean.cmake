@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_util.dir/json.cpp.o"
+  "CMakeFiles/dot_util.dir/json.cpp.o.d"
+  "CMakeFiles/dot_util.dir/rng.cpp.o"
+  "CMakeFiles/dot_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dot_util.dir/stats.cpp.o"
+  "CMakeFiles/dot_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dot_util.dir/table.cpp.o"
+  "CMakeFiles/dot_util.dir/table.cpp.o.d"
+  "libdot_util.a"
+  "libdot_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/behavioral_edge_test.dir/behavioral_edge_test.cpp.o"
+  "CMakeFiles/behavioral_edge_test.dir/behavioral_edge_test.cpp.o.d"
+  "behavioral_edge_test"
+  "behavioral_edge_test.pdb"
+  "behavioral_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/behavioral_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_io_test.dir/cell_io_test.cpp.o"
+  "CMakeFiles/cell_io_test.dir/cell_io_test.cpp.o.d"
+  "cell_io_test"
+  "cell_io_test.pdb"
+  "cell_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

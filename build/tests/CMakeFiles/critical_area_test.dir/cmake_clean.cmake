@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critical_area_test.dir/critical_area_test.cpp.o"
+  "CMakeFiles/critical_area_test.dir/critical_area_test.cpp.o.d"
+  "critical_area_test"
+  "critical_area_test.pdb"
+  "critical_area_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critical_area_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

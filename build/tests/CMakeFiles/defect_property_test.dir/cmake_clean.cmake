@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defect_property_test.dir/defect_property_test.cpp.o"
+  "CMakeFiles/defect_property_test.dir/defect_property_test.cpp.o.d"
+  "defect_property_test"
+  "defect_property_test.pdb"
+  "defect_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defect_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

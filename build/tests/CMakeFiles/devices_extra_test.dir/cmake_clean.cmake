@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devices_extra_test.dir/devices_extra_test.cpp.o"
+  "CMakeFiles/devices_extra_test.dir/devices_extra_test.cpp.o.d"
+  "devices_extra_test"
+  "devices_extra_test.pdb"
+  "devices_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devices_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

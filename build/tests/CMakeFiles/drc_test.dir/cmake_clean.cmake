@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drc_test.dir/drc_test.cpp.o"
+  "CMakeFiles/drc_test.dir/drc_test.cpp.o.d"
+  "drc_test"
+  "drc_test.pdb"
+  "drc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

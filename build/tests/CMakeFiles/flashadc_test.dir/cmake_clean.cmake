@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashadc_test.dir/flashadc_test.cpp.o"
+  "CMakeFiles/flashadc_test.dir/flashadc_test.cpp.o.d"
+  "flashadc_test"
+  "flashadc_test.pdb"
+  "flashadc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashadc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_property_test.dir/layout_property_test.cpp.o"
+  "CMakeFiles/layout_property_test.dir/layout_property_test.cpp.o.d"
+  "layout_property_test"
+  "layout_property_test.pdb"
+  "layout_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linearity_test.dir/linearity_test.cpp.o"
+  "CMakeFiles/linearity_test.dir/linearity_test.cpp.o.d"
+  "linearity_test"
+  "linearity_test.pdb"
+  "linearity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linearity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

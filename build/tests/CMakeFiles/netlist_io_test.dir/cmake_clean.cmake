@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_io_test.dir/netlist_io_test.cpp.o"
+  "CMakeFiles/netlist_io_test.dir/netlist_io_test.cpp.o.d"
+  "netlist_io_test"
+  "netlist_io_test.pdb"
+  "netlist_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

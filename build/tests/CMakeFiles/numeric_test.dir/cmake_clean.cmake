@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_test.dir/numeric_test.cpp.o"
+  "CMakeFiles/numeric_test.dir/numeric_test.cpp.o.d"
+  "numeric_test"
+  "numeric_test.pdb"
+  "numeric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

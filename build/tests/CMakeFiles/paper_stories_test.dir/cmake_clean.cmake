@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_stories_test.dir/paper_stories_test.cpp.o"
+  "CMakeFiles/paper_stories_test.dir/paper_stories_test.cpp.o.d"
+  "paper_stories_test"
+  "paper_stories_test.pdb"
+  "paper_stories_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_stories_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_property_test.dir/spice_property_test.cpp.o"
+  "CMakeFiles/spice_property_test.dir/spice_property_test.cpp.o.d"
+  "spice_property_test"
+  "spice_property_test.pdb"
+  "spice_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subcircuit_test.dir/subcircuit_test.cpp.o"
+  "CMakeFiles/subcircuit_test.dir/subcircuit_test.cpp.o.d"
+  "subcircuit_test"
+  "subcircuit_test.pdb"
+  "subcircuit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subcircuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testgen_test.dir/testgen_test.cpp.o"
+  "CMakeFiles/testgen_test.dir/testgen_test.cpp.o.d"
+  "testgen_test"
+  "testgen_test.pdb"
+  "testgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
