@@ -7,15 +7,24 @@
 //   --envelope=N   Monte-Carlo samples for the good-signature envelope
 //   --classes=N    cap on evaluated fault classes (0 = all)
 //   --seed=N       master seed
+//   --threads=N    worker threads (default: hardware concurrency)
+//   --json=FILE    machine-readable result + run metadata
 //   --quick        small preset for smoke runs
+//
+// Unknown flags are rejected with a usage message (a typo'd --defect=
+// must not silently run the 500k default). Results are bit-identical at
+// any --threads value; the knob only changes wall time.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "flashadc/campaign.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace dot::bench {
@@ -23,6 +32,14 @@ namespace dot::bench {
 struct BenchArgs {
   flashadc::CampaignConfig config;
   std::string json_path;  ///< --json=<file>: machine-readable output.
+  unsigned threads = 1;   ///< Resolved worker-thread count.
+
+  static void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--defects=N] [--envelope=N] [--classes=N] "
+                 "[--seed=N] [--threads=N] [--json=FILE] [--quick]\n",
+                 argv0);
+  }
 
   static BenchArgs parse(int argc, char** argv,
                          std::size_t default_defects = 500000,
@@ -34,6 +51,7 @@ struct BenchArgs {
     // little weight; evaluating the top 250 keeps a full bench sweep
     // within ~15 minutes. Pass --classes=0 for the exhaustive run.
     args.config.max_classes = 250;
+    unsigned threads = 0;  // 0 = hardware_concurrency
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       auto value = [&](const char* prefix) -> const char* {
@@ -48,6 +66,8 @@ struct BenchArgs {
         args.config.max_classes = std::strtoull(v, nullptr, 10);
       } else if (const char* v = value("--seed=")) {
         args.config.seed = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = value("--threads=")) {
+        threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
       } else if (const char* v = value("--json=")) {
         args.json_path = v;
       } else if (arg == "--quick") {
@@ -55,20 +75,74 @@ struct BenchArgs {
         args.config.envelope_samples = 10;
         args.config.max_classes = 40;
       } else if (arg == "--help") {
-        std::printf(
-            "options: --defects=N --envelope=N --classes=N --seed=N "
-            "--json=FILE --quick\n");
+        usage(argv[0]);
         std::exit(0);
+      } else {
+        std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                     arg.c_str());
+        usage(argv[0]);
+        std::exit(2);
       }
     }
+    util::ThreadPool::set_global_thread_count(threads);
+    args.threads = util::ThreadPool::global_thread_count();
     return args;
   }
+};
+
+/// Wall-clock stopwatch started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
 };
 
 inline void print_header(const char* what) {
   std::printf("====================================================\n");
   std::printf("%s\n", what);
   std::printf("====================================================\n");
+}
+
+/// Prints the run metadata line and, with --json, writes the report
+/// file: `{"wall_seconds":..., "threads":..., "classes_evaluated":...,
+/// "classes_per_sec":..., "result": <payload>}`. `payload_json` must be
+/// a complete JSON value (or empty to omit the field).
+inline void report_run(const BenchArgs& args, const WallTimer& timer,
+                       std::size_t classes_evaluated,
+                       const std::string& payload_json = {}) {
+  const double wall = timer.seconds();
+  const double rate =
+      wall > 0.0 ? static_cast<double>(classes_evaluated) / wall : 0.0;
+  std::printf("wall %.2f s | threads %u | %zu classes | %.1f classes/s\n",
+              wall, args.threads, classes_evaluated, rate);
+  if (args.json_path.empty()) return;
+  std::ofstream out(args.json_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 args.json_path.c_str());
+    std::exit(1);
+  }
+  char head[192];
+  std::snprintf(head, sizeof head,
+                "{\"wall_seconds\": %.6f, \"threads\": %u, "
+                "\"classes_evaluated\": %zu, \"classes_per_sec\": %.3f",
+                wall, args.threads, classes_evaluated, rate);
+  out << head;
+  if (!payload_json.empty()) out << ", \"result\": " << payload_json;
+  out << "}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: failed writing %s\n", args.json_path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", args.json_path.c_str());
 }
 
 }  // namespace dot::bench

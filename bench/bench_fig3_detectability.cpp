@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace dot;
   const auto args = bench::BenchArgs::parse(argc, argv, 200000);
+  const bench::WallTimer timer;
 
   bench::print_header(
       "Figure 3 -- detectability of catastrophic comparator faults");
@@ -57,5 +58,7 @@ int main(int argc, char** argv) {
               100.0 * iddq_only);
   std::printf("total detected              : %5.1f %%\n",
               100.0 * matrix.detected());
+  bench::report_run(args, timer,
+                    r.catastrophic.size() + r.noncatastrophic.size());
   return 0;
 }

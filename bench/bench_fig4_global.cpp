@@ -31,6 +31,7 @@ void print_venn(const char* title, const dot::macro::VennResult& venn,
 int main(int argc, char** argv) {
   using namespace dot;
   const auto args = bench::BenchArgs::parse(argc, argv, 150000);
+  const bench::WallTimer timer;
 
   bench::print_header("Figure 4 -- global detectability (entire ADC)");
   const auto global = flashadc::run_full_campaign(args.config);
@@ -56,10 +57,9 @@ int main(int argc, char** argv) {
               "(paper: 11.0%%)\n",
               100.0 * global.matrix_catastrophic.only_mechanism(4));
 
-  if (!args.json_path.empty()) {
-    std::ofstream out(args.json_path);
-    out << flashadc::to_json(global) << '\n';
-    std::printf("wrote %s\n", args.json_path.c_str());
-  }
+  std::size_t classes = 0;
+  for (const auto& m : global.macros)
+    classes += m.catastrophic.size() + m.noncatastrophic.size();
+  bench::report_run(args, timer, classes, flashadc::to_json(global));
   return 0;
 }

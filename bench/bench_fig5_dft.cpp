@@ -21,6 +21,7 @@ void print_venn(const char* title, const dot::macro::VennResult& venn) {
 int main(int argc, char** argv) {
   using namespace dot;
   auto args = bench::BenchArgs::parse(argc, argv, 150000);
+  const bench::WallTimer timer;
 
   bench::print_header("Figure 5 -- global detectability after DfT");
 
@@ -47,5 +48,10 @@ int main(int argc, char** argv) {
       "(paper: 5.8 / 5.6) -- small enough for current-only wafer sort\n",
       100.0 * after.venn_catastrophic.voltage_only,
       100.0 * after.venn_noncatastrophic.voltage_only);
+  std::size_t classes = 0;
+  for (const auto* g : {&before, &after})
+    for (const auto& m : g->macros)
+      classes += m.catastrophic.size() + m.noncatastrophic.size();
+  bench::report_run(args, timer, classes);
   return 0;
 }

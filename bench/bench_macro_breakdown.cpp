@@ -6,6 +6,7 @@
 int main(int argc, char** argv) {
   using namespace dot;
   const auto args = bench::BenchArgs::parse(argc, argv, 150000);
+  const bench::WallTimer timer;
 
   bench::print_header("Per-macro detectability breakdown");
   const auto global = flashadc::run_full_campaign(args.config);
@@ -23,5 +24,9 @@ int main(int argc, char** argv) {
   std::printf(
       "paper reference: clock generator 93.8%% and reference ladder 99.8%%\n"
       "current detectable.\n");
+  std::size_t classes = 0;
+  for (const auto& m : global.macros)
+    classes += m.catastrophic.size() + m.noncatastrophic.size();
+  bench::report_run(args, timer, classes);
   return 0;
 }

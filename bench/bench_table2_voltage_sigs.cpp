@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace dot;
   const auto args = bench::BenchArgs::parse(argc, argv, 200000);
+  const bench::WallTimer timer;
 
   bench::print_header("Table 2 -- voltage fault signatures (comparator)");
   const auto r = flashadc::run_comparator_campaign(args.config);
@@ -34,5 +35,7 @@ int main(int argc, char** argv) {
   std::printf(
       "paper reference: stuck-at dominates both columns; the clock-value\n"
       "signature is more frequent for non-catastrophic faults.\n");
+  bench::report_run(args, timer,
+                    r.catastrophic.size() + r.noncatastrophic.size());
   return 0;
 }

@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace dot;
   const auto args = bench::BenchArgs::parse(argc, argv, 200000);
+  const bench::WallTimer timer;
 
   bench::print_header("Table 3 -- current fault signatures (comparator)");
   const auto r = flashadc::run_comparator_campaign(args.config);
@@ -29,5 +30,7 @@ int main(int argc, char** argv) {
       "note: rows overlap (one fault can deviate several currents), so\n"
       "the columns add to more than 100%% -- exactly as in the paper.\n"
       "paper reference: IDDQ detects ~24-26%% of comparator faults.\n");
+  bench::report_run(args, timer,
+                    r.catastrophic.size() + r.noncatastrophic.size());
   return 0;
 }

@@ -1,0 +1,37 @@
+# bench-smoke: exercise the parallel campaign path end-to-end and
+# validate the machine-readable report. Fails on non-zero exit or
+# malformed JSON. Invoked by CTest (see tests/CMakeLists.txt) as:
+#   cmake -DBENCH=<bench_table1_defects> -DOUT=<report.json> -P bench_smoke.cmake
+if(NOT BENCH OR NOT OUT)
+  message(FATAL_ERROR "bench_smoke: BENCH and OUT must be defined")
+endif()
+
+execute_process(
+  COMMAND ${BENCH} --quick --threads=2 --json=${OUT}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_smoke: ${BENCH} exited with ${rc}\n${stdout}\n${stderr}")
+endif()
+
+if(NOT EXISTS ${OUT})
+  message(FATAL_ERROR "bench_smoke: ${BENCH} did not write ${OUT}")
+endif()
+file(READ ${OUT} report)
+
+# string(JSON) parses the document; any syntax error or missing key
+# lands in `err`.
+foreach(field wall_seconds threads classes_evaluated classes_per_sec)
+  string(JSON value ERROR_VARIABLE err GET "${report}" ${field})
+  if(err)
+    message(FATAL_ERROR "bench_smoke: malformed JSON report (${field}): ${err}")
+  endif()
+endforeach()
+
+string(JSON threads GET "${report}" threads)
+if(NOT threads EQUAL 2)
+  message(FATAL_ERROR "bench_smoke: expected threads=2, got '${threads}'")
+endif()
+
+message(STATUS "bench_smoke: ok (${threads} threads)")

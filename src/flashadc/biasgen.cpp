@@ -54,18 +54,40 @@ macro::MacroCell build_biasgen_macro() {
                           build_biasgen_layout(), biasgen_pins(), 1);
 }
 
-BiasgenSolution solve_biasgen(const Netlist& macro_netlist) {
+namespace {
+
+Netlist driven_biasgen(const Netlist& macro_netlist) {
   Netlist n = macro_netlist;
   n.add_vsource("VDDA", "vdda", "0", SourceSpec::dc(kVdda));
   // Comparator-array load: 256 tail gates draw no DC current, but the
   // distribution lines have leakage-scale loading.
   n.add_resistor("RLOAD1", "vbn", "0", 5e6);
   n.add_resistor("RLOAD2", "vbc", "0", 5e6);
+  return n;
+}
+
+}  // namespace
+
+BiasgenContext make_biasgen_context(const Netlist& macro_netlist) {
+  const Netlist n = driven_biasgen(macro_netlist);
+  BiasgenContext ctx;
+  ctx.node_count = n.node_count();
+  ctx.map = spice::MnaMap(n);
+  ctx.golden = dc_operating_point(n, ctx.map).x;
+  return ctx;
+}
+
+BiasgenSolution solve_biasgen(const Netlist& macro_netlist,
+                              const BiasgenContext* context) {
+  const Netlist n = driven_biasgen(macro_netlist);
+  const bool reuse = context && n.node_count() == context->node_count;
+  const spice::MnaMap local_map = reuse ? spice::MnaMap() : spice::MnaMap(n);
+  const spice::MnaMap& map = reuse ? context->map : local_map;
+  const std::vector<double>* warm = reuse ? &context->golden : nullptr;
 
   BiasgenSolution out;
-  const spice::MnaMap map(n);
   try {
-    const auto result = dc_operating_point(n, map);
+    const auto result = dc_operating_point(n, map, {}, warm);
     out.vbn = map.voltage(result.x, *n.find_node("vbn"));
     out.vbc = map.voltage(result.x, *n.find_node("vbc"));
     out.ivdd = -map.branch_current(result.x, "VDDA");

@@ -9,6 +9,7 @@
 
 #include "layout/cell.hpp"
 #include "macro/macro_cell.hpp"
+#include "spice/mna.hpp"
 #include "spice/netlist.hpp"
 
 namespace dot::flashadc {
@@ -27,6 +28,16 @@ struct BiasgenSolution {
   double ivdd = 0.0;  ///< Delivered analog supply current.
   bool converged = false;
 };
-BiasgenSolution solve_biasgen(const spice::Netlist& macro_netlist);
+/// Fault-free solver state shared (read-only) by campaign workers:
+/// golden MNA map + operating point for warm-started faulty solves.
+struct BiasgenContext {
+  std::size_t node_count = 0;
+  spice::MnaMap map;
+  std::vector<double> golden;
+};
+BiasgenContext make_biasgen_context(const spice::Netlist& macro_netlist);
+
+BiasgenSolution solve_biasgen(const spice::Netlist& macro_netlist,
+                              const BiasgenContext* context = nullptr);
 
 }  // namespace dot::flashadc

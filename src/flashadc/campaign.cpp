@@ -14,6 +14,7 @@
 #include "macro/macro_cell.hpp"
 #include "spice/montecarlo.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace dot::flashadc {
@@ -91,13 +92,25 @@ FaultModelOptions model_options(const CampaignConfig& config,
 /// class, for each model variant and catastrophic/non-catastrophic
 /// form, run `evaluate` on the faulty macro netlist and keep the
 /// hardest-to-detect variant.
+///
+/// Classes are evaluated in parallel: each one builds its own faulty
+/// netlist and shares only read-only state (good netlist, options, the
+/// per-macro context captured by `evaluate`), and the results are
+/// appended in likelihood order afterwards, so the outcome vectors are
+/// bit-identical at any thread count.
 template <typename Evaluate>
 void evaluate_classes(const Netlist& good, const std::vector<FaultClass>& classes,
                       const FaultModelOptions& model_opt,
                       const CampaignConfig& config, Evaluate&& evaluate,
                       std::vector<FaultOutcome>& catastrophic,
                       std::vector<FaultOutcome>& noncatastrophic) {
-  for (const auto& cls : classes) {
+  struct ClassEval {
+    std::optional<FaultOutcome> cat;
+    std::optional<FaultOutcome> noncat;
+  };
+  auto evals = util::parallel_map(classes.size(), [&](std::size_t c) {
+    const auto& cls = classes[c];
+    ClassEval eval;
     for (int pass = 0; pass < 2; ++pass) {
       const bool noncat = pass == 1;
       if (noncat && (!config.with_noncatastrophic ||
@@ -115,8 +128,13 @@ void evaluate_classes(const Netlist& good, const std::vector<FaultClass>& classe
             detectability_score(outcome) < detectability_score(*worst))
           worst = std::move(outcome);
       }
-      (noncat ? noncatastrophic : catastrophic).push_back(*worst);
+      (noncat ? eval.noncat : eval.cat) = std::move(worst);
     }
+    return eval;
+  });
+  for (auto& eval : evals) {
+    if (eval.cat) catastrophic.push_back(std::move(*eval.cat));
+    if (eval.noncat) noncatastrophic.push_back(std::move(*eval.noncat));
   }
 }
 
@@ -200,30 +218,32 @@ MacroCampaignResult run_comparator_campaign(const CampaignConfig& config) {
   // Fault-free reference runs.
   const auto nominal = simulate_comparator_grid(cell.netlist);
 
-  // Good-signature envelope over process / supply / temperature.
+  // Good-signature envelope over process / supply / temperature; one
+  // counter-based RNG stream per Monte-Carlo sample keeps the
+  // population identical at any thread count.
   const auto layout = comparator_measurement_layout();
   spice::ProcessSpread spread;
-  util::Rng rng(config.seed ^ 0xc0ffee);
-  std::vector<std::vector<double>> samples;
+  const util::Rng master(config.seed ^ 0xc0ffee);
   const std::vector<std::string> supplies = {"VDDA", "VDDD", "VBN_SRC",
                                              "VBC_SRC"};
-  for (int s = 0; s < config.envelope_samples; ++s) {
-    const auto env = spice::sample_environment(spread, rng);
-    const Netlist lo_bench = spice::perturb(
-        instantiate_comparator_bench(cell.netlist, kDecisionGrid.front()),
-        spread, env, supplies, rng);
-    const Netlist hi_bench = spice::perturb(
-        instantiate_comparator_bench(cell.netlist, kDecisionGrid.back()),
-        spread, env, supplies, rng);
-    ComparatorRun lo, hi;
-    try {
-      lo = run_comparator(lo_bench);
-      hi = run_comparator(hi_bench);
-    } catch (const util::ConvergenceError&) {
-      continue;  // drop this Monte-Carlo sample
-    }
-    samples.push_back(comparator_measurements(lo, hi));
-  }
+  const auto samples = macro::monte_carlo_samples(
+      config.envelope_samples, master,
+      [&](int, util::Rng& rng) -> std::optional<std::vector<double>> {
+        const auto env = spice::sample_environment(spread, rng);
+        const Netlist lo_bench = spice::perturb(
+            instantiate_comparator_bench(cell.netlist, kDecisionGrid.front()),
+            spread, env, supplies, rng);
+        const Netlist hi_bench = spice::perturb(
+            instantiate_comparator_bench(cell.netlist, kDecisionGrid.back()),
+            spread, env, supplies, rng);
+        try {
+          const ComparatorRun lo = run_comparator(lo_bench);
+          const ComparatorRun hi = run_comparator(hi_bench);
+          return comparator_measurements(lo, hi);
+        } catch (const util::ConvergenceError&) {
+          return std::nullopt;  // drop this Monte-Carlo sample
+        }
+      });
   macro::BandPolicy comparator_policy = config.band_policy;
   // IVdd and the analog/reference input currents are chip-level
   // measurements shared by all 256 comparator instances; the fault-free
@@ -271,7 +291,10 @@ MacroCampaignResult run_ladder_campaign(const CampaignConfig& config) {
   result.instance_count = cell.instance_count;
   result.defects = sprinkle(cell, config, 2);
 
-  const LadderSolution nominal = solve_ladder(cell.netlist);
+  // Golden solver state, hoisted out of the per-class loop and shared
+  // read-only by the envelope and fault-evaluation workers.
+  const LadderContext context = make_ladder_context(cell.netlist);
+  const LadderSolution nominal = solve_ladder(cell.netlist, &context);
 
   macro::MeasurementLayout layout;
   layout.add("iref_p", macro::MeasurementKind::kIinput);
@@ -284,21 +307,23 @@ MacroCampaignResult run_ladder_campaign(const CampaignConfig& config) {
   // (paper: 99.8%).
   spread.res_sigma_rel_global = 0.015;
   spread.res_tc = 1e-4;
-  util::Rng rng(config.seed ^ 0x1adde4);
-  std::vector<std::vector<double>> samples;
-  for (int s = 0; s < config.envelope_samples; ++s) {
-    const auto env = spice::sample_environment(spread, rng);
-    const Netlist perturbed =
-        spice::perturb(cell.netlist, spread, env, {}, rng);
-    const auto sol = solve_ladder(perturbed);
-    if (sol.converged) samples.push_back({sol.iref_p, sol.iref_m});
-  }
+  const util::Rng master(config.seed ^ 0x1adde4);
+  const auto samples = macro::monte_carlo_samples(
+      config.envelope_samples, master,
+      [&](int, util::Rng& rng) -> std::optional<std::vector<double>> {
+        const auto env = spice::sample_environment(spread, rng);
+        const Netlist perturbed =
+            spice::perturb(cell.netlist, spread, env, {}, rng);
+        const auto sol = solve_ladder(perturbed, &context);
+        if (!sol.converged) return std::nullopt;
+        return std::vector<double>{sol.iref_p, sol.iref_m};
+      });
   const auto envelope =
       macro::build_envelope(layout, samples, config.band_policy);
 
   auto evaluate = [&](const Netlist& faulty_macro) {
     FaultOutcome outcome;
-    const auto sol = solve_ladder(faulty_macro);
+    const auto sol = solve_ladder(faulty_macro, &context);
     if (!sol.converged) {
       outcome.voltage = VoltageSignature::kOutputStuckAt;
       outcome.current.iinput = true;  // reference current grossly abnormal
@@ -344,26 +369,29 @@ MacroCampaignResult run_biasgen_campaign(const CampaignConfig& config) {
   result.instance_count = cell.instance_count;
   result.defects = sprinkle(cell, config, 3);
 
-  const BiasgenSolution nominal = solve_biasgen(cell.netlist);
+  const BiasgenContext context = make_biasgen_context(cell.netlist);
+  const BiasgenSolution nominal = solve_biasgen(cell.netlist, &context);
 
   macro::MeasurementLayout layout;
   layout.add("ivdd", macro::MeasurementKind::kIVdd);
   spice::ProcessSpread spread;
-  util::Rng rng(config.seed ^ 0xb1a5);
-  std::vector<std::vector<double>> samples;
-  for (int s = 0; s < config.envelope_samples; ++s) {
-    const auto env = spice::sample_environment(spread, rng);
-    const Netlist perturbed =
-        spice::perturb(cell.netlist, spread, env, {}, rng);
-    const auto sol = solve_biasgen(perturbed);
-    if (sol.converged) samples.push_back({sol.ivdd});
-  }
+  const util::Rng master(config.seed ^ 0xb1a5);
+  const auto samples = macro::monte_carlo_samples(
+      config.envelope_samples, master,
+      [&](int, util::Rng& rng) -> std::optional<std::vector<double>> {
+        const auto env = spice::sample_environment(spread, rng);
+        const Netlist perturbed =
+            spice::perturb(cell.netlist, spread, env, {}, rng);
+        const auto sol = solve_biasgen(perturbed, &context);
+        if (!sol.converged) return std::nullopt;
+        return std::vector<double>{sol.ivdd};
+      });
   const auto envelope =
       macro::build_envelope(layout, samples, config.band_policy);
 
   auto evaluate = [&](const Netlist& faulty_macro) {
     FaultOutcome outcome;
-    const auto sol = solve_biasgen(faulty_macro);
+    const auto sol = solve_biasgen(faulty_macro, &context);
     if (!sol.converged) {
       outcome.voltage = VoltageSignature::kOutputStuckAt;
       outcome.current.ivdd = true;  // supply current grossly abnormal
@@ -403,7 +431,8 @@ MacroCampaignResult run_clockgen_campaign(const CampaignConfig& config) {
   result.instance_count = cell.instance_count;
   result.defects = sprinkle(cell, config, 4);
 
-  const ClockgenSolution nominal = solve_clockgen(cell.netlist);
+  const ClockgenContext context = make_clockgen_context(cell.netlist);
+  const ClockgenSolution nominal = solve_clockgen(cell.netlist, &context);
 
   macro::MeasurementLayout layout;
   layout.add("iddq_low", macro::MeasurementKind::kIddq);
@@ -411,23 +440,24 @@ MacroCampaignResult run_clockgen_campaign(const CampaignConfig& config) {
   layout.add("iclk_low", macro::MeasurementKind::kIinput);
   layout.add("iclk_high", macro::MeasurementKind::kIinput);
   spice::ProcessSpread spread;
-  util::Rng rng(config.seed ^ 0xc10c);
-  std::vector<std::vector<double>> samples;
-  for (int s = 0; s < config.envelope_samples; ++s) {
-    const auto env = spice::sample_environment(spread, rng);
-    const Netlist perturbed =
-        spice::perturb(cell.netlist, spread, env, {"VDDD"}, rng);
-    const auto sol = solve_clockgen(perturbed);
-    if (sol.converged)
-      samples.push_back(
-          {sol.iddq_low, sol.iddq_high, sol.iclk_low, sol.iclk_high});
-  }
+  const util::Rng master(config.seed ^ 0xc10c);
+  const auto samples = macro::monte_carlo_samples(
+      config.envelope_samples, master,
+      [&](int, util::Rng& rng) -> std::optional<std::vector<double>> {
+        const auto env = spice::sample_environment(spread, rng);
+        const Netlist perturbed =
+            spice::perturb(cell.netlist, spread, env, {"VDDD"}, rng);
+        const auto sol = solve_clockgen(perturbed, &context);
+        if (!sol.converged) return std::nullopt;
+        return std::vector<double>{sol.iddq_low, sol.iddq_high, sol.iclk_low,
+                                   sol.iclk_high};
+      });
   const auto envelope =
       macro::build_envelope(layout, samples, config.band_policy);
 
   auto evaluate = [&](const Netlist& faulty_macro) {
     FaultOutcome outcome;
-    const auto sol = solve_clockgen(faulty_macro);
+    const auto sol = solve_clockgen(faulty_macro, &context);
     if (!sol.converged) {
       outcome.voltage = VoltageSignature::kOutputStuckAt;
       outcome.current.iddq = true;  // digital supply grossly abnormal
@@ -475,26 +505,29 @@ MacroCampaignResult run_decoder_campaign(const CampaignConfig& config) {
   result.instance_count = cell.instance_count;
   result.defects = sprinkle(cell, config, 5);
 
+  const DecoderContext context = make_decoder_context(cell.netlist);
+
   macro::MeasurementLayout layout;
   for (int v = 0; v <= kDecoderSliceInputs; ++v)
     layout.add("iddq_v" + std::to_string(v), macro::MeasurementKind::kIddq);
   spice::ProcessSpread spread;
-  util::Rng rng(config.seed ^ 0xdec0de);
-  std::vector<std::vector<double>> samples;
-  for (int s = 0; s < config.envelope_samples; ++s) {
-    const auto env = spice::sample_environment(spread, rng);
-    const Netlist perturbed =
-        spice::perturb(cell.netlist, spread, env, {"VDDD"}, rng);
-    const auto sol = solve_decoder(perturbed);
-    if (sol.converged)
-      samples.push_back({sol.iddq.begin(), sol.iddq.end()});
-  }
+  const util::Rng master(config.seed ^ 0xdec0de);
+  const auto samples = macro::monte_carlo_samples(
+      config.envelope_samples, master,
+      [&](int, util::Rng& rng) -> std::optional<std::vector<double>> {
+        const auto env = spice::sample_environment(spread, rng);
+        const Netlist perturbed =
+            spice::perturb(cell.netlist, spread, env, {"VDDD"}, rng);
+        const auto sol = solve_decoder(perturbed, &context);
+        if (!sol.converged) return std::nullopt;
+        return std::vector<double>{sol.iddq.begin(), sol.iddq.end()};
+      });
   const auto envelope =
       macro::build_envelope(layout, samples, config.band_policy);
 
   auto evaluate = [&](const Netlist& faulty_macro) {
     FaultOutcome outcome;
-    const auto sol = solve_decoder(faulty_macro);
+    const auto sol = solve_decoder(faulty_macro, &context);
     if (!sol.converged) {
       outcome.voltage = VoltageSignature::kOutputStuckAt;
       outcome.current.iddq = true;  // digital supply grossly abnormal
@@ -546,12 +579,16 @@ GlobalResult compile_global(std::vector<MacroCampaignResult> macros) {
 }
 
 GlobalResult run_full_campaign(const CampaignConfig& config) {
-  std::vector<MacroCampaignResult> macros;
-  macros.push_back(run_comparator_campaign(config));
-  macros.push_back(run_ladder_campaign(config));
-  macros.push_back(run_biasgen_campaign(config));
-  macros.push_back(run_clockgen_campaign(config));
-  macros.push_back(run_decoder_campaign(config));
+  // The five macro campaigns are fully independent until the global
+  // compilation (paper fig. 1), so they fan out across the pool; each
+  // one's inner loops keep parallelizing on whatever threads are free
+  // (the pool's caller-participates design makes nesting safe).
+  using Runner = MacroCampaignResult (*)(const CampaignConfig&);
+  static constexpr Runner kRunners[] = {
+      run_comparator_campaign, run_ladder_campaign, run_biasgen_campaign,
+      run_clockgen_campaign, run_decoder_campaign};
+  auto macros = util::parallel_map(
+      std::size(kRunners), [&](std::size_t m) { return kRunners[m](config); });
   return compile_global(std::move(macros));
 }
 

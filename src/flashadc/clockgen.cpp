@@ -85,22 +85,50 @@ macro::MacroCell build_clockgen_macro() {
                           build_clockgen_layout(), clockgen_pins(), 1);
 }
 
-ClockgenSolution solve_clockgen(const Netlist& macro_netlist) {
+namespace {
+
+Netlist driven_clockgen(const Netlist& macro_netlist, int state) {
+  const char* outputs[3] = {"clk1", "clk2", "clk3"};
+  Netlist n = macro_netlist;
+  n.add_vsource("VDDD", "vddd", "0", SourceSpec::dc(kVddd));
+  n.add_vsource("VCLK", "clk_src", "0",
+                SourceSpec::dc(state == 0 ? 0.0 : kVddd));
+  n.add_resistor("RCLKIN", "clk_src", "clk", 100.0);
+  // Each phase output drives the comparator-column distribution line.
+  for (const char* o : outputs)
+    n.add_capacitor(std::string("CL_") + o, o, "0", 5e-12);
+  return n;
+}
+
+}  // namespace
+
+ClockgenContext make_clockgen_context(const Netlist& macro_netlist) {
+  ClockgenContext ctx;
+  for (int state = 0; state < 2; ++state) {
+    const Netlist n = driven_clockgen(macro_netlist, state);
+    if (state == 0) {
+      ctx.node_count = n.node_count();
+      ctx.map = spice::MnaMap(n);  // both states share the node layout
+    }
+    ctx.golden[state] = dc_operating_point(n, ctx.map).x;
+  }
+  return ctx;
+}
+
+ClockgenSolution solve_clockgen(const Netlist& macro_netlist,
+                                const ClockgenContext* context) {
   ClockgenSolution out;
   const char* outputs[3] = {"clk1", "clk2", "clk3"};
   for (int state = 0; state < 2; ++state) {
-    Netlist n = macro_netlist;
-    n.add_vsource("VDDD", "vddd", "0", SourceSpec::dc(kVddd));
-    n.add_vsource("VCLK", "clk_src", "0",
-                  SourceSpec::dc(state == 0 ? 0.0 : kVddd));
-    n.add_resistor("RCLKIN", "clk_src", "clk", 100.0);
-    // Each phase output drives the comparator-column distribution line.
-    for (const char* o : outputs)
-      n.add_capacitor(std::string("CL_") + o, o, "0", 5e-12);
-
-    const spice::MnaMap map(n);
+    const Netlist n = driven_clockgen(macro_netlist, state);
+    const bool reuse = context && n.node_count() == context->node_count;
+    const spice::MnaMap local_map =
+        reuse ? spice::MnaMap() : spice::MnaMap(n);
+    const spice::MnaMap& map = reuse ? context->map : local_map;
+    const std::vector<double>* warm =
+        reuse ? &context->golden[state] : nullptr;
     try {
-      const auto result = dc_operating_point(n, map);
+      const auto result = dc_operating_point(n, map, {}, warm);
       for (int i = 0; i < 3; ++i) {
         const double v = map.voltage(result.x, *n.find_node(outputs[i]));
         (state == 0 ? out.out_low : out.out_high)[i] = v;

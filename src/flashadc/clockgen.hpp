@@ -10,6 +10,7 @@
 
 #include "layout/cell.hpp"
 #include "macro/macro_cell.hpp"
+#include "spice/mna.hpp"
 #include "spice/netlist.hpp"
 
 namespace dot::flashadc {
@@ -33,6 +34,17 @@ struct ClockgenSolution {
   double iclk_high = 0.0;
   bool converged = false;
 };
-ClockgenSolution solve_clockgen(const spice::Netlist& macro_netlist);
+/// Fault-free solver state shared (read-only) by campaign workers: one
+/// golden operating point per clock input level, warm-starting faulty
+/// solves that keep the node layout.
+struct ClockgenContext {
+  std::size_t node_count = 0;
+  spice::MnaMap map;
+  std::vector<double> golden[2];  ///< clk low / clk high.
+};
+ClockgenContext make_clockgen_context(const spice::Netlist& macro_netlist);
+
+ClockgenSolution solve_clockgen(const spice::Netlist& macro_netlist,
+                                const ClockgenContext* context = nullptr);
 
 }  // namespace dot::flashadc

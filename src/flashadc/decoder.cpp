@@ -83,25 +83,53 @@ bool decoder_row_expected(int vector, int row) {
   return vector == row + 1;
 }
 
-DecoderSolution solve_decoder(const Netlist& macro_netlist) {
+namespace {
+
+Netlist driven_decoder(const Netlist& macro_netlist, int vec) {
+  Netlist n = macro_netlist;
+  n.add_vsource("VDDD", "vddd", "0", SourceSpec::dc(kVddd));
+  for (int i = 1; i <= kDecoderSliceInputs; ++i) {
+    const double level = i <= vec ? kVddd : 0.0;
+    n.add_vsource("VT" + std::to_string(i), "tsrc" + std::to_string(i),
+                  "0", SourceSpec::dc(level));
+    n.add_resistor("RT" + std::to_string(i), "tsrc" + std::to_string(i),
+                   "t" + std::to_string(i), 100.0);
+  }
+  // Next-slice carry held low.
+  n.add_vsource("VT5", "tsrc5", "0", SourceSpec::dc(0.0));
+  n.add_resistor("RT5", "tsrc5", "t5", 100.0);
+  return n;
+}
+
+}  // namespace
+
+DecoderContext make_decoder_context(const Netlist& macro_netlist) {
+  DecoderContext ctx;
+  for (int vec = 0; vec <= kDecoderSliceInputs; ++vec) {
+    const Netlist n = driven_decoder(macro_netlist, vec);
+    if (vec == 0) {
+      ctx.node_count = n.node_count();
+      ctx.map = spice::MnaMap(n);  // all vectors share the node layout
+    }
+    ctx.golden[static_cast<std::size_t>(vec)] =
+        dc_operating_point(n, ctx.map).x;
+  }
+  return ctx;
+}
+
+DecoderSolution solve_decoder(const Netlist& macro_netlist,
+                              const DecoderContext* context) {
   DecoderSolution out;
   for (int vec = 0; vec <= kDecoderSliceInputs; ++vec) {
-    Netlist n = macro_netlist;
-    n.add_vsource("VDDD", "vddd", "0", SourceSpec::dc(kVddd));
-    for (int i = 1; i <= kDecoderSliceInputs; ++i) {
-      const double level = i <= vec ? kVddd : 0.0;
-      n.add_vsource("VT" + std::to_string(i), "tsrc" + std::to_string(i),
-                    "0", SourceSpec::dc(level));
-      n.add_resistor("RT" + std::to_string(i), "tsrc" + std::to_string(i),
-                     "t" + std::to_string(i), 100.0);
-    }
-    // Next-slice carry held low.
-    n.add_vsource("VT5", "tsrc5", "0", SourceSpec::dc(0.0));
-    n.add_resistor("RT5", "tsrc5", "t5", 100.0);
-
-    const spice::MnaMap map(n);
+    const Netlist n = driven_decoder(macro_netlist, vec);
+    const bool reuse = context && n.node_count() == context->node_count;
+    const spice::MnaMap local_map =
+        reuse ? spice::MnaMap() : spice::MnaMap(n);
+    const spice::MnaMap& map = reuse ? context->map : local_map;
+    const std::vector<double>* warm =
+        reuse ? &context->golden[static_cast<std::size_t>(vec)] : nullptr;
     try {
-      const auto result = dc_operating_point(n, map);
+      const auto result = dc_operating_point(n, map, {}, warm);
       for (int r = 0; r < 4; ++r) {
         out.rows[static_cast<std::size_t>(vec)][static_cast<std::size_t>(r)] =
             map.voltage(result.x,

@@ -10,6 +10,7 @@
 
 #include "layout/cell.hpp"
 #include "macro/macro_cell.hpp"
+#include "spice/mna.hpp"
 #include "spice/netlist.hpp"
 
 namespace dot::flashadc {
@@ -32,7 +33,18 @@ struct DecoderSolution {
   std::array<double, 5> iddq{};
   bool converged = false;
 };
-DecoderSolution solve_decoder(const spice::Netlist& macro_netlist);
+/// Fault-free solver state shared (read-only) by campaign workers: one
+/// golden operating point per thermometer vector, warm-starting faulty
+/// solves that keep the node layout.
+struct DecoderContext {
+  std::size_t node_count = 0;
+  spice::MnaMap map;
+  std::array<std::vector<double>, kDecoderSliceInputs + 1> golden;
+};
+DecoderContext make_decoder_context(const spice::Netlist& macro_netlist);
+
+DecoderSolution solve_decoder(const spice::Netlist& macro_netlist,
+                              const DecoderContext* context = nullptr);
 
 /// The fault-free logical row pattern for vector v (v inputs high):
 /// row i is high iff exactly i inputs are high... see implementation.

@@ -70,15 +70,40 @@ macro::MacroCell build_ladder_macro() {
                           build_ladder_layout(), ladder_pins(), 1);
 }
 
-LadderSolution solve_ladder(const Netlist& macro_netlist) {
+namespace {
+
+Netlist driven_ladder(const Netlist& macro_netlist) {
   Netlist n = macro_netlist;
   n.add_vsource("VREFP", "vrefp", "0", SourceSpec::dc(kVrefHi));
   n.add_vsource("VREFM", "vrefm", "0", SourceSpec::dc(kVrefLo));
+  return n;
+}
+
+}  // namespace
+
+LadderContext make_ladder_context(const Netlist& macro_netlist) {
+  const Netlist n = driven_ladder(macro_netlist);
+  LadderContext ctx;
+  ctx.node_count = n.node_count();
+  ctx.map = spice::MnaMap(n);
+  ctx.golden = dc_operating_point(n, ctx.map).x;
+  return ctx;
+}
+
+LadderSolution solve_ladder(const Netlist& macro_netlist,
+                            const LadderContext* context) {
+  const Netlist n = driven_ladder(macro_netlist);
+  // Faults that only bridge existing nets keep the node layout, so the
+  // golden map applies verbatim; node splits and parasitic devices add
+  // nodes and force a rebuild (and a cold solve).
+  const bool reuse = context && n.node_count() == context->node_count;
+  const spice::MnaMap local_map = reuse ? spice::MnaMap() : spice::MnaMap(n);
+  const spice::MnaMap& map = reuse ? context->map : local_map;
+  const std::vector<double>* warm = reuse ? &context->golden : nullptr;
 
   LadderSolution out;
-  const spice::MnaMap map(n);
   try {
-    const auto result = dc_operating_point(n, map);
+    const auto result = dc_operating_point(n, map, {}, warm);
     out.taps.resize(kLevels);
     for (int i = 0; i < kLevels; ++i) {
       // Tap i*16+15 is the coarse node itself (the fine string ends on

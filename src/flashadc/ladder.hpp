@@ -8,6 +8,7 @@
 
 #include "layout/cell.hpp"
 #include "macro/macro_cell.hpp"
+#include "spice/mna.hpp"
 #include "spice/netlist.hpp"
 
 namespace dot::flashadc {
@@ -39,6 +40,20 @@ struct LadderSolution {
   double iref_m = 0.0;
   bool converged = false;
 };
-LadderSolution solve_ladder(const spice::Netlist& macro_netlist);
+
+/// Fault-free solver state computed once per campaign and shared
+/// (read-only) by all workers: the golden MNA index map and operating
+/// point. Faulty netlists that keep the node layout (bridge-style
+/// faults, the vast majority) reuse the map and warm-start Newton from
+/// the golden solution instead of walking the continuation ladder.
+struct LadderContext {
+  std::size_t node_count = 0;  ///< node count of the driven golden bench
+  spice::MnaMap map;
+  std::vector<double> golden;
+};
+LadderContext make_ladder_context(const spice::Netlist& macro_netlist);
+
+LadderSolution solve_ladder(const spice::Netlist& macro_netlist,
+                            const LadderContext* context = nullptr);
 
 }  // namespace dot::flashadc

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace dot::macro {
 
@@ -33,6 +34,22 @@ CurrentSignature GoodEnvelope::classify(
     }
   }
   return sig;
+}
+
+std::vector<std::vector<double>> monte_carlo_samples(
+    int count, const util::Rng& master,
+    const std::function<std::optional<std::vector<double>>(int, util::Rng&)>&
+        sample) {
+  const auto drawn = util::parallel_map(
+      static_cast<std::size_t>(count > 0 ? count : 0), [&](std::size_t i) {
+        util::Rng rng = master.split(i);
+        return sample(static_cast<int>(i), rng);
+      });
+  std::vector<std::vector<double>> samples;
+  samples.reserve(drawn.size());
+  for (const auto& s : drawn)
+    if (s) samples.push_back(*s);
+  return samples;
 }
 
 GoodEnvelope build_envelope(const MeasurementLayout& layout,

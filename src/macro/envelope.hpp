@@ -8,10 +8,13 @@
 // Monte-Carlo population of fault-free circuits.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "macro/signature.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace dot::macro {
@@ -75,5 +78,16 @@ class GoodEnvelope {
 GoodEnvelope build_envelope(const MeasurementLayout& layout,
                             const std::vector<std::vector<double>>& samples,
                             const BandPolicy& policy = {});
+
+/// Collects the fault-free Monte-Carlo population in parallel with
+/// per-sample counter-based RNG streams: sample i always draws from
+/// master.split(i), so the population is bit-identical at any thread
+/// count. `sample` returns the measurement vector of one perturbed
+/// fault-free circuit, or nullopt to drop the sample (no operating
+/// point); surviving samples keep their index order.
+std::vector<std::vector<double>> monte_carlo_samples(
+    int count, const util::Rng& master,
+    const std::function<std::optional<std::vector<double>>(int, util::Rng&)>&
+        sample);
 
 }  // namespace dot::macro

@@ -60,12 +60,20 @@ DcResult newton_solve(const Netlist& netlist, const MnaMap& map,
 }
 
 DcResult dc_operating_point(const Netlist& netlist, const MnaMap& map,
-                            const DcOptions& options) {
+                            const DcOptions& options,
+                            const std::vector<double>* warm_start) {
   const std::vector<double> no_prev(map.size(), 0.0);
   StampOptions stamp;
   stamp.mode = AnalysisMode::kDc;
   stamp.time = options.time;
   stamp.gshunt = options.gshunt;
+
+  // 0) Newton seeded from a matching previously converged solution.
+  if (warm_start && warm_start->size() == map.size()) {
+    DcResult warm = newton_solve(netlist, map, *warm_start, stamp, options,
+                                 no_prev);
+    if (warm.converged) return warm;
+  }
 
   // 1) Plain Newton from a flat start.
   DcResult direct = newton_solve(netlist, map, {}, stamp, options, no_prev);

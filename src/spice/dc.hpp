@@ -34,8 +34,17 @@ struct DcResult {
 
 /// Solves the operating point. Throws util::ConvergenceError when every
 /// continuation strategy fails; on success result.converged is true.
+///
+/// `warm_start` (optional) is a previously converged solution of a
+/// same-layout system -- typically the fault-free ("golden") operating
+/// point reused across a fault campaign. When its size matches the
+/// unknown vector it seeds the first Newton attempt; most faulty
+/// circuits differ from the golden one by a single bridge resistor, so
+/// Newton lands in a handful of iterations instead of walking the full
+/// continuation ladder from a flat start.
 DcResult dc_operating_point(const Netlist& netlist, const MnaMap& map,
-                            const DcOptions& options = {});
+                            const DcOptions& options = {},
+                            const std::vector<double>* warm_start = nullptr);
 
 /// Newton loop from a given initial guess at fixed gshunt/source scale.
 /// Returns converged=false instead of throwing; building block for the

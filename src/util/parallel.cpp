@@ -1,0 +1,170 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace dot::util {
+
+namespace {
+
+unsigned resolve_threads(unsigned threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+std::mutex& global_pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) : parallelism_(resolve_threads(threads)) {
+  workers_.reserve(parallelism_ - 1);
+  for (unsigned i = 0; i + 1 < parallelism_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  if (workers_.empty()) {
+    // No helpers: parallel_for callers drain their own chunks, so a
+    // submitted helper job would only ever find an empty range. Run it
+    // now to keep submit() usable on a single-thread pool.
+    job();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::set_global_thread_count(unsigned threads) {
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  slot.reset();  // join the old workers before spawning replacements
+  slot = std::make_unique<ThreadPool>(threads);
+}
+
+unsigned ThreadPool::global_thread_count() {
+  return global().thread_count();
+}
+
+void parallel_chunks(std::size_t count, std::size_t chunk,
+                     const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t parallelism = pool.thread_count();
+  if (chunk == 0)
+    chunk = std::max<std::size_t>(1, count / (parallelism * 8));
+  const std::size_t chunks = (count + chunk - 1) / chunk;
+
+  if (parallelism <= 1 || chunks <= 1) {
+    for (std::size_t c = 0; c < chunks; ++c)
+      body(c * chunk, std::min(count, (c + 1) * chunk));
+    return;
+  }
+
+  // Shared loop state. Helper jobs hold the shared_ptr, so a helper
+  // that is scheduled long after the loop finished (pool was busy)
+  // still finds valid state -- it sees next >= chunks and exits without
+  // touching `body`, which may be gone by then.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::size_t chunk = 0;
+    std::size_t count = 0;
+    std::size_t chunks = 0;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  state->chunk = chunk;
+  state->count = count;
+  state->chunks = chunks;
+  state->body = &body;
+
+  auto drain = [](const std::shared_ptr<State>& s) {
+    for (;;) {
+      const std::size_t c = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= s->chunks) return;
+      if (!s->failed.load(std::memory_order_relaxed)) {
+        try {
+          const std::size_t lo = c * s->chunk;
+          (*s->body)(lo, std::min(s->count, lo + s->chunk));
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(s->mutex);
+          if (!s->error) s->error = std::current_exception();
+          s->failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->chunks) {
+        std::lock_guard<std::mutex> lock(s->mutex);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(parallelism - 1, chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h)
+    pool.submit([state, drain] { drain(state); });
+  drain(state);  // the caller participates; guarantees forward progress
+
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == state->chunks;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_chunks(count, 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+}  // namespace dot::util

@@ -108,6 +108,18 @@ double Rng::power_law(double x_min, double x_max, double exponent) {
   return std::pow(a + u * (b - a), 1.0 / one_minus);
 }
 
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Fold the full master state and the stream id through SplitMix64.
+  // Reading (not advancing) the state keeps split() const and makes
+  // child streams a pure function of (master seed, stream_id).
+  std::uint64_t acc = stream_id;
+  for (std::uint64_t word : state_) {
+    acc ^= splitmix64(word);  // splitmix64 advances its local copy only
+  }
+  std::uint64_t mix = acc + 0x9e3779b97f4a7c15ull * (stream_id + 1);
+  return Rng(splitmix64(mix));
+}
+
 Rng Rng::fork() {
   Rng child(0);
   // Child state drawn from this stream keeps the two streams independent.

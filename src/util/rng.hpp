@@ -56,6 +56,13 @@ class Rng {
   /// experiment its own stream from one master seed.
   Rng fork();
 
+  /// Counter-based stream derivation: returns the child stream for
+  /// `stream_id` WITHOUT advancing this generator. The same (master
+  /// state, stream_id) pair always yields the same child, so work item
+  /// i can draw from split(i) on any thread and produce bit-identical
+  /// results regardless of thread count or execution order.
+  Rng split(std::uint64_t stream_id) const;
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double spare_normal_ = 0.0;
