@@ -8,12 +8,21 @@
 //   --classes=N    cap on evaluated fault classes (0 = all)
 //   --seed=N       master seed
 //   --threads=N    worker threads (default: hardware concurrency)
+//   --solver=M     linear solver: auto (default) | dense | sparse
+//   --shamanskii=N Newton iterations per numeric refactor (default 1)
 //   --json=FILE    machine-readable result + run metadata
+//   --json-root    shorthand for --json=BENCH_<bench>.json (the
+//                  trajectory files tracked at the repo root)
 //   --quick        small preset for smoke runs
 //
 // Unknown flags are rejected with a usage message (a typo'd --defect=
 // must not silently run the 500k default). Results are bit-identical at
 // any --threads value; the knob only changes wall time.
+//
+// JSON reports follow the "dot-bench-v1" schema: every file carries
+// {"schema": "dot-bench-v1", "bench": <name>, "wall_seconds", "threads",
+//  "solver", "classes_evaluated", "classes_per_sec"} plus an optional
+// bench-specific "result" payload.
 #pragma once
 
 #include <chrono>
@@ -31,20 +40,30 @@ namespace dot::bench {
 
 struct BenchArgs {
   flashadc::CampaignConfig config;
+  std::string bench;      ///< Bench name (binary basename), for reports.
   std::string json_path;  ///< --json=<file>: machine-readable output.
   unsigned threads = 1;   ///< Resolved worker-thread count.
 
   static void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--defects=N] [--envelope=N] [--classes=N] "
-                 "[--seed=N] [--threads=N] [--json=FILE] [--quick]\n",
+                 "[--seed=N] [--threads=N] [--solver=auto|dense|sparse] "
+                 "[--shamanskii=N] [--json=FILE] [--json-root] [--quick]\n",
                  argv0);
+  }
+
+  static std::string basename_of(const char* argv0) {
+    std::string name = argv0;
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    return name;
   }
 
   static BenchArgs parse(int argc, char** argv,
                          std::size_t default_defects = 500000,
                          int default_envelope = 25) {
     BenchArgs args;
+    args.bench = basename_of(argv[0]);
     args.config.defect_count = default_defects;
     args.config.envelope_samples = default_envelope;
     // Default cap: classes are likelihood-sorted, so the tail carries
@@ -68,8 +87,20 @@ struct BenchArgs {
         args.config.seed = std::strtoull(v, nullptr, 10);
       } else if (const char* v = value("--threads=")) {
         threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      } else if (const char* v = value("--solver=")) {
+        try {
+          args.config.solver.mode = spice::parse_solver_mode(v);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+          usage(argv[0]);
+          std::exit(2);
+        }
+      } else if (const char* v = value("--shamanskii=")) {
+        args.config.solver.shamanskii_depth = std::atoi(v);
       } else if (const char* v = value("--json=")) {
         args.json_path = v;
+      } else if (arg == "--json-root") {
+        args.json_path = "BENCH_" + args.bench + ".json";
       } else if (arg == "--quick") {
         args.config.defect_count = 60000;
         args.config.envelope_samples = 10;
@@ -129,11 +160,15 @@ inline void report_run(const BenchArgs& args, const WallTimer& timer,
                  args.json_path.c_str());
     std::exit(1);
   }
-  char head[192];
+  char head[320];
   std::snprintf(head, sizeof head,
-                "{\"wall_seconds\": %.6f, \"threads\": %u, "
+                "{\"schema\": \"dot-bench-v1\", \"bench\": \"%s\", "
+                "\"wall_seconds\": %.6f, \"threads\": %u, "
+                "\"solver\": \"%s\", "
                 "\"classes_evaluated\": %zu, \"classes_per_sec\": %.3f",
-                wall, args.threads, classes_evaluated, rate);
+                args.bench.c_str(), wall, args.threads,
+                spice::solver_mode_name(args.config.solver.mode),
+                classes_evaluated, rate);
   out << head;
   if (!payload_json.empty()) out << ", \"result\": " << payload_json;
   out << "}\n";

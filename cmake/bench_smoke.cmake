@@ -22,16 +22,29 @@ file(READ ${OUT} report)
 
 # string(JSON) parses the document; any syntax error or missing key
 # lands in `err`.
-foreach(field wall_seconds threads classes_evaluated classes_per_sec)
+foreach(field schema bench wall_seconds threads solver classes_evaluated
+        classes_per_sec)
   string(JSON value ERROR_VARIABLE err GET "${report}" ${field})
   if(err)
     message(FATAL_ERROR "bench_smoke: malformed JSON report (${field}): ${err}")
   endif()
 endforeach()
 
+string(JSON schema GET "${report}" schema)
+if(NOT schema STREQUAL "dot-bench-v1")
+  message(FATAL_ERROR "bench_smoke: expected schema=dot-bench-v1, got '${schema}'")
+endif()
+
+string(JSON bench_name GET "${report}" bench)
+get_filename_component(expected_bench ${BENCH} NAME)
+if(NOT bench_name STREQUAL expected_bench)
+  message(FATAL_ERROR
+          "bench_smoke: expected bench=${expected_bench}, got '${bench_name}'")
+endif()
+
 string(JSON threads GET "${report}" threads)
 if(NOT threads EQUAL 2)
   message(FATAL_ERROR "bench_smoke: expected threads=2, got '${threads}'")
 endif()
 
-message(STATUS "bench_smoke: ok (${threads} threads)")
+message(STATUS "bench_smoke: ok (${bench_name}, ${threads} threads)")

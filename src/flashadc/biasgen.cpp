@@ -68,12 +68,16 @@ Netlist driven_biasgen(const Netlist& macro_netlist) {
 
 }  // namespace
 
-BiasgenContext make_biasgen_context(const Netlist& macro_netlist) {
+BiasgenContext make_biasgen_context(const Netlist& macro_netlist,
+                                    const spice::SolverOptions& solver) {
   const Netlist n = driven_biasgen(macro_netlist);
   BiasgenContext ctx;
   ctx.node_count = n.node_count();
   ctx.map = spice::MnaMap(n);
-  ctx.golden = dc_operating_point(n, ctx.map).x;
+  ctx.solver.options = solver;
+  spice::SolverContext solve_ctx(solver);
+  ctx.golden = dc_operating_point(n, ctx.map, {}, nullptr, &solve_ctx).x;
+  ctx.solver.symbolic = solve_ctx.shared_symbolic();
   return ctx;
 }
 
@@ -84,10 +88,12 @@ BiasgenSolution solve_biasgen(const Netlist& macro_netlist,
   const spice::MnaMap local_map = reuse ? spice::MnaMap() : spice::MnaMap(n);
   const spice::MnaMap& map = reuse ? context->map : local_map;
   const std::vector<double>* warm = reuse ? &context->golden : nullptr;
+  spice::SolverContext solver(context ? context->solver
+                                      : spice::SolverSeed{});
 
   BiasgenSolution out;
   try {
-    const auto result = dc_operating_point(n, map, {}, warm);
+    const auto result = dc_operating_point(n, map, {}, warm, &solver);
     out.vbn = map.voltage(result.x, *n.find_node("vbn"));
     out.vbc = map.voltage(result.x, *n.find_node("vbc"));
     out.ivdd = -map.branch_current(result.x, "VDDA");

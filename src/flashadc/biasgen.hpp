@@ -11,6 +11,7 @@
 #include "macro/macro_cell.hpp"
 #include "spice/mna.hpp"
 #include "spice/netlist.hpp"
+#include "spice/solver.hpp"
 
 namespace dot::flashadc {
 
@@ -34,8 +35,10 @@ struct BiasgenContext {
   std::size_t node_count = 0;
   spice::MnaMap map;
   std::vector<double> golden;
+  spice::SolverSeed solver;  ///< Options + golden sparse symbolic.
 };
-BiasgenContext make_biasgen_context(const spice::Netlist& macro_netlist);
+BiasgenContext make_biasgen_context(const spice::Netlist& macro_netlist,
+                                    const spice::SolverOptions& solver = {});
 
 BiasgenSolution solve_biasgen(const spice::Netlist& macro_netlist,
                               const BiasgenContext* context = nullptr);

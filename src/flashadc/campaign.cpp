@@ -293,7 +293,8 @@ MacroCampaignResult run_ladder_campaign(const CampaignConfig& config) {
 
   // Golden solver state, hoisted out of the per-class loop and shared
   // read-only by the envelope and fault-evaluation workers.
-  const LadderContext context = make_ladder_context(cell.netlist);
+  const LadderContext context =
+      make_ladder_context(cell.netlist, config.solver);
   const LadderSolution nominal = solve_ladder(cell.netlist, &context);
 
   macro::MeasurementLayout layout;
@@ -369,7 +370,8 @@ MacroCampaignResult run_biasgen_campaign(const CampaignConfig& config) {
   result.instance_count = cell.instance_count;
   result.defects = sprinkle(cell, config, 3);
 
-  const BiasgenContext context = make_biasgen_context(cell.netlist);
+  const BiasgenContext context =
+      make_biasgen_context(cell.netlist, config.solver);
   const BiasgenSolution nominal = solve_biasgen(cell.netlist, &context);
 
   macro::MeasurementLayout layout;
@@ -431,7 +433,8 @@ MacroCampaignResult run_clockgen_campaign(const CampaignConfig& config) {
   result.instance_count = cell.instance_count;
   result.defects = sprinkle(cell, config, 4);
 
-  const ClockgenContext context = make_clockgen_context(cell.netlist);
+  const ClockgenContext context =
+      make_clockgen_context(cell.netlist, config.solver);
   const ClockgenSolution nominal = solve_clockgen(cell.netlist, &context);
 
   macro::MeasurementLayout layout;
@@ -505,7 +508,8 @@ MacroCampaignResult run_decoder_campaign(const CampaignConfig& config) {
   result.instance_count = cell.instance_count;
   result.defects = sprinkle(cell, config, 5);
 
-  const DecoderContext context = make_decoder_context(cell.netlist);
+  const DecoderContext context =
+      make_decoder_context(cell.netlist, config.solver);
 
   macro::MeasurementLayout layout;
   for (int v = 0; v <= kDecoderSliceInputs; ++v)

@@ -16,6 +16,7 @@
 #include "macro/detection.hpp"
 #include "macro/envelope.hpp"
 #include "macro/signature.hpp"
+#include "spice/solver.hpp"
 
 namespace dot::flashadc {
 
@@ -38,6 +39,12 @@ struct CampaignConfig {
   fault::FaultModelOptions fault_models;
   /// Defect statistics used for sprinkling.
   defect::DefectStatistics statistics;
+  /// Linear-solver selection for every DC solve in the campaign. The
+  /// golden symbolic factorization is cached per macro context and
+  /// shared across workers (results are solver-mode independent to
+  /// within Newton's vtol, and bit-identical at any thread count for a
+  /// fixed mode).
+  spice::SolverOptions solver;
 };
 
 /// One evaluated fault class.

@@ -102,16 +102,21 @@ Netlist driven_clockgen(const Netlist& macro_netlist, int state) {
 
 }  // namespace
 
-ClockgenContext make_clockgen_context(const Netlist& macro_netlist) {
+ClockgenContext make_clockgen_context(const Netlist& macro_netlist,
+                                      const spice::SolverOptions& solver) {
   ClockgenContext ctx;
+  ctx.solver.options = solver;
+  spice::SolverContext solve_ctx(solver);
   for (int state = 0; state < 2; ++state) {
     const Netlist n = driven_clockgen(macro_netlist, state);
     if (state == 0) {
       ctx.node_count = n.node_count();
       ctx.map = spice::MnaMap(n);  // both states share the node layout
     }
-    ctx.golden[state] = dc_operating_point(n, ctx.map).x;
+    ctx.golden[state] =
+        dc_operating_point(n, ctx.map, {}, nullptr, &solve_ctx).x;
   }
+  ctx.solver.symbolic = solve_ctx.shared_symbolic();
   return ctx;
 }
 
@@ -119,6 +124,8 @@ ClockgenSolution solve_clockgen(const Netlist& macro_netlist,
                                 const ClockgenContext* context) {
   ClockgenSolution out;
   const char* outputs[3] = {"clk1", "clk2", "clk3"};
+  spice::SolverContext solver(context ? context->solver
+                                      : spice::SolverSeed{});
   for (int state = 0; state < 2; ++state) {
     const Netlist n = driven_clockgen(macro_netlist, state);
     const bool reuse = context && n.node_count() == context->node_count;
@@ -128,7 +135,7 @@ ClockgenSolution solve_clockgen(const Netlist& macro_netlist,
     const std::vector<double>* warm =
         reuse ? &context->golden[state] : nullptr;
     try {
-      const auto result = dc_operating_point(n, map, {}, warm);
+      const auto result = dc_operating_point(n, map, {}, warm, &solver);
       for (int i = 0; i < 3; ++i) {
         const double v = map.voltage(result.x, *n.find_node(outputs[i]));
         (state == 0 ? out.out_low : out.out_high)[i] = v;

@@ -12,6 +12,7 @@
 #include "macro/macro_cell.hpp"
 #include "spice/mna.hpp"
 #include "spice/netlist.hpp"
+#include "spice/solver.hpp"
 
 namespace dot::flashadc {
 
@@ -41,8 +42,10 @@ struct ClockgenContext {
   std::size_t node_count = 0;
   spice::MnaMap map;
   std::vector<double> golden[2];  ///< clk low / clk high.
+  spice::SolverSeed solver;       ///< Options + golden sparse symbolic.
 };
-ClockgenContext make_clockgen_context(const spice::Netlist& macro_netlist);
+ClockgenContext make_clockgen_context(const spice::Netlist& macro_netlist,
+                                      const spice::SolverOptions& solver = {});
 
 ClockgenSolution solve_clockgen(const spice::Netlist& macro_netlist,
                                 const ClockgenContext* context = nullptr);

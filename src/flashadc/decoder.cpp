@@ -103,8 +103,11 @@ Netlist driven_decoder(const Netlist& macro_netlist, int vec) {
 
 }  // namespace
 
-DecoderContext make_decoder_context(const Netlist& macro_netlist) {
+DecoderContext make_decoder_context(const Netlist& macro_netlist,
+                                    const spice::SolverOptions& solver) {
   DecoderContext ctx;
+  ctx.solver.options = solver;
+  spice::SolverContext solve_ctx(solver);
   for (int vec = 0; vec <= kDecoderSliceInputs; ++vec) {
     const Netlist n = driven_decoder(macro_netlist, vec);
     if (vec == 0) {
@@ -112,14 +115,17 @@ DecoderContext make_decoder_context(const Netlist& macro_netlist) {
       ctx.map = spice::MnaMap(n);  // all vectors share the node layout
     }
     ctx.golden[static_cast<std::size_t>(vec)] =
-        dc_operating_point(n, ctx.map).x;
+        dc_operating_point(n, ctx.map, {}, nullptr, &solve_ctx).x;
   }
+  ctx.solver.symbolic = solve_ctx.shared_symbolic();
   return ctx;
 }
 
 DecoderSolution solve_decoder(const Netlist& macro_netlist,
                               const DecoderContext* context) {
   DecoderSolution out;
+  spice::SolverContext solver(context ? context->solver
+                                      : spice::SolverSeed{});
   for (int vec = 0; vec <= kDecoderSliceInputs; ++vec) {
     const Netlist n = driven_decoder(macro_netlist, vec);
     const bool reuse = context && n.node_count() == context->node_count;
@@ -129,7 +135,7 @@ DecoderSolution solve_decoder(const Netlist& macro_netlist,
     const std::vector<double>* warm =
         reuse ? &context->golden[static_cast<std::size_t>(vec)] : nullptr;
     try {
-      const auto result = dc_operating_point(n, map, {}, warm);
+      const auto result = dc_operating_point(n, map, {}, warm, &solver);
       for (int r = 0; r < 4; ++r) {
         out.rows[static_cast<std::size_t>(vec)][static_cast<std::size_t>(r)] =
             map.voltage(result.x,

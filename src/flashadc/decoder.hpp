@@ -12,6 +12,7 @@
 #include "macro/macro_cell.hpp"
 #include "spice/mna.hpp"
 #include "spice/netlist.hpp"
+#include "spice/solver.hpp"
 
 namespace dot::flashadc {
 
@@ -40,8 +41,10 @@ struct DecoderContext {
   std::size_t node_count = 0;
   spice::MnaMap map;
   std::array<std::vector<double>, kDecoderSliceInputs + 1> golden;
+  spice::SolverSeed solver;  ///< Options + golden sparse symbolic.
 };
-DecoderContext make_decoder_context(const spice::Netlist& macro_netlist);
+DecoderContext make_decoder_context(const spice::Netlist& macro_netlist,
+                                    const spice::SolverOptions& solver = {});
 
 DecoderSolution solve_decoder(const spice::Netlist& macro_netlist,
                               const DecoderContext* context = nullptr);

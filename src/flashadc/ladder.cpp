@@ -81,12 +81,16 @@ Netlist driven_ladder(const Netlist& macro_netlist) {
 
 }  // namespace
 
-LadderContext make_ladder_context(const Netlist& macro_netlist) {
+LadderContext make_ladder_context(const Netlist& macro_netlist,
+                                  const spice::SolverOptions& solver) {
   const Netlist n = driven_ladder(macro_netlist);
   LadderContext ctx;
   ctx.node_count = n.node_count();
   ctx.map = spice::MnaMap(n);
-  ctx.golden = dc_operating_point(n, ctx.map).x;
+  ctx.solver.options = solver;
+  spice::SolverContext solve_ctx(solver);
+  ctx.golden = dc_operating_point(n, ctx.map, {}, nullptr, &solve_ctx).x;
+  ctx.solver.symbolic = solve_ctx.shared_symbolic();
   return ctx;
 }
 
@@ -100,10 +104,12 @@ LadderSolution solve_ladder(const Netlist& macro_netlist,
   const spice::MnaMap local_map = reuse ? spice::MnaMap() : spice::MnaMap(n);
   const spice::MnaMap& map = reuse ? context->map : local_map;
   const std::vector<double>* warm = reuse ? &context->golden : nullptr;
+  spice::SolverContext solver(context ? context->solver
+                                      : spice::SolverSeed{});
 
   LadderSolution out;
   try {
-    const auto result = dc_operating_point(n, map, {}, warm);
+    const auto result = dc_operating_point(n, map, {}, warm, &solver);
     out.taps.resize(kLevels);
     for (int i = 0; i < kLevels; ++i) {
       // Tap i*16+15 is the coarse node itself (the fine string ends on

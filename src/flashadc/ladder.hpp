@@ -10,6 +10,7 @@
 #include "macro/macro_cell.hpp"
 #include "spice/mna.hpp"
 #include "spice/netlist.hpp"
+#include "spice/solver.hpp"
 
 namespace dot::flashadc {
 
@@ -50,8 +51,13 @@ struct LadderContext {
   std::size_t node_count = 0;  ///< node count of the driven golden bench
   spice::MnaMap map;
   std::vector<double> golden;
+  /// Solver options plus the golden sparse symbolic analysis; faulty
+  /// solves that keep the matrix pattern refactor against it instead of
+  /// re-running the analysis.
+  spice::SolverSeed solver;
 };
-LadderContext make_ladder_context(const spice::Netlist& macro_netlist);
+LadderContext make_ladder_context(const spice::Netlist& macro_netlist,
+                                  const spice::SolverOptions& solver = {});
 
 LadderSolution solve_ladder(const spice::Netlist& macro_netlist,
                             const LadderContext* context = nullptr);

@@ -1,9 +1,7 @@
 #include "numeric/complex_lu.hpp"
 
-#include <cmath>
+#include <algorithm>
 #include <stdexcept>
-
-#include "util/error.hpp"
 
 namespace dot::numeric {
 
@@ -25,64 +23,6 @@ std::vector<Complex> ComplexMatrix::multiply(
     y[r] = acc;
   }
   return y;
-}
-
-ComplexLu::ComplexLu(ComplexMatrix a, double pivot_epsilon)
-    : lu_(std::move(a)) {
-  if (lu_.rows() != lu_.cols())
-    throw std::invalid_argument("ComplexLu: matrix must be square");
-  const std::size_t n = lu_.rows();
-  perm_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
-
-  for (std::size_t k = 0; k < n; ++k) {
-    std::size_t pivot_row = k;
-    double pivot_mag = std::abs(lu_(k, k));
-    for (std::size_t r = k + 1; r < n; ++r) {
-      const double mag = std::abs(lu_(r, k));
-      if (mag > pivot_mag) {
-        pivot_mag = mag;
-        pivot_row = r;
-      }
-    }
-    if (pivot_mag <= pivot_epsilon) {
-      singular_ = true;
-      return;
-    }
-    if (pivot_row != k) {
-      for (std::size_t c = 0; c < n; ++c)
-        std::swap(lu_(k, c), lu_(pivot_row, c));
-      std::swap(perm_[k], perm_[pivot_row]);
-    }
-    const Complex inv_pivot = Complex{1.0, 0.0} / lu_(k, k);
-    for (std::size_t r = k + 1; r < n; ++r) {
-      const Complex factor = lu_(r, k) * inv_pivot;
-      lu_(r, k) = factor;
-      if (factor == Complex{0.0, 0.0}) continue;
-      for (std::size_t c = k + 1; c < n; ++c)
-        lu_(r, c) -= factor * lu_(k, c);
-    }
-  }
-}
-
-std::vector<Complex> ComplexLu::solve(const std::vector<Complex>& b) const {
-  if (singular_)
-    throw util::ConvergenceError("complex LU solve on singular matrix");
-  const std::size_t n = lu_.rows();
-  if (b.size() != n)
-    throw std::invalid_argument("ComplexLu::solve: size mismatch");
-  std::vector<Complex> x(n);
-  for (std::size_t r = 0; r < n; ++r) {
-    Complex acc = b[perm_[r]];
-    for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
-    x[r] = acc;
-  }
-  for (std::size_t ri = n; ri-- > 0;) {
-    Complex acc = x[ri];
-    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
-    x[ri] = acc / lu_(ri, ri);
-  }
-  return x;
 }
 
 std::vector<Complex> solve_linear(const ComplexMatrix& a,

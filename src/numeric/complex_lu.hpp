@@ -1,10 +1,15 @@
 // Complex dense matrix and LU solver for small-signal (AC) analysis,
-// where the MNA system becomes G + j*w*C.
+// where the MNA system becomes G + j*w*C. The pivoting kernel is the
+// shared template in numeric/dense_lu.hpp; only the matrix type lives
+// here.
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <utility>
 #include <vector>
+
+#include "numeric/dense_lu.hpp"
 
 namespace dot::numeric {
 
@@ -35,19 +40,23 @@ class ComplexMatrix {
   std::vector<Complex> data_;
 };
 
+/// Complex dense LU with workspace reuse (see DenseLuT).
+using ComplexDenseLu = DenseLuT<ComplexMatrix, Complex>;
+
 /// LU with partial pivoting over the complex field. solve() throws
 /// util::ConvergenceError when the matrix is numerically singular.
 class ComplexLu {
  public:
-  explicit ComplexLu(ComplexMatrix a, double pivot_epsilon = 1e-13);
+  explicit ComplexLu(ComplexMatrix a, double pivot_epsilon = 1e-13)
+      : impl_(std::move(a), pivot_epsilon) {}
 
-  bool singular() const { return singular_; }
-  std::vector<Complex> solve(const std::vector<Complex>& b) const;
+  bool singular() const { return impl_.singular(); }
+  std::vector<Complex> solve(const std::vector<Complex>& b) const {
+    return impl_.solve(b);
+  }
 
  private:
-  ComplexMatrix lu_;
-  std::vector<std::size_t> perm_;
-  bool singular_ = false;
+  ComplexDenseLu impl_;
 };
 
 std::vector<Complex> solve_linear(const ComplexMatrix& a,

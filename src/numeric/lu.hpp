@@ -1,38 +1,46 @@
-// LU factorization with partial pivoting. This is the single linear
-// solver behind every DC operating point and every transient time step.
+// LU factorization with partial pivoting. This is the dense linear
+// solver behind small DC operating points and transient time steps;
+// systems past the sparse crossover go through numeric/sparse.hpp.
+// The pivoting kernel itself lives in numeric/dense_lu.hpp, shared
+// with the complex (AC) variant.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "numeric/dense_lu.hpp"
 #include "numeric/matrix.hpp"
 
 namespace dot::numeric {
+
+/// Real dense LU with workspace reuse: assemble into matrix(), then
+/// factor() in place.
+using DenseLu = DenseLuT<Matrix, double>;
 
 /// Factorization of a square matrix A as P*A = L*U. Throws
 /// util::ConvergenceError (via solve()) when A is numerically singular.
 class LuFactorization {
  public:
-  /// Factors a copy of A. `singular()` reports whether a zero (or
+  /// Factors `a` (moved in). `singular()` reports whether a zero (or
   /// sub-epsilon) pivot was hit; solve() on a singular factorization
   /// throws.
-  explicit LuFactorization(Matrix a, double pivot_epsilon = 1e-13);
+  explicit LuFactorization(Matrix a, double pivot_epsilon = 1e-13)
+      : impl_(std::move(a), pivot_epsilon) {}
 
-  bool singular() const { return singular_; }
-  std::size_t size() const { return lu_.rows(); }
+  bool singular() const { return impl_.singular(); }
+  std::size_t size() const { return impl_.size(); }
 
   /// Solves A x = b.
-  std::vector<double> solve(const std::vector<double>& b) const;
+  std::vector<double> solve(const std::vector<double>& b) const {
+    return impl_.solve(b);
+  }
 
   /// Estimated reciprocal pivot growth; tiny values signal an
   /// ill-conditioned system (useful for fault-sim diagnostics).
-  double min_abs_pivot() const { return min_abs_pivot_; }
+  double min_abs_pivot() const { return impl_.min_abs_pivot(); }
 
  private:
-  Matrix lu_;
-  std::vector<std::size_t> perm_;
-  bool singular_ = false;
-  double min_abs_pivot_ = 0.0;
+  DenseLu impl_;
 };
 
 /// One-shot convenience: solves A x = b, throwing on singular A.

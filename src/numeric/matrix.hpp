@@ -1,7 +1,8 @@
 // Dense real matrix used by the MNA formulation. Macro cells in the
 // methodology are deliberately small (that is the point of the macro
-// decomposition), so a dense solver is both simpler and faster than
-// sparse machinery at these sizes (N < ~200).
+// decomposition), so a dense solver wins on constant factors below the
+// dense/sparse crossover (~20-30 unknowns, measured by bench_solver);
+// past it, spice::SolverContext switches to numeric/sparse.hpp.
 #pragma once
 
 #include <cstddef>

@@ -62,18 +62,31 @@ double AcResult::phase_deg(std::size_t i, const std::string& node) const {
 
 namespace {
 
+/// Matrix-entry sinks for the templated AC stamper (same pattern as the
+/// real-valued stamper in mna.cpp).
+struct DenseAcTarget {
+  ComplexMatrix& a;
+  void add(std::size_t r, std::size_t c, Complex v) { a(r, c) += v; }
+};
+
+struct SparseAcTarget {
+  numeric::ComplexSparseAssembler& a;
+  void add(std::size_t r, std::size_t c, Complex v) { a.add(r, c, v); }
+};
+
+template <typename Target>
 class AcStamper {
  public:
-  AcStamper(const MnaMap& map, ComplexMatrix& a) : map_(map), a_(a) {}
+  AcStamper(const MnaMap& map, Target a) : map_(map), a_(a) {}
 
   void admittance(NodeId na, NodeId nb, Complex y) {
     const int i = map_.node_index(na);
     const int j = map_.node_index(nb);
-    if (i >= 0) a_(idx(i), idx(i)) += y;
-    if (j >= 0) a_(idx(j), idx(j)) += y;
+    if (i >= 0) a_.add(idx(i), idx(i), y);
+    if (j >= 0) a_.add(idx(j), idx(j), y);
     if (i >= 0 && j >= 0) {
-      a_(idx(i), idx(j)) -= y;
-      a_(idx(j), idx(i)) -= y;
+      a_.add(idx(i), idx(j), -y);
+      a_.add(idx(j), idx(i), -y);
     }
   }
 
@@ -83,10 +96,10 @@ class AcStamper {
     const int s = map_.node_index(ns);
     const int cp = map_.node_index(ncp);
     const int cn = map_.node_index(ncn);
-    if (d >= 0 && cp >= 0) a_(idx(d), idx(cp)) += g;
-    if (d >= 0 && cn >= 0) a_(idx(d), idx(cn)) -= g;
-    if (s >= 0 && cp >= 0) a_(idx(s), idx(cp)) -= g;
-    if (s >= 0 && cn >= 0) a_(idx(s), idx(cn)) += g;
+    if (d >= 0 && cp >= 0) a_.add(idx(d), idx(cp), g);
+    if (d >= 0 && cn >= 0) a_.add(idx(d), idx(cn), -g);
+    if (s >= 0 && cp >= 0) a_.add(idx(s), idx(cp), -g);
+    if (s >= 0 && cn >= 0) a_.add(idx(s), idx(cn), g);
   }
 
   void source_rows(const std::string& name, NodeId pos, NodeId neg) {
@@ -94,12 +107,12 @@ class AcStamper {
     const int p = map_.node_index(pos);
     const int n = map_.node_index(neg);
     if (p >= 0) {
-      a_(idx(p), k) += 1.0;
-      a_(k, idx(p)) += 1.0;
+      a_.add(idx(p), k, 1.0);
+      a_.add(k, idx(p), 1.0);
     }
     if (n >= 0) {
-      a_(idx(n), k) -= 1.0;
-      a_(k, idx(n)) -= 1.0;
+      a_.add(idx(n), k, -1.0);
+      a_.add(k, idx(n), -1.0);
     }
   }
 
@@ -109,14 +122,14 @@ class AcStamper {
     const int i = map_.node_index(na);
     const int j = map_.node_index(nb);
     if (i >= 0) {
-      a_(idx(i), k) += 1.0;
-      a_(k, idx(i)) += 1.0;
+      a_.add(idx(i), k, 1.0);
+      a_.add(k, idx(i), 1.0);
     }
     if (j >= 0) {
-      a_(idx(j), k) -= 1.0;
-      a_(k, idx(j)) -= 1.0;
+      a_.add(idx(j), k, -1.0);
+      a_.add(k, idx(j), -1.0);
     }
-    a_(k, k) -= impedance;
+    a_.add(k, k, -impedance);
   }
 
   void vcvs_rows(const Vcvs& e) {
@@ -124,14 +137,14 @@ class AcStamper {
     const std::size_t k = map_.branch_index(e.name);
     const int cp = map_.node_index(e.cp);
     const int cn = map_.node_index(e.cn);
-    if (cp >= 0) a_(k, idx(cp)) -= e.gain;
-    if (cn >= 0) a_(k, idx(cn)) += e.gain;
+    if (cp >= 0) a_.add(k, idx(cp), -e.gain);
+    if (cn >= 0) a_.add(k, idx(cn), e.gain);
   }
 
  private:
   static std::size_t idx(int i) { return static_cast<std::size_t>(i); }
   const MnaMap& map_;
-  ComplexMatrix& a_;
+  Target a_;
 };
 
 /// Smooth switch conductance copied from the transient stamper's rules.
@@ -142,6 +155,66 @@ double switch_conductance_at(const Switch& sw, double vctrl) {
   t = std::clamp(t, 0.0, 1.0);
   const double smooth = t * t * (3.0 - 2.0 * t);
   return g_off * std::pow(g_on / g_off, smooth);
+}
+
+/// Stamps every device linearized around the DC point `dc_x` at angular
+/// frequency `w` into the target (dense matrix or sparse assembler).
+template <typename Target>
+void stamp_ac_system(const Netlist& netlist, const MnaMap& map,
+                     const std::vector<double>& dc_x,
+                     const std::string& ac_source, double w, double gshunt,
+                     Target target, std::vector<Complex>& b) {
+  for (std::size_t i = 0; i < map.node_unknowns(); ++i)
+    target.add(i, i, Complex{gshunt, 0.0});
+  AcStamper<Target> stamp(map, target);
+  for (const auto& device : netlist.devices()) {
+    std::visit(
+        [&](const auto& d) {
+          using T = std::decay_t<decltype(d)>;
+          if constexpr (std::is_same_v<T, Resistor>) {
+            stamp.admittance(d.a, d.b, Complex{1.0 / d.ohms, 0.0});
+          } else if constexpr (std::is_same_v<T, Capacitor>) {
+            stamp.admittance(d.a, d.b, Complex{0.0, w * d.farads});
+          } else if constexpr (std::is_same_v<T, VoltageSource>) {
+            stamp.source_rows(d.name, d.pos, d.neg);
+            if (d.name == ac_source)
+              b[map.branch_index(d.name)] = Complex{1.0, 0.0};
+          } else if constexpr (std::is_same_v<T, CurrentSource>) {
+            // DC/large-signal current sources are AC-quiet.
+          } else if constexpr (std::is_same_v<T, Vcvs>) {
+            stamp.vcvs_rows(d);
+          } else if constexpr (std::is_same_v<T, Vccs>) {
+            stamp.transconductance(d.p, d.n, d.cp, d.cn, d.gm);
+          } else if constexpr (std::is_same_v<T, Inductor>) {
+            stamp.inductor_rows(d.name, d.a, d.b, Complex{0.0, w * d.henries});
+          } else if constexpr (std::is_same_v<T, Diode>) {
+            const double v =
+                map.voltage(dc_x, d.anode) - map.voltage(dc_x, d.cathode);
+            stamp.admittance(d.anode, d.cathode,
+                             Complex{eval_diode(d, v).gd, 0.0});
+          } else if constexpr (std::is_same_v<T, Switch>) {
+            const double vctrl =
+                map.voltage(dc_x, d.ctrl_p) - map.voltage(dc_x, d.ctrl_n);
+            stamp.admittance(d.a, d.b,
+                             Complex{switch_conductance_at(d, vctrl), 0.0});
+          } else if constexpr (std::is_same_v<T, Mosfet>) {
+            const double sign = d.type == MosType::kNmos ? 1.0 : -1.0;
+            const double vgs = sign * (map.voltage(dc_x, d.gate) -
+                                       map.voltage(dc_x, d.source));
+            const double vds = sign * (map.voltage(dc_x, d.drain) -
+                                       map.voltage(dc_x, d.source));
+            const double vbs = sign * (map.voltage(dc_x, d.bulk) -
+                                       map.voltage(dc_x, d.source));
+            const auto op = eval_mos(d.model, d.w / d.l, vgs, vds, vbs);
+            stamp.transconductance(d.drain, d.source, d.gate, d.source, op.gm);
+            stamp.transconductance(d.drain, d.source, d.drain, d.source,
+                                   op.gds);
+            stamp.transconductance(d.drain, d.source, d.bulk, d.source,
+                                   op.gmb);
+          }
+        },
+        device);
+  }
 }
 
 }  // namespace
@@ -162,65 +235,73 @@ AcResult ac_analysis(const Netlist& netlist, const AcOptions& options) {
   AcResult result(map, std::move(node_names), options.frequencies);
 
   const std::size_t n = map.size();
+  bool sparse = false;
+  switch (options.solver.mode) {
+    case SolverMode::kDense:
+      sparse = false;
+      break;
+    case SolverMode::kSparse:
+      sparse = true;
+      break;
+    default:
+      sparse = n >= options.solver.sparse_threshold;
+  }
+  const double eps = options.solver.pivot_epsilon;
+
+  // Workspaces shared across the whole sweep: the stamp sequence is
+  // frequency-independent, so the sparse pattern freezes after the
+  // first point and the symbolic analysis is reused until a pivot
+  // drifts out of range (re-analyzed) or sparse LU rejects the matrix
+  // (densified fallback). The dense factorization workspace likewise
+  // persists instead of reallocating n*n per frequency.
+  numeric::ComplexSparseAssembler assembler;
+  numeric::ComplexSparseFactors factors;
+  std::shared_ptr<const numeric::SparseSymbolic> symbolic;
+  numeric::ComplexDenseLu dense;
+  std::vector<Complex> b, x;
   for (double f : options.frequencies) {
     const double w = 2.0 * M_PI * f;
-    ComplexMatrix a(n, n);
-    for (std::size_t i = 0; i < map.node_unknowns(); ++i)
-      a(i, i) += Complex{options.dc.gshunt, 0.0};
-    AcStamper stamp(map, a);
-    std::vector<Complex> b(n, Complex{0.0, 0.0});
-
-    for (const auto& device : netlist.devices()) {
-      std::visit(
-          [&](const auto& d) {
-            using T = std::decay_t<decltype(d)>;
-            if constexpr (std::is_same_v<T, Resistor>) {
-              stamp.admittance(d.a, d.b, Complex{1.0 / d.ohms, 0.0});
-            } else if constexpr (std::is_same_v<T, Capacitor>) {
-              stamp.admittance(d.a, d.b, Complex{0.0, w * d.farads});
-            } else if constexpr (std::is_same_v<T, VoltageSource>) {
-              stamp.source_rows(d.name, d.pos, d.neg);
-              if (d.name == options.source)
-                b[map.branch_index(d.name)] = Complex{1.0, 0.0};
-            } else if constexpr (std::is_same_v<T, CurrentSource>) {
-              // DC/large-signal current sources are AC-quiet.
-            } else if constexpr (std::is_same_v<T, Vcvs>) {
-              stamp.vcvs_rows(d);
-            } else if constexpr (std::is_same_v<T, Vccs>) {
-              stamp.transconductance(d.p, d.n, d.cp, d.cn, d.gm);
-            } else if constexpr (std::is_same_v<T, Inductor>) {
-              stamp.inductor_rows(d.name, d.a, d.b,
-                                  Complex{0.0, w * d.henries});
-            } else if constexpr (std::is_same_v<T, Diode>) {
-              const double v = map.voltage(dc.x, d.anode) -
-                               map.voltage(dc.x, d.cathode);
-              stamp.admittance(d.anode, d.cathode,
-                               Complex{eval_diode(d, v).gd, 0.0});
-            } else if constexpr (std::is_same_v<T, Switch>) {
-              const double vctrl = map.voltage(dc.x, d.ctrl_p) -
-                                   map.voltage(dc.x, d.ctrl_n);
-              stamp.admittance(d.a, d.b,
-                               Complex{switch_conductance_at(d, vctrl), 0.0});
-            } else if constexpr (std::is_same_v<T, Mosfet>) {
-              const double sign = d.type == MosType::kNmos ? 1.0 : -1.0;
-              const double vgs = sign * (map.voltage(dc.x, d.gate) -
-                                         map.voltage(dc.x, d.source));
-              const double vds = sign * (map.voltage(dc.x, d.drain) -
-                                         map.voltage(dc.x, d.source));
-              const double vbs = sign * (map.voltage(dc.x, d.bulk) -
-                                         map.voltage(dc.x, d.source));
-              const auto op = eval_mos(d.model, d.w / d.l, vgs, vds, vbs);
-              stamp.transconductance(d.drain, d.source, d.gate, d.source,
-                                     op.gm);
-              stamp.transconductance(d.drain, d.source, d.drain, d.source,
-                                     op.gds);
-              stamp.transconductance(d.drain, d.source, d.bulk, d.source,
-                                     op.gmb);
-            }
-          },
-          device);
+    b.assign(n, Complex{0.0, 0.0});
+    bool solved_sparse = false;
+    if (sparse) {
+      assembler.begin(n);
+      stamp_ac_system(netlist, map, dc.x, options.source, w,
+                      options.dc.gshunt, SparseAcTarget{assembler}, b);
+      assembler.finish();
+      if (!symbolic || !factors.refactor(symbolic, assembler.values(), eps)) {
+        symbolic = numeric::SparseSymbolic::analyze(assembler.pattern(),
+                                                    assembler.values(), eps);
+        solved_sparse =
+            symbolic && factors.refactor(symbolic, assembler.values(), eps);
+      } else {
+        solved_sparse = true;
+      }
+      if (solved_sparse) {
+        factors.solve_into(b, x);
+      } else {
+        // Densify and let full partial pivoting decide.
+        ComplexMatrix& m = dense.matrix();
+        if (m.rows() != n || m.cols() != n) m = ComplexMatrix(n, n);
+        m.fill(Complex{0.0, 0.0});
+        const auto& pattern = assembler.pattern();
+        const auto& values = assembler.values();
+        for (std::size_t r = 0; r < n; ++r)
+          for (std::int32_t idx = pattern.row_ptr[r];
+               idx < pattern.row_ptr[r + 1]; ++idx)
+            m(r, static_cast<std::size_t>(pattern.cols[idx])) = values[idx];
+        dense.factor(eps);
+        dense.solve_into(b, x);  // throws ConvergenceError when singular
+      }
+    } else {
+      ComplexMatrix& m = dense.matrix();
+      if (m.rows() != n || m.cols() != n) m = ComplexMatrix(n, n);
+      m.fill(Complex{0.0, 0.0});
+      stamp_ac_system(netlist, map, dc.x, options.source, w, options.dc.gshunt,
+                      DenseAcTarget{m}, b);
+      dense.factor(eps);
+      dense.solve_into(b, x);
     }
-    result.append(numeric::solve_linear(a, b));
+    result.append(x);
   }
   return result;
 }

@@ -24,6 +24,11 @@ struct AcOptions {
   std::vector<double> frequencies;
   /// DC options used for the operating point.
   DcOptions dc;
+  /// Linear-solver selection (shared semantics with DC/transient). On
+  /// the sparse path the symbolic analysis of G + jwC is reused across
+  /// all frequency points; shamanskii_depth does not apply (each
+  /// frequency is a single linear solve).
+  SolverOptions solver;
 };
 
 /// Creates log-spaced frequency points, decades inclusive.

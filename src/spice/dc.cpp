@@ -4,7 +4,6 @@
 #include <cmath>
 #include <limits>
 
-#include "numeric/lu.hpp"
 #include "util/error.hpp"
 
 namespace dot::spice {
@@ -12,24 +11,51 @@ namespace dot::spice {
 DcResult newton_solve(const Netlist& netlist, const MnaMap& map,
                       std::vector<double> initial_guess,
                       const StampOptions& stamp, const DcOptions& options,
-                      const std::vector<double>& x_prev_step) {
+                      const std::vector<double>& x_prev_step,
+                      SolverContext* solver) {
   const std::size_t n = map.size();
   DcResult result;
   result.x = std::move(initial_guess);
   if (result.x.size() != n) result.x.assign(n, 0.0);
 
-  numeric::Matrix a;
+  SolverContext local_solver;
+  SolverContext& ctx = solver != nullptr ? *solver : local_solver;
+  const bool sparse_path = ctx.use_sparse(n);
+  const int depth = std::max(1, ctx.options().shamanskii_depth);
+
   std::vector<double> b;
+  std::vector<double> x_new;
   double best_max_dv = std::numeric_limits<double>::infinity();
   std::vector<double> best_x;
+  // Shamanskii reuse state: iterations solved since the factors were
+  // last refreshed. Only the sparse path skips factorizations -- dense
+  // assembly writes into the factor workspace, so its factors cannot
+  // outlive an assembly.
+  int since_factor = 0;
+  bool have_factors = false;
+  bool force_fresh = true;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    assemble_mna(netlist, map, result.x, x_prev_step, stamp, a, b);
-    numeric::LuFactorization lu(a);
-    if (lu.singular()) {
-      result.iterations = iter;
-      return result;  // converged == false
+    const bool refresh = force_fresh || !have_factors || !sparse_path ||
+                         since_factor >= depth;
+    if (sparse_path) {
+      assemble_mna(netlist, map, result.x, x_prev_step, stamp,
+                   ctx.assembler(), b);
+    } else {
+      assemble_mna(netlist, map, result.x, x_prev_step, stamp,
+                   ctx.dense().matrix(), b);
     }
-    const std::vector<double> x_new = lu.solve(b);
+    if (refresh) {
+      if (!ctx.factor(n)) {
+        result.iterations = iter;
+        return result;  // converged == false
+      }
+      have_factors = true;
+      force_fresh = false;
+      since_factor = 0;
+    }
+    ++since_factor;
+    const bool stale = since_factor > 1;
+    ctx.solve(b, x_new);
 
     // Damping: restrict the largest node-voltage move per iteration.
     double max_dv = 0.0;
@@ -41,14 +67,25 @@ DcResult newton_solve(const Netlist& netlist, const MnaMap& map,
       result.x[i] += alpha * (x_new[i] - result.x[i]);
 
     result.iterations = iter + 1;
-    if (alpha == 1.0 && max_dv < best_max_dv) {
+    if (alpha == 1.0 && !stale && max_dv < best_max_dv) {
       best_max_dv = max_dv;
       best_x = result.x;
     }
     if (alpha == 1.0 && max_dv < options.vtol) {
+      // A fixed point reached under reused (stale) factors solves the
+      // frozen-Jacobian system, not necessarily the true one: confirm
+      // with one fresh-factor iteration before declaring convergence.
+      if (stale) {
+        force_fresh = true;
+        continue;
+      }
       result.converged = true;
       return result;
     }
+    // Damped steps mean the iterate is still moving fast; reusing a
+    // Jacobian from the other side of a device corner only slows
+    // convergence down, so refresh eagerly.
+    if (alpha < 1.0) force_fresh = true;
   }
   // Loose acceptance for micro limit cycles (see DcOptions::loose_vtol):
   // return the best iterate seen if its Newton step was already tiny.
@@ -61,7 +98,8 @@ DcResult newton_solve(const Netlist& netlist, const MnaMap& map,
 
 DcResult dc_operating_point(const Netlist& netlist, const MnaMap& map,
                             const DcOptions& options,
-                            const std::vector<double>* warm_start) {
+                            const std::vector<double>* warm_start,
+                            SolverContext* solver) {
   const std::vector<double> no_prev(map.size(), 0.0);
   StampOptions stamp;
   stamp.mode = AnalysisMode::kDc;
@@ -71,12 +109,13 @@ DcResult dc_operating_point(const Netlist& netlist, const MnaMap& map,
   // 0) Newton seeded from a matching previously converged solution.
   if (warm_start && warm_start->size() == map.size()) {
     DcResult warm = newton_solve(netlist, map, *warm_start, stamp, options,
-                                 no_prev);
+                                 no_prev, solver);
     if (warm.converged) return warm;
   }
 
   // 1) Plain Newton from a flat start.
-  DcResult direct = newton_solve(netlist, map, {}, stamp, options, no_prev);
+  DcResult direct =
+      newton_solve(netlist, map, {}, stamp, options, no_prev, solver);
   if (direct.converged) return direct;
   int spent = direct.iterations;
 
@@ -88,8 +127,8 @@ DcResult dc_operating_point(const Netlist& netlist, const MnaMap& map,
       const bool last = g <= options.gshunt;
       StampOptions rung = stamp;
       rung.gshunt = last ? options.gshunt : g;
-      DcResult step =
-          newton_solve(netlist, map, std::move(guess), rung, options, no_prev);
+      DcResult step = newton_solve(netlist, map, std::move(guess), rung,
+                                   options, no_prev, solver);
       spent += step.iterations;
       if (!step.converged) {
         ladder_ok = false;
@@ -115,8 +154,8 @@ DcResult dc_operating_point(const Netlist& netlist, const MnaMap& map,
       StampOptions rung = stamp;
       rung.source_scale =
           static_cast<double>(s) / static_cast<double>(options.source_steps);
-      DcResult step =
-          newton_solve(netlist, map, std::move(guess), rung, options, no_prev);
+      DcResult step = newton_solve(netlist, map, std::move(guess), rung,
+                                   options, no_prev, solver);
       spent += step.iterations;
       if (!step.converged) {
         ok = false;

@@ -6,6 +6,7 @@
 
 #include "spice/mna.hpp"
 #include "spice/netlist.hpp"
+#include "spice/solver.hpp"
 
 namespace dot::spice {
 
@@ -42,9 +43,16 @@ struct DcResult {
 /// circuits differ from the golden one by a single bridge resistor, so
 /// Newton lands in a handful of iterations instead of walking the full
 /// continuation ladder from a flat start.
+/// `solver` (optional) carries the linear-solver workspaces and the
+/// cached sparse symbolic factorization; pass the same context across
+/// related solves (Newton iterations, continuation rungs, fault
+/// classes with a shared node layout) to amortize analysis and
+/// allocation. Without one, a private context with default options is
+/// used.
 DcResult dc_operating_point(const Netlist& netlist, const MnaMap& map,
                             const DcOptions& options = {},
-                            const std::vector<double>* warm_start = nullptr);
+                            const std::vector<double>* warm_start = nullptr,
+                            SolverContext* solver = nullptr);
 
 /// Newton loop from a given initial guess at fixed gshunt/source scale.
 /// Returns converged=false instead of throwing; building block for the
@@ -52,6 +60,7 @@ DcResult dc_operating_point(const Netlist& netlist, const MnaMap& map,
 DcResult newton_solve(const Netlist& netlist, const MnaMap& map,
                       std::vector<double> initial_guess,
                       const StampOptions& stamp, const DcOptions& options,
-                      const std::vector<double>& x_prev_step);
+                      const std::vector<double>& x_prev_step,
+                      SolverContext* solver = nullptr);
 
 }  // namespace dot::spice

@@ -61,19 +61,32 @@ double switch_conductance(const Switch& sw, double vctrl) {
   return g_off * std::pow(g_on / g_off, smooth);
 }
 
+/// Matrix-entry sinks for the templated stamper: the dense target adds
+/// into an n*n numeric::Matrix, the sparse one records CSR triplets.
+struct DenseTarget {
+  numeric::Matrix& a;
+  void add(std::size_t r, std::size_t c, double v) { a(r, c) += v; }
+};
+
+struct SparseTarget {
+  numeric::SparseAssembler& a;
+  void add(std::size_t r, std::size_t c, double v) { a.add(r, c, v); }
+};
+
+template <typename Target>
 class Stamper {
  public:
-  Stamper(const MnaMap& map, numeric::Matrix& a, std::vector<double>& b)
+  Stamper(const MnaMap& map, Target a, std::vector<double>& b)
       : map_(map), a_(a), b_(b) {}
 
   void conductance(NodeId na, NodeId nb, double g) {
     const int i = map_.node_index(na);
     const int j = map_.node_index(nb);
-    if (i >= 0) a_(idx(i), idx(i)) += g;
-    if (j >= 0) a_(idx(j), idx(j)) += g;
+    if (i >= 0) a_.add(idx(i), idx(i), g);
+    if (j >= 0) a_.add(idx(j), idx(j), g);
     if (i >= 0 && j >= 0) {
-      a_(idx(i), idx(j)) -= g;
-      a_(idx(j), idx(i)) -= g;
+      a_.add(idx(i), idx(j), -g);
+      a_.add(idx(j), idx(i), -g);
     }
   }
 
@@ -95,10 +108,10 @@ class Stamper {
     const int s = map_.node_index(ns);
     const int cp = map_.node_index(ncp);
     const int cn = map_.node_index(ncn);
-    if (d >= 0 && cp >= 0) a_(idx(d), idx(cp)) += g;
-    if (d >= 0 && cn >= 0) a_(idx(d), idx(cn)) -= g;
-    if (s >= 0 && cp >= 0) a_(idx(s), idx(cp)) -= g;
-    if (s >= 0 && cn >= 0) a_(idx(s), idx(cn)) += g;
+    if (d >= 0 && cp >= 0) a_.add(idx(d), idx(cp), g);
+    if (d >= 0 && cn >= 0) a_.add(idx(d), idx(cn), -g);
+    if (s >= 0 && cp >= 0) a_.add(idx(s), idx(cp), -g);
+    if (s >= 0 && cn >= 0) a_.add(idx(s), idx(cn), g);
   }
 
   void voltage_source_rows(const std::string& name, NodeId pos, NodeId neg,
@@ -107,12 +120,12 @@ class Stamper {
     const int p = map_.node_index(pos);
     const int n = map_.node_index(neg);
     if (p >= 0) {
-      a_(idx(p), k) += 1.0;
-      a_(k, idx(p)) += 1.0;
+      a_.add(idx(p), k, 1.0);
+      a_.add(k, idx(p), 1.0);
     }
     if (n >= 0) {
-      a_(idx(n), k) -= 1.0;
-      a_(k, idx(n)) -= 1.0;
+      a_.add(idx(n), k, -1.0);
+      a_.add(k, idx(n), -1.0);
     }
     b_[k] += volts;
   }
@@ -126,14 +139,14 @@ class Stamper {
     const int i = map_.node_index(na);
     const int j = map_.node_index(nb);
     if (i >= 0) {
-      a_(idx(i), k) += 1.0;
-      a_(k, idx(i)) += 1.0;
+      a_.add(idx(i), k, 1.0);
+      a_.add(k, idx(i), 1.0);
     }
     if (j >= 0) {
-      a_(idx(j), k) -= 1.0;
-      a_(k, idx(j)) -= 1.0;
+      a_.add(idx(j), k, -1.0);
+      a_.add(k, idx(j), -1.0);
     }
-    a_(k, k) -= l_over_dt;
+    a_.add(k, k, -l_over_dt);
     b_[k] += rhs;
   }
 
@@ -144,42 +157,37 @@ class Stamper {
     const int cp = map_.node_index(e.cp);
     const int cn = map_.node_index(e.cn);
     if (p >= 0) {
-      a_(idx(p), k) += 1.0;
-      a_(k, idx(p)) += 1.0;
+      a_.add(idx(p), k, 1.0);
+      a_.add(k, idx(p), 1.0);
     }
     if (n >= 0) {
-      a_(idx(n), k) -= 1.0;
-      a_(k, idx(n)) -= 1.0;
+      a_.add(idx(n), k, -1.0);
+      a_.add(k, idx(n), -1.0);
     }
-    if (cp >= 0) a_(k, idx(cp)) -= e.gain;
-    if (cn >= 0) a_(k, idx(cn)) += e.gain;
+    if (cp >= 0) a_.add(k, idx(cp), -e.gain);
+    if (cn >= 0) a_.add(k, idx(cn), e.gain);
   }
 
  private:
   static std::size_t idx(int i) { return static_cast<std::size_t>(i); }
 
   const MnaMap& map_;
-  numeric::Matrix& a_;
+  Target a_;
   std::vector<double>& b_;
 };
 
-}  // namespace
-
-void assemble_mna(const Netlist& netlist, const MnaMap& map,
-                  const std::vector<double>& x,
-                  const std::vector<double>& x_prev_step,
-                  const StampOptions& options, numeric::Matrix& a,
-                  std::vector<double>& b) {
-  const std::size_t n = map.size();
-  if (a.rows() != n || a.cols() != n) a = numeric::Matrix(n, n);
-  a.fill(0.0);
-  b.assign(n, 0.0);
-  Stamper stamp(map, a, b);
+template <typename Target>
+void assemble_into(const Netlist& netlist, const MnaMap& map,
+                   const std::vector<double>& x,
+                   const std::vector<double>& x_prev_step,
+                   const StampOptions& options, Target target,
+                   std::vector<double>& b) {
+  Stamper<Target> stamp(map, target, b);
 
   // Node-to-ground shunts keep otherwise-floating nodes solvable and
   // implement gmin stepping.
   for (std::size_t i = 0; i < map.node_unknowns(); ++i)
-    a(i, i) += options.gshunt;
+    target.add(i, i, options.gshunt);
 
   std::size_t cap_index = 0;
   for (const auto& device : netlist.devices()) {
@@ -279,6 +287,32 @@ void assemble_mna(const Netlist& netlist, const MnaMap& map,
         },
         device);
   }
+}
+
+}  // namespace
+
+void assemble_mna(const Netlist& netlist, const MnaMap& map,
+                  const std::vector<double>& x,
+                  const std::vector<double>& x_prev_step,
+                  const StampOptions& options, numeric::Matrix& a,
+                  std::vector<double>& b) {
+  const std::size_t n = map.size();
+  if (a.rows() != n || a.cols() != n) a = numeric::Matrix(n, n);
+  a.fill(0.0);
+  b.assign(n, 0.0);
+  assemble_into(netlist, map, x, x_prev_step, options, DenseTarget{a}, b);
+}
+
+void assemble_mna(const Netlist& netlist, const MnaMap& map,
+                  const std::vector<double>& x,
+                  const std::vector<double>& x_prev_step,
+                  const StampOptions& options, numeric::SparseAssembler& a,
+                  std::vector<double>& b) {
+  const std::size_t n = map.size();
+  a.begin(n);
+  b.assign(n, 0.0);
+  assemble_into(netlist, map, x, x_prev_step, options, SparseTarget{a}, b);
+  a.finish();
 }
 
 std::vector<double> capacitor_currents(const Netlist& netlist,

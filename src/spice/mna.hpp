@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "numeric/matrix.hpp"
+#include "numeric/sparse.hpp"
 #include "spice/netlist.hpp"
 
 namespace dot::spice {
@@ -82,6 +83,16 @@ void assemble_mna(const Netlist& netlist, const MnaMap& map,
                   const std::vector<double>& x,
                   const std::vector<double>& x_prev_step,
                   const StampOptions& options, numeric::Matrix& a,
+                  std::vector<double>& b);
+
+/// Sparse-stamping variant: same system, assembled as CSR triplets.
+/// No dense n*n clear; for a fixed netlist the assembler recognizes the
+/// repeated stamp sequence and scatters values straight into the frozen
+/// pattern (see numeric::SparseAssembler).
+void assemble_mna(const Netlist& netlist, const MnaMap& map,
+                  const std::vector<double>& x,
+                  const std::vector<double>& x_prev_step,
+                  const StampOptions& options, numeric::SparseAssembler& a,
                   std::vector<double>& b);
 
 /// Capacitor currents at a solved time point (same order as the

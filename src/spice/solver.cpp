@@ -1,0 +1,107 @@
+#include "spice/solver.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace dot::spice {
+
+namespace {
+/// Bound on cached symbolic analyses per context. A fault solve sees
+/// the golden pattern plus at most a couple of fault-induced ones;
+/// anything beyond that is churn, evicted oldest-first (the seed entry
+/// at the front is pinned -- it is the cross-thread shared one).
+constexpr std::size_t kMaxSymbolicCache = 8;
+}  // namespace
+
+SolverMode parse_solver_mode(const std::string& name) {
+  if (name == "auto") return SolverMode::kAuto;
+  if (name == "dense") return SolverMode::kDense;
+  if (name == "sparse") return SolverMode::kSparse;
+  throw util::InvalidInputError("unknown solver mode: " + name +
+                                " (expected auto|dense|sparse)");
+}
+
+const char* solver_mode_name(SolverMode mode) {
+  switch (mode) {
+    case SolverMode::kDense:
+      return "dense";
+    case SolverMode::kSparse:
+      return "sparse";
+    default:
+      return "auto";
+  }
+}
+
+bool SolverContext::factor_sparse(std::size_t n) {
+  const numeric::CsrPattern& pattern = assembler_.pattern();
+  const std::vector<double>& values = assembler_.values();
+
+  std::shared_ptr<const numeric::SparseSymbolic> symbolic;
+  for (const auto& cached : cache_) {
+    if (cached->pattern == pattern) {
+      symbolic = cached;
+      break;
+    }
+  }
+  if (!symbolic) {
+    symbolic = numeric::SparseSymbolic::analyze(pattern, values,
+                                                options_.pivot_epsilon);
+    ++symbolic_analyses_;
+    if (symbolic) {
+      cache_.push_back(symbolic);
+      if (cache_.size() > kMaxSymbolicCache) cache_.erase(cache_.begin() + 1);
+    }
+  }
+  if (symbolic &&
+      factors_.refactor(symbolic, values, options_.pivot_epsilon)) {
+    sparse_active_ = true;
+    return true;
+  }
+  if (symbolic) {
+    // The cached pivot sequence collapsed on these values (the matrix
+    // drifted too far from the analyzed one): analyze afresh.
+    auto fresh = numeric::SparseSymbolic::analyze(pattern, values,
+                                                  options_.pivot_epsilon);
+    ++symbolic_analyses_;
+    if (fresh && factors_.refactor(fresh, values, options_.pivot_epsilon)) {
+      for (auto& cached : cache_) {
+        if (cached->pattern == pattern) {
+          cached = fresh;
+          break;
+        }
+      }
+      sparse_active_ = true;
+      return true;
+    }
+  }
+  // Sparse analysis rejected the matrix (singular at pivot_epsilon, or
+  // threshold pivoting could not stabilize it). Densify the assembled
+  // system and let full partial pivoting have the final say.
+  numeric::Matrix& m = dense_.matrix();
+  if (m.rows() != n || m.cols() != n) m = numeric::Matrix(n, n);
+  m.fill(0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::int32_t idx = pattern.row_ptr[r]; idx < pattern.row_ptr[r + 1];
+         ++idx)
+      m(r, static_cast<std::size_t>(pattern.cols[idx])) = values[idx];
+  }
+  sparse_active_ = false;
+  return dense_.factor(options_.pivot_epsilon);
+}
+
+bool SolverContext::factor(std::size_t n) {
+  if (use_sparse(n)) return factor_sparse(n);
+  sparse_active_ = false;
+  return dense_.factor(options_.pivot_epsilon);
+}
+
+void SolverContext::solve(const std::vector<double>& b,
+                          std::vector<double>& x) {
+  if (sparse_active_)
+    factors_.solve_into(b, x);
+  else
+    dense_.solve_into(b, x);
+}
+
+}  // namespace dot::spice

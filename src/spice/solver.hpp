@@ -1,0 +1,133 @@
+// Linear-solver selection and factorization reuse for the MNA engines.
+//
+// SolverContext owns the per-solve workspaces (dense LU or sparse
+// assembler + factors) and a small cache of sparse symbolic analyses
+// keyed by matrix pattern. The intended lifecycle mirrors the per-macro
+// campaign contexts from the parallel engine:
+//
+//   1. The golden netlist is solved once; its symbolic analysis is
+//      exported via shared_symbolic() into a SolverSeed stored in the
+//      (read-only, thread-shared) macro context.
+//   2. Every fault / envelope-sample solve builds a cheap SolverContext
+//      from the seed. Monte-Carlo samples and most fault classes keep
+//      the golden matrix pattern, so they refactor against the cached
+//      symbolic without ever re-running the analysis; bridge faults
+//      that add entries analyze their own pattern once and reuse it
+//      across all Newton iterations and continuation rungs of that
+//      solve.
+//
+// The dense path remains both the small-system fast path (below the
+// crossover an O(n^3) factor beats the sparse machinery's overhead) and
+// the robustness fallback when sparse analysis rejects the matrix.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "numeric/lu.hpp"
+#include "numeric/sparse.hpp"
+
+namespace dot::spice {
+
+enum class SolverMode {
+  kAuto,    ///< Sparse at/above SolverOptions::sparse_threshold unknowns.
+  kDense,   ///< Always dense partial-pivoting LU.
+  kSparse,  ///< Always sparse (dense only as singular-pattern fallback).
+};
+
+/// Parses "auto" / "dense" / "sparse"; throws util::InvalidInputError.
+SolverMode parse_solver_mode(const std::string& name);
+const char* solver_mode_name(SolverMode mode);
+
+struct SolverOptions {
+  SolverMode mode = SolverMode::kAuto;
+  /// kAuto crossover: systems with at least this many unknowns go
+  /// sparse. Default measured with bench_solver on the MNA-style
+  /// benchmark netlists (see DESIGN.md).
+  std::size_t sparse_threshold = 48;
+  /// Shamanskii-style Newton: reuse the numeric factors for up to this
+  /// many consecutive iterations before refactoring. 1 = classic Newton
+  /// (factor every iteration). Convergence reached under stale factors
+  /// is always confirmed with one fresh-factor iteration, so the
+  /// converged solution satisfies the same vtol contract as depth 1.
+  int shamanskii_depth = 1;
+  double pivot_epsilon = 1e-13;
+};
+
+/// Immutable per-macro solver state, shared read-only across worker
+/// threads: the options plus the golden netlist's symbolic analysis.
+struct SolverSeed {
+  SolverOptions options;
+  std::shared_ptr<const numeric::SparseSymbolic> symbolic;
+};
+
+/// Mutable per-solve workspace; cheap to construct from a SolverSeed
+/// (copies two words and a shared_ptr). Not thread-safe; make one per
+/// worker/solve like the Rng streams.
+class SolverContext {
+ public:
+  SolverContext() = default;
+  explicit SolverContext(const SolverOptions& options) : options_(options) {}
+  explicit SolverContext(const SolverSeed& seed) : options_(seed.options) {
+    if (seed.symbolic) cache_.push_back(seed.symbolic);
+  }
+
+  const SolverOptions& options() const { return options_; }
+
+  /// Whether an n-unknown system should take the sparse path.
+  bool use_sparse(std::size_t n) const {
+    switch (options_.mode) {
+      case SolverMode::kDense:
+        return false;
+      case SolverMode::kSparse:
+        return true;
+      default:
+        return n >= options_.sparse_threshold;
+    }
+  }
+
+  /// Dense assembly/factorization workspace (assemble into
+  /// dense().matrix(), then factor(n)).
+  numeric::DenseLu& dense() { return dense_; }
+  /// Sparse assembly workspace (hand to the sparse assemble_mna
+  /// overload, then factor(n)).
+  numeric::SparseAssembler& assembler() { return assembler_; }
+
+  /// Factors whatever was just assembled for an n-unknown system --
+  /// sparse (symbolic cache -> refactor -> re-analyze -> densified
+  /// dense fallback) or dense. Returns false when the matrix is
+  /// numerically singular on every path.
+  bool factor(std::size_t n);
+
+  /// Solves with the factors from the last successful factor() call
+  /// (which may be deliberately stale under Shamanskii reuse).
+  void solve(const std::vector<double>& b, std::vector<double>& x);
+
+  /// Symbolic analysis of the golden (first-analyzed) pattern, for
+  /// seeding campaign contexts. Null when only the dense path ran.
+  std::shared_ptr<const numeric::SparseSymbolic> shared_symbolic() const {
+    return cache_.empty() ? nullptr : cache_.front();
+  }
+
+  /// Number of from-scratch symbolic analyses this context has run
+  /// (test/diagnostic hook: cache hits keep this flat).
+  std::size_t symbolic_analyses() const { return symbolic_analyses_; }
+  /// Whether the last successful factor() used the sparse factors.
+  bool sparse_active() const { return sparse_active_; }
+
+ private:
+  bool factor_sparse(std::size_t n);
+
+  SolverOptions options_;
+  numeric::DenseLu dense_;
+  numeric::SparseAssembler assembler_;
+  numeric::SparseFactors factors_;
+  /// Pattern-keyed symbolic cache, front = golden/seed entry.
+  std::vector<std::shared_ptr<const numeric::SparseSymbolic>> cache_;
+  std::size_t symbolic_analyses_ = 0;
+  bool sparse_active_ = false;
+};
+
+}  // namespace dot::spice

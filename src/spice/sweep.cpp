@@ -63,6 +63,9 @@ DcSweepResult dc_sweep(const Netlist& netlist, const DcSweepOptions& options) {
 
   const std::vector<double> no_prev(map.size(), 0.0);
   std::vector<double> guess;
+  // The matrix pattern is identical at every sweep point; share one
+  // solver context so the sparse symbolic analysis is paid once.
+  SolverContext solver;
   for (double v = options.from; v <= options.to + options.step / 2;
        v += options.step) {
     std::get<VoltageSource>(*n.find_device(options.source)).spec =
@@ -73,10 +76,10 @@ DcSweepResult dc_sweep(const Netlist& netlist, const DcSweepOptions& options) {
     DcResult point;
     if (!guess.empty()) {
       // Warm start from the previous sweep point.
-      point = newton_solve(n, map, guess, stamp, options.dc, no_prev);
+      point = newton_solve(n, map, guess, stamp, options.dc, no_prev, &solver);
     }
     if (guess.empty() || !point.converged) {
-      point = dc_operating_point(n, map, options.dc);
+      point = dc_operating_point(n, map, options.dc, nullptr, &solver);
     }
     guess = point.x;
     result.append(v, std::move(point.x));

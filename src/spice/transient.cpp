@@ -79,12 +79,17 @@ TranResult transient(const Netlist& netlist, const TranOptions& options) {
     node_names.push_back(netlist.node_name(static_cast<NodeId>(i)));
   TranResult result(map, std::move(node_names));
 
+  // One solver context for the whole run: the matrix pattern is fixed,
+  // so every time step after the first refactors against the cached
+  // symbolic analysis.
+  SolverContext solver(options.solver);
+
   // Initial condition.
   std::vector<double> x(map.size(), 0.0);
   if (options.start_from_dc) {
     DcOptions dc = options.newton;
     dc.time = 0.0;
-    x = dc_operating_point(netlist, map, dc).x;
+    x = dc_operating_point(netlist, map, dc, nullptr, &solver).x;
   }
   result.append(0.0, x);
 
@@ -109,7 +114,8 @@ TranResult transient(const Netlist& netlist, const TranOptions& options) {
     stamp.integrator = options.integrator;
     stamp.cap_i_prev = &cap_i;
 
-    DcResult step = newton_solve(netlist, map, x, stamp, options.newton, x);
+    DcResult step =
+        newton_solve(netlist, map, x, stamp, options.newton, x, &solver);
     if (!step.converged) {
       dt /= 2.0;
       if (dt < options.dt_min)

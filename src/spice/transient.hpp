@@ -18,6 +18,9 @@ struct TranOptions {
   double dt = 1e-9;
   double dt_min = 1e-13;    ///< Give up below this step size.
   DcOptions newton;         ///< Per-step Newton settings (time is ignored).
+  /// Linear-solver selection; one SolverContext is reused across all
+  /// time steps, so the sparse symbolic analysis is paid once per run.
+  SolverOptions solver;
   bool start_from_dc = true;  ///< Solve the t=0 operating point first.
   /// Backward Euler (default, strongly damped -- the right choice for
   /// regenerative latches) or trapezoidal (second order, for accuracy

@@ -169,6 +169,29 @@ TEST_P(RandomNetworkTest, LinearNetworkObeysSuperposition) {
                 1e-6 * (1.0 + std::fabs(base.x[i])));
 }
 
+TEST_P(RandomNetworkTest, SparseSolverMatchesDense) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+  const int nodes = 3 + static_cast<int>(rng.below(12));
+  const Netlist n = random_resistive_network(rng, nodes);
+  const MnaMap map(n);
+
+  SolverOptions dense_opts;
+  dense_opts.mode = SolverMode::kDense;
+  SolverOptions sparse_opts;
+  sparse_opts.mode = SolverMode::kSparse;
+  SolverContext dense_ctx(dense_opts);
+  SolverContext sparse_ctx(sparse_opts);
+
+  const auto dense = dc_operating_point(n, map, {}, nullptr, &dense_ctx);
+  const auto sparse = dc_operating_point(n, map, {}, nullptr, &sparse_ctx);
+  ASSERT_TRUE(dense.converged);
+  ASSERT_TRUE(sparse.converged);
+  ASSERT_EQ(dense.x.size(), sparse.x.size());
+  for (std::size_t i = 0; i < dense.x.size(); ++i)
+    EXPECT_NEAR(dense.x[i], sparse.x[i], 1e-10 * (1.0 + std::fabs(dense.x[i])))
+        << "unknown " << i;
+}
+
 TEST_P(RandomNetworkTest, PassiveVoltagesInsideSourceHull) {
   util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
   const int nodes = 3 + static_cast<int>(rng.below(10));
