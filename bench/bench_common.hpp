@@ -10,6 +10,11 @@
 //   --threads=N    worker threads (default: hardware concurrency)
 //   --solver=M     linear solver: auto (default) | dense | sparse
 //   --shamanskii=N Newton iterations per numeric refactor (default 1)
+//   --class-timeout-ms=T  wall-clock budget per fault-class attempt
+//                  (0 = unlimited, the default); expired classes are
+//                  retried under escalating solver aid and reported
+//                  unresolved after the retry budget
+//   --max-retries=N retries after a failed class attempt (default 3)
 //   --json=FILE    machine-readable result + run metadata
 //   --json-root    shorthand for --json=BENCH_<bench>.json (the
 //                  trajectory files tracked at the repo root)
@@ -48,7 +53,8 @@ struct BenchArgs {
     std::fprintf(stderr,
                  "usage: %s [--defects=N] [--envelope=N] [--classes=N] "
                  "[--seed=N] [--threads=N] [--solver=auto|dense|sparse] "
-                 "[--shamanskii=N] [--json=FILE] [--json-root] [--quick]\n",
+                 "[--shamanskii=N] [--class-timeout-ms=T] [--max-retries=N] "
+                 "[--json=FILE] [--json-root] [--quick]\n",
                  argv0);
   }
 
@@ -97,6 +103,10 @@ struct BenchArgs {
         }
       } else if (const char* v = value("--shamanskii=")) {
         args.config.solver.shamanskii_depth = std::atoi(v);
+      } else if (const char* v = value("--class-timeout-ms=")) {
+        args.config.resilience.class_timeout_ms = std::atof(v);
+      } else if (const char* v = value("--max-retries=")) {
+        args.config.resilience.max_retries = std::atoi(v);
       } else if (const char* v = value("--json=")) {
         args.json_path = v;
       } else if (arg == "--json-root") {

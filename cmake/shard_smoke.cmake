@@ -1,0 +1,60 @@
+# shard-smoke: end-to-end check of the campaign resilience layer's
+# sharding contract. Runs the smoke-scale campaign twice as a 2-shard
+# split and once unsharded (all journaled), merges both through
+# merge_shards, and requires the two reports to be byte-identical --
+# the "shard union == unsharded run" guarantee, exercised through the
+# real binaries rather than in-process. Invoked by CTest as:
+#   cmake -DADC=<adc_coverage> -DMERGE=<merge_shards> -DDIR=<scratch>
+#         -P shard_smoke.cmake
+if(NOT ADC OR NOT MERGE OR NOT DIR)
+  message(FATAL_ERROR "shard_smoke: ADC, MERGE and DIR must be defined")
+endif()
+
+file(REMOVE_RECURSE ${DIR})
+file(MAKE_DIRECTORY ${DIR})
+
+function(run_checked)
+  execute_process(
+    COMMAND ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    list(JOIN ARGN " " cmdline)
+    message(FATAL_ERROR
+            "shard_smoke: '${cmdline}' exited with ${rc}\n${stdout}\n${stderr}")
+  endif()
+endfunction()
+
+run_checked(${ADC} --smoke --threads=2 --shards=2 --shard=0
+            --journal=${DIR}/shard0.jsonl)
+run_checked(${ADC} --smoke --threads=2 --shards=2 --shard=1
+            --journal=${DIR}/shard1.jsonl)
+run_checked(${ADC} --smoke --threads=2 --journal=${DIR}/unsharded.jsonl)
+
+run_checked(${MERGE} --out=${DIR}/merged.json
+            ${DIR}/shard0.jsonl ${DIR}/shard1.jsonl)
+run_checked(${MERGE} --out=${DIR}/reference.json ${DIR}/unsharded.jsonl)
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${DIR}/merged.json ${DIR}/reference.json
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "shard_smoke: merged shard report differs from the unsharded "
+          "reference (${DIR}/merged.json vs ${DIR}/reference.json)")
+endif()
+
+# An incomplete shard set must be rejected, not silently merged.
+execute_process(
+  COMMAND ${MERGE} ${DIR}/shard0.jsonl
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+          "shard_smoke: merging an incomplete shard set should fail")
+endif()
+
+message(STATUS "shard_smoke: ok (2-shard union == unsharded run)")

@@ -2,13 +2,45 @@
 // macro of the 8-bit flash ADC and prints the per-macro and global
 // coverage summary (paper sections 3.2-3.3).
 //
-// Usage: adc_coverage [--quick]
-//   --quick  small defect budget for a fast demonstration run
+// Usage: adc_coverage [options]
+//   --defects=N           defects to sprinkle per macro (default 250000)
+//   --envelope=N          Monte-Carlo samples for the envelope (default 20)
+//   --classes=N           cap on evaluated fault classes (0 = all)
+//   --seed=N              master seed (default 1995)
+//   --threads=N           worker threads (default: hardware concurrency)
+//   --shards=N --shard=K  evaluate only shard K of N (K in 0..N-1); the
+//                         union of all shards equals the unsharded run
+//   --journal=PATH        crash-safe JSONL journal of completed classes
+//   --resume              replay the journal, skipping completed classes
+//   --class-timeout-ms=T  wall-clock budget per class attempt (0 = off)
+//   --max-retries=N       retries under escalating solver aid (default 3)
+//   --json=FILE           write the full campaign report as JSON
+//   --quick               small preset for a fast demonstration run
+//   --smoke               tiny preset for CI (seconds, not minutes)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string>
 
 #include "flashadc/campaign.hpp"
+#include "flashadc/report.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--defects=N] [--envelope=N] [--classes=N] [--seed=N]\n"
+      "          [--threads=N] [--shards=N] [--shard=K] [--journal=PATH]\n"
+      "          [--resume] [--class-timeout-ms=T] [--max-retries=N]\n"
+      "          [--json=FILE] [--quick] [--smoke]\n",
+      argv0);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dot;
@@ -16,27 +48,91 @@ int main(int argc, char** argv) {
   flashadc::CampaignConfig config;
   config.defect_count = 250000;
   config.envelope_samples = 20;
+  std::string json_path;
+  unsigned threads = 0;  // 0 = hardware_concurrency
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--defects=")) {
+      config.defect_count = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--envelope=")) {
+      config.envelope_samples = std::atoi(v);
+    } else if (const char* v = value("--classes=")) {
+      config.max_classes = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--seed=")) {
+      config.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--threads=")) {
+      threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--shards=")) {
+      config.resilience.shard_count = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--shard=")) {
+      config.resilience.shard_index = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--journal=")) {
+      config.resilience.journal_path = v;
+    } else if (arg == "--resume") {
+      config.resilience.resume = true;
+    } else if (const char* v = value("--class-timeout-ms=")) {
+      config.resilience.class_timeout_ms = std::atof(v);
+    } else if (const char* v = value("--max-retries=")) {
+      config.resilience.max_retries = std::atoi(v);
+    } else if (const char* v = value("--json=")) {
+      json_path = v;
+    } else if (arg == "--quick") {
       config.defect_count = 50000;
       config.envelope_samples = 8;
       config.max_classes = 30;
+    } else if (arg == "--smoke") {
+      config.defect_count = 8000;
+      config.envelope_samples = 4;
+      config.max_classes = 8;
+    } else if (arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                   arg.c_str());
+      usage(argv[0]);
+      return 2;
     }
   }
+  if (config.resilience.shard_count == 0 ||
+      config.resilience.shard_index >= config.resilience.shard_count) {
+    std::fprintf(stderr, "%s: --shard=%zu out of range for --shards=%zu\n",
+                 argv[0], config.resilience.shard_index,
+                 config.resilience.shard_count);
+    return 2;
+  }
+  if (config.resilience.resume && config.resilience.journal_path.empty()) {
+    std::fprintf(stderr, "%s: --resume requires --journal=PATH\n", argv[0]);
+    return 2;
+  }
+  util::ThreadPool::set_global_thread_count(threads);
 
+  const bool sharded = config.resilience.shard_count > 1;
   std::printf("running the defect-oriented test path on all five macros\n"
-              "(%zu defects per macro)...\n\n",
-              config.defect_count);
-  const auto global = flashadc::run_full_campaign(config);
+              "(%zu defects per macro%s)...\n\n",
+              config.defect_count,
+              sharded ? ", sharded" : "");
+  flashadc::GlobalResult global;
+  try {
+    global = flashadc::run_full_campaign(config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
 
   util::TextTable table({"macro", "instances", "area um^2", "classes",
-                         "coverage %", "current %"});
+                         "coverage %", "current %", "unresolved"});
   for (const auto& m : global.macros) {
     table.add_row({m.macro_name, std::to_string(m.instance_count),
                    util::fmt(m.cell_area, 0),
                    std::to_string(m.defects.classes.size()),
                    util::pct(m.coverage(false)),
-                   util::pct(m.current_coverage(false))});
+                   util::pct(m.current_coverage(false)),
+                   std::to_string(m.unresolved_classes())});
   }
   std::printf("%s\n", table.str().c_str());
 
@@ -46,6 +142,8 @@ int main(int argc, char** argv) {
   std::printf("  voltage + current %5.1f %%\n", 100.0 * venn.both);
   std::printf("  current only      %5.1f %%\n", 100.0 * venn.current_only);
   std::printf("  undetected        %5.1f %%\n", 100.0 * venn.undetected);
+  if (venn.unresolved > 0.0)
+    std::printf("  unresolved        %5.1f %%\n", 100.0 * venn.unresolved);
   std::printf("  => fault coverage %5.1f %%  (paper: 93.3 %%)\n\n",
               100.0 * venn.detected());
 
@@ -53,5 +151,22 @@ int main(int argc, char** argv) {
   std::printf("global (non-catastrophic): coverage %.1f %% "
               "(paper: 93.1 %%)\n",
               100.0 * noncat.detected());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot open %s for writing\n", argv[0],
+                   json_path.c_str());
+      return 1;
+    }
+    out << flashadc::to_json(global) << '\n';
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "%s: failed writing %s\n", argv[0],
+                   json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,69 @@
+// Combines the journals of a sharded campaign (one per shard, any
+// order) into the global coverage report. Also accepts the journal of
+// an unsharded run, which makes it the canonical way to turn any
+// journal into report JSON -- sharded and unsharded runs merged this
+// way are byte-comparable.
+//
+// Usage: merge_shards [--out=FILE] JOURNAL...
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "flashadc/journal.hpp"
+#include "flashadc/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dot;
+
+  std::string out_path;
+  std::vector<std::string> journals;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.compare(0, 6, "--out=") == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--help") {
+      std::fprintf(stderr, "usage: %s [--out=FILE] JOURNAL...\n", argv[0]);
+      return 0;
+    } else if (arg.compare(0, 2, "--") == 0) {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                   arg.c_str());
+      std::fprintf(stderr, "usage: %s [--out=FILE] JOURNAL...\n", argv[0]);
+      return 2;
+    } else {
+      journals.push_back(arg);
+    }
+  }
+  if (journals.empty()) {
+    std::fprintf(stderr, "usage: %s [--out=FILE] JOURNAL...\n", argv[0]);
+    return 2;
+  }
+
+  std::string json;
+  try {
+    json = flashadc::to_json(flashadc::merge_shard_journals(journals));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
+
+  if (out_path.empty()) {
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot open %s for writing\n", argv[0],
+                 out_path.c_str());
+    return 1;
+  }
+  out << json << '\n';
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "%s: failed writing %s\n", argv[0],
+                 out_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -4,6 +4,8 @@
 #include <array>
 #include <unordered_map>
 
+#include "util/error.hpp"
+
 namespace dot::fault {
 
 const std::string& fault_kind_name(FaultKind kind) {
@@ -12,6 +14,14 @@ const std::string& fault_kind_name(FaultKind kind) {
       "junction pinhole", "thick oxide pinhole", "open",
       "new device",     "shorted device"};
   return names[static_cast<std::size_t>(kind)];
+}
+
+FaultKind parse_fault_kind(const std::string& name) {
+  for (int i = 0; i < kFaultKindCount; ++i) {
+    const auto kind = static_cast<FaultKind>(i);
+    if (fault_kind_name(kind) == name) return kind;
+  }
+  throw util::InvalidInputError("unknown fault kind: " + name);
 }
 
 std::string CircuitFault::key() const {

@@ -23,6 +23,10 @@ inline constexpr int kFaultKindCount = 8;
 
 const std::string& fault_kind_name(FaultKind kind);
 
+/// Inverse of fault_kind_name (journal decode); throws
+/// util::InvalidInputError on an unknown name.
+FaultKind parse_fault_kind(const std::string& name);
+
 /// Material of a bridging defect; selects the short resistance.
 enum class BridgeMaterial {
   kMetal,

@@ -2,17 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "flashadc/behavioral.hpp"
 #include "flashadc/biasgen.hpp"
 #include "flashadc/clockgen.hpp"
 #include "flashadc/comparator_sim.hpp"
 #include "flashadc/decoder.hpp"
+#include "flashadc/journal.hpp"
 #include "flashadc/ladder.hpp"
 #include "flashadc/tech.hpp"
 #include "macro/envelope.hpp"
 #include "macro/macro_cell.hpp"
 #include "spice/montecarlo.hpp"
+#include "spice/resilience.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -98,17 +101,38 @@ FaultModelOptions model_options(const CampaignConfig& config,
 /// per-macro context captured by `evaluate`), and the results are
 /// appended in likelihood order afterwards, so the outcome vectors are
 /// bit-identical at any thread count.
+///
+/// The resilience layer hooks in here:
+///   * sharding -- this process evaluates class c iff
+///     c % shard_count == shard_index; classes are independent, so the
+///     union of all shards equals the unsharded run bit-for-bit;
+///   * resume -- classes already in the journal are restored instead of
+///     re-evaluated (the stored representative is abbreviated, so it is
+///     rehydrated from the deterministic re-sprinkle);
+///   * graceful degradation -- each class runs under an EvalScope with
+///     the configured wall-clock budget; a failed attempt is retried
+///     with the continuation aid ladder escalated one rung, and a class
+///     that exhausts 1 + max_retries attempts is carried as a
+///     structured kUnresolved outcome instead of aborting the campaign.
 template <typename Evaluate>
-void evaluate_classes(const Netlist& good, const std::vector<FaultClass>& classes,
+void evaluate_classes(const std::string& macro_name, const Netlist& good,
+                      const std::vector<FaultClass>& classes,
                       const FaultModelOptions& model_opt,
-                      const CampaignConfig& config, Evaluate&& evaluate,
+                      const CampaignConfig& config, CampaignJournal* journal,
+                      Evaluate&& evaluate,
                       std::vector<FaultOutcome>& catastrophic,
                       std::vector<FaultOutcome>& noncatastrophic) {
   struct ClassEval {
     std::optional<FaultOutcome> cat;
     std::optional<FaultOutcome> noncat;
   };
-  auto evals = util::parallel_map(classes.size(), [&](std::size_t c) {
+  const ResilienceOptions& res = config.resilience;
+  if (res.shard_count == 0 || res.shard_index >= res.shard_count)
+    throw util::ShardError("shard index " + std::to_string(res.shard_index) +
+                           " out of range for " +
+                           std::to_string(res.shard_count) + " shards");
+
+  auto evaluate_once = [&](std::size_t c) {
     const auto& cls = classes[c];
     ClassEval eval;
     for (int pass = 0; pass < 2; ++pass) {
@@ -131,6 +155,61 @@ void evaluate_classes(const Netlist& good, const std::vector<FaultClass>& classe
       (noncat ? eval.noncat : eval.cat) = std::move(worst);
     }
     return eval;
+  };
+
+  auto evals = util::parallel_map(classes.size(), [&](std::size_t c) {
+    ClassEval eval;
+    if (c % res.shard_count != res.shard_index) return eval;
+    if (journal != nullptr) {
+      if (const ClassRecord* record = journal->completed(macro_name, c)) {
+        eval.cat = record->catastrophic;
+        eval.noncat = record->noncatastrophic;
+        if (eval.cat) eval.cat->cls = classes[c];
+        if (eval.noncat) eval.noncat->cls = classes[c];
+        return eval;
+      }
+    }
+    const int attempts_allowed = 1 + std::max(0, res.max_retries);
+    std::string failure;
+    for (int attempt = 1; attempt <= attempts_allowed; ++attempt) {
+      spice::EvalBudget budget;
+      budget.timeout_ms = res.class_timeout_ms;
+      budget.aid_level = attempt - 1;
+      spice::EvalScope scope(macro_name, c, budget);
+      try {
+        eval = evaluate_once(c);
+        if (eval.cat) eval.cat->attempts = attempt;
+        if (eval.noncat) eval.noncat->attempts = attempt;
+        failure.clear();
+        break;
+      } catch (const util::ShardError&) {
+        throw;  // infrastructure failure, not a circuit pathology
+      } catch (const std::exception& e) {
+        failure = e.what();
+        eval = ClassEval{};
+      }
+    }
+    if (!failure.empty()) {
+      // Retry/aid budget exhausted: carry the class as a structured
+      // unresolved outcome. It lands in its own coverage bucket --
+      // never silently counted detected or undetected.
+      auto unresolved = [&](bool noncat) {
+        FaultOutcome o;
+        o.cls = classes[c];
+        o.non_catastrophic = noncat;
+        o.status = EvalStatus::kUnresolved;
+        o.attempts = attempts_allowed;
+        o.failure = failure;
+        return o;
+      };
+      eval.cat = unresolved(false);
+      if (config.with_noncatastrophic &&
+          fault::supports_noncatastrophic(classes[c].representative))
+        eval.noncat = unresolved(true);
+    }
+    if (journal != nullptr)
+      journal->record_class(macro_name, c, eval.cat, eval.noncat);
+    return eval;
   });
   for (auto& eval : evals) {
     if (eval.cat) catastrophic.push_back(std::move(*eval.cat));
@@ -148,8 +227,9 @@ macro::MacroContribution MacroCampaignResult::contribution(
   c.instance_count = instance_count;
   for (const auto& outcome :
        non_catastrophic ? noncatastrophic : catastrophic)
-    c.outcomes.push_back(
-        {outcome.detection, static_cast<double>(outcome.cls.count)});
+    c.outcomes.push_back({outcome.detection,
+                          static_cast<double>(outcome.cls.count),
+                          outcome.status == EvalStatus::kUnresolved});
   return c;
 }
 
@@ -158,6 +238,7 @@ std::vector<double> MacroCampaignResult::voltage_signature_fractions(
   std::vector<double> fractions(macro::kVoltageSignatureCount, 0.0);
   double total = 0.0;
   for (const auto& o : non_catastrophic ? noncatastrophic : catastrophic) {
+    if (o.status != EvalStatus::kOk) continue;  // no trustworthy signature
     fractions[static_cast<std::size_t>(o.voltage)] +=
         static_cast<double>(o.cls.count);
     total += static_cast<double>(o.cls.count);
@@ -172,6 +253,7 @@ std::vector<double> MacroCampaignResult::current_signature_fractions(
   std::vector<double> fractions(4, 0.0);
   double total = 0.0;
   for (const auto& o : non_catastrophic ? noncatastrophic : catastrophic) {
+    if (o.status != EvalStatus::kOk) continue;  // no trustworthy signature
     const auto w = static_cast<double>(o.cls.count);
     if (o.current.ivdd) fractions[0] += w;
     if (o.current.iddq) fractions[1] += w;
@@ -188,7 +270,7 @@ double MacroCampaignResult::coverage(bool non_catastrophic) const {
   double detected = 0.0, total = 0.0;
   for (const auto& o : non_catastrophic ? noncatastrophic : catastrophic) {
     const auto w = static_cast<double>(o.cls.count);
-    if (o.detection.detected()) detected += w;
+    if (o.status == EvalStatus::kOk && o.detection.detected()) detected += w;
     total += w;
   }
   return total > 0.0 ? detected / total : 0.0;
@@ -198,22 +280,44 @@ double MacroCampaignResult::current_coverage(bool non_catastrophic) const {
   double detected = 0.0, total = 0.0;
   for (const auto& o : non_catastrophic ? noncatastrophic : catastrophic) {
     const auto w = static_cast<double>(o.cls.count);
-    if (o.detection.current_detected()) detected += w;
+    if (o.status == EvalStatus::kOk && o.detection.current_detected())
+      detected += w;
     total += w;
   }
   return total > 0.0 ? detected / total : 0.0;
 }
 
+double MacroCampaignResult::unresolved_weight(bool non_catastrophic) const {
+  double unresolved = 0.0, total = 0.0;
+  for (const auto& o : non_catastrophic ? noncatastrophic : catastrophic) {
+    const auto w = static_cast<double>(o.cls.count);
+    if (o.status == EvalStatus::kUnresolved) unresolved += w;
+    total += w;
+  }
+  return total > 0.0 ? unresolved / total : 0.0;
+}
+
+std::size_t MacroCampaignResult::unresolved_classes() const {
+  std::size_t n = 0;
+  for (const auto& o : catastrophic)
+    if (o.status == EvalStatus::kUnresolved) ++n;
+  for (const auto& o : noncatastrophic)
+    if (o.status == EvalStatus::kUnresolved) ++n;
+  return n;
+}
+
 // ---------------------------------------------------------------------
 // Comparator.
 
-MacroCampaignResult run_comparator_campaign(const CampaignConfig& config) {
+MacroCampaignResult run_comparator_campaign(const CampaignConfig& config,
+                                            CampaignJournal* journal) {
   const macro::MacroCell cell = build_comparator_macro(config.dft);
   MacroCampaignResult result;
   result.macro_name = cell.name;
   result.cell_area = cell.cell_area();
   result.instance_count = cell.instance_count;
   result.defects = sprinkle(cell, config, 1);
+  if (journal != nullptr) journal->record_macro(result);
 
   // Fault-free reference runs.
   const auto nominal = simulate_comparator_grid(cell.netlist);
@@ -274,8 +378,9 @@ MacroCampaignResult run_comparator_campaign(const CampaignConfig& config) {
     return outcome;
   };
 
-  evaluate_classes(cell.netlist, truncated_classes(result.defects, config),
-                   model_options(config, "vdda"), config, evaluate,
+  evaluate_classes(result.macro_name, cell.netlist,
+                   truncated_classes(result.defects, config),
+                   model_options(config, "vdda"), config, journal, evaluate,
                    result.catastrophic, result.noncatastrophic);
   return result;
 }
@@ -283,13 +388,15 @@ MacroCampaignResult run_comparator_campaign(const CampaignConfig& config) {
 // ---------------------------------------------------------------------
 // Ladder.
 
-MacroCampaignResult run_ladder_campaign(const CampaignConfig& config) {
+MacroCampaignResult run_ladder_campaign(const CampaignConfig& config,
+                                        CampaignJournal* journal) {
   const macro::MacroCell cell = build_ladder_macro();
   MacroCampaignResult result;
   result.macro_name = cell.name;
   result.cell_area = cell.cell_area();
   result.instance_count = cell.instance_count;
   result.defects = sprinkle(cell, config, 2);
+  if (journal != nullptr) journal->record_macro(result);
 
   // Golden solver state, hoisted out of the per-class loop and shared
   // read-only by the envelope and fault-evaluation workers.
@@ -353,8 +460,9 @@ MacroCampaignResult run_ladder_campaign(const CampaignConfig& config) {
     return outcome;
   };
 
-  evaluate_classes(cell.netlist, truncated_classes(result.defects, config),
-                   model_options(config, "vdda"), config, evaluate,
+  evaluate_classes(result.macro_name, cell.netlist,
+                   truncated_classes(result.defects, config),
+                   model_options(config, "vdda"), config, journal, evaluate,
                    result.catastrophic, result.noncatastrophic);
   return result;
 }
@@ -362,13 +470,15 @@ MacroCampaignResult run_ladder_campaign(const CampaignConfig& config) {
 // ---------------------------------------------------------------------
 // Bias generator.
 
-MacroCampaignResult run_biasgen_campaign(const CampaignConfig& config) {
+MacroCampaignResult run_biasgen_campaign(const CampaignConfig& config,
+                                         CampaignJournal* journal) {
   const macro::MacroCell cell = build_biasgen_macro();
   MacroCampaignResult result;
   result.macro_name = cell.name;
   result.cell_area = cell.cell_area();
   result.instance_count = cell.instance_count;
   result.defects = sprinkle(cell, config, 3);
+  if (journal != nullptr) journal->record_macro(result);
 
   const BiasgenContext context =
       make_biasgen_context(cell.netlist, config.solver);
@@ -416,8 +526,9 @@ MacroCampaignResult run_biasgen_campaign(const CampaignConfig& config) {
     return outcome;
   };
 
-  evaluate_classes(cell.netlist, truncated_classes(result.defects, config),
-                   model_options(config, "vdda"), config, evaluate,
+  evaluate_classes(result.macro_name, cell.netlist,
+                   truncated_classes(result.defects, config),
+                   model_options(config, "vdda"), config, journal, evaluate,
                    result.catastrophic, result.noncatastrophic);
   return result;
 }
@@ -425,13 +536,15 @@ MacroCampaignResult run_biasgen_campaign(const CampaignConfig& config) {
 // ---------------------------------------------------------------------
 // Clock generator.
 
-MacroCampaignResult run_clockgen_campaign(const CampaignConfig& config) {
+MacroCampaignResult run_clockgen_campaign(const CampaignConfig& config,
+                                          CampaignJournal* journal) {
   const macro::MacroCell cell = build_clockgen_macro();
   MacroCampaignResult result;
   result.macro_name = cell.name;
   result.cell_area = cell.cell_area();
   result.instance_count = cell.instance_count;
   result.defects = sprinkle(cell, config, 4);
+  if (journal != nullptr) journal->record_macro(result);
 
   const ClockgenContext context =
       make_clockgen_context(cell.netlist, config.solver);
@@ -491,8 +604,9 @@ MacroCampaignResult run_clockgen_campaign(const CampaignConfig& config) {
     return outcome;
   };
 
-  evaluate_classes(cell.netlist, truncated_classes(result.defects, config),
-                   model_options(config, "vddd"), config, evaluate,
+  evaluate_classes(result.macro_name, cell.netlist,
+                   truncated_classes(result.defects, config),
+                   model_options(config, "vddd"), config, journal, evaluate,
                    result.catastrophic, result.noncatastrophic);
   return result;
 }
@@ -500,13 +614,15 @@ MacroCampaignResult run_clockgen_campaign(const CampaignConfig& config) {
 // ---------------------------------------------------------------------
 // Decoder.
 
-MacroCampaignResult run_decoder_campaign(const CampaignConfig& config) {
+MacroCampaignResult run_decoder_campaign(const CampaignConfig& config,
+                                         CampaignJournal* journal) {
   const macro::MacroCell cell = build_decoder_macro();
   MacroCampaignResult result;
   result.macro_name = cell.name;
   result.cell_area = cell.cell_area();
   result.instance_count = cell.instance_count;
   result.defects = sprinkle(cell, config, 5);
+  if (journal != nullptr) journal->record_macro(result);
 
   const DecoderContext context =
       make_decoder_context(cell.netlist, config.solver);
@@ -552,8 +668,9 @@ MacroCampaignResult run_decoder_campaign(const CampaignConfig& config) {
     return outcome;
   };
 
-  evaluate_classes(cell.netlist, truncated_classes(result.defects, config),
-                   model_options(config, "vddd"), config, evaluate,
+  evaluate_classes(result.macro_name, cell.netlist,
+                   truncated_classes(result.defects, config),
+                   model_options(config, "vddd"), config, journal, evaluate,
                    result.catastrophic, result.noncatastrophic);
   return result;
 }
@@ -587,12 +704,18 @@ GlobalResult run_full_campaign(const CampaignConfig& config) {
   // compilation (paper fig. 1), so they fan out across the pool; each
   // one's inner loops keep parallelizing on whatever threads are free
   // (the pool's caller-participates design makes nesting safe).
-  using Runner = MacroCampaignResult (*)(const CampaignConfig&);
+  std::unique_ptr<CampaignJournal> journal;
+  if (!config.resilience.journal_path.empty())
+    journal = std::make_unique<CampaignJournal>(config);
+  using Runner = MacroCampaignResult (*)(const CampaignConfig&,
+                                         CampaignJournal*);
   static constexpr Runner kRunners[] = {
       run_comparator_campaign, run_ladder_campaign, run_biasgen_campaign,
       run_clockgen_campaign, run_decoder_campaign};
-  auto macros = util::parallel_map(
-      std::size(kRunners), [&](std::size_t m) { return kRunners[m](config); });
+  auto macros = util::parallel_map(std::size(kRunners), [&](std::size_t m) {
+    return kRunners[m](config, journal.get());
+  });
+  if (journal) journal->close();
   return compile_global(std::move(macros));
 }
 

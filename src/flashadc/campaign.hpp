@@ -20,6 +20,38 @@
 
 namespace dot::flashadc {
 
+class CampaignJournal;
+
+/// Knobs for the campaign resilience layer: sharding, crash-safe
+/// journaling/resume, and graceful degradation on pathological fault
+/// classes. Defaults reproduce the original single-process,
+/// no-journal, no-deadline behaviour exactly.
+struct ResilienceOptions {
+  /// Wall-clock budget per fault-class evaluation attempt in
+  /// milliseconds (0 = unlimited). Expiry aborts the attempt with
+  /// util::TimeoutError and triggers a retry at the next aid level.
+  double class_timeout_ms = 0.0;
+  /// Retries after the first failed attempt; each retry escalates the
+  /// continuation aid ladder (see spice/resilience.hpp). A class still
+  /// failing after 1 + max_retries attempts is recorded kUnresolved.
+  int max_retries = 3;
+  /// Split the collapsed fault-class list into `shard_count`
+  /// deterministic shards; this process evaluates class index c iff
+  /// c % shard_count == shard_index. The union of all shards is
+  /// bit-identical to an unsharded run at the same seed.
+  std::size_t shard_count = 1;
+  std::size_t shard_index = 0;
+  /// Append-only JSONL journal of completed class outcomes (empty =
+  /// no journaling). Flushed via write-to-temp + atomic rename every
+  /// `checkpoint_block` records, so a crash loses at most one block.
+  std::string journal_path;
+  /// Replay an existing journal at `journal_path`: completed classes
+  /// are skipped and their outcomes restored instead of re-evaluated.
+  bool resume = false;
+  /// Records per checkpoint flush.
+  std::size_t checkpoint_block = 16;
+};
+
 struct CampaignConfig {
   std::size_t defect_count = 500000;
   std::uint64_t seed = 1995;
@@ -45,6 +77,14 @@ struct CampaignConfig {
   /// within Newton's vtol, and bit-identical at any thread count for a
   /// fixed mode).
   spice::SolverOptions solver;
+  /// Sharding / checkpoint-resume / degradation knobs.
+  ResilienceOptions resilience;
+};
+
+/// How a fault-class evaluation resolved.
+enum class EvalStatus {
+  kOk,          ///< Produced a trustworthy signature.
+  kUnresolved,  ///< Exhausted the retry/aid budget; outcome untrusted.
 };
 
 /// One evaluated fault class.
@@ -54,6 +94,14 @@ struct FaultOutcome {
   macro::VoltageSignature voltage = macro::VoltageSignature::kNoDeviation;
   macro::CurrentSignature current;
   macro::DetectionOutcome detection;
+  /// Resolution of the evaluation guard. Unresolved classes carry a
+  /// blank signature and are reported in their own coverage bucket --
+  /// never counted detected or undetected.
+  EvalStatus status = EvalStatus::kOk;
+  /// Evaluation attempts spent (1 = first try succeeded).
+  int attempts = 1;
+  /// Diagnostic from the last failed attempt (empty when status==kOk).
+  std::string failure;
 };
 
 struct MacroCampaignResult {
@@ -71,17 +119,27 @@ struct MacroCampaignResult {
   /// Weighted fraction with each current flag set (paper Table 3): the
   /// returned vector is {ivdd, iddq, iinput, none}.
   std::vector<double> current_signature_fractions(bool non_catastrophic) const;
-  /// Weighted fraction of detected faults.
+  /// Weighted fraction of detected faults. Unresolved classes count in
+  /// the denominator but never the numerator (conservative coverage).
   double coverage(bool non_catastrophic) const;
   /// Weighted fraction detected by current measurements.
   double current_coverage(bool non_catastrophic) const;
+  /// Weighted fraction of classes whose evaluation never resolved.
+  double unresolved_weight(bool non_catastrophic) const;
+  /// Number of unresolved classes across both outcome vectors.
+  std::size_t unresolved_classes() const;
 };
 
-MacroCampaignResult run_comparator_campaign(const CampaignConfig& config);
-MacroCampaignResult run_ladder_campaign(const CampaignConfig& config);
-MacroCampaignResult run_biasgen_campaign(const CampaignConfig& config);
-MacroCampaignResult run_clockgen_campaign(const CampaignConfig& config);
-MacroCampaignResult run_decoder_campaign(const CampaignConfig& config);
+MacroCampaignResult run_comparator_campaign(const CampaignConfig& config,
+                                            CampaignJournal* journal = nullptr);
+MacroCampaignResult run_ladder_campaign(const CampaignConfig& config,
+                                        CampaignJournal* journal = nullptr);
+MacroCampaignResult run_biasgen_campaign(const CampaignConfig& config,
+                                         CampaignJournal* journal = nullptr);
+MacroCampaignResult run_clockgen_campaign(const CampaignConfig& config,
+                                          CampaignJournal* journal = nullptr);
+MacroCampaignResult run_decoder_campaign(const CampaignConfig& config,
+                                         CampaignJournal* journal = nullptr);
 
 /// Whole-circuit results (paper figures 4 and 5).
 struct GlobalResult {

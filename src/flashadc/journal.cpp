@@ -1,0 +1,461 @@
+#include "flashadc/journal.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace dot::flashadc {
+
+using util::JsonValue;
+using util::JsonWriter;
+
+namespace {
+
+constexpr int kJournalSchema = 1;
+
+/// Campaign identity stored in the journal's meta record; a resumed or
+/// merged journal must agree with the live configuration on every field
+/// that determines the deterministic class list and its outcomes.
+/// (Retry budgets and timeouts are deliberately absent: changing them
+/// between resume runs is legitimate.)
+struct MetaInfo {
+  int schema = kJournalSchema;
+  std::uint64_t seed = 0;
+  std::size_t defect_count = 0;
+  int envelope_samples = 0;
+  std::size_t max_classes = 0;
+  bool with_noncatastrophic = true;
+  std::size_t shard_count = 1;
+  std::size_t shard_index = 0;
+  std::string solver_mode;
+};
+
+MetaInfo meta_of(const CampaignConfig& config) {
+  MetaInfo m;
+  m.seed = config.seed;
+  m.defect_count = config.defect_count;
+  m.envelope_samples = config.envelope_samples;
+  m.max_classes = config.max_classes;
+  m.with_noncatastrophic = config.with_noncatastrophic;
+  m.shard_count = config.resilience.shard_count;
+  m.shard_index = config.resilience.shard_index;
+  m.solver_mode = spice::solver_mode_name(config.solver.mode);
+  return m;
+}
+
+std::string encode_meta(const MetaInfo& m) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value("meta");
+  w.key("schema");
+  w.value(m.schema);
+  w.key("seed");
+  w.value(static_cast<std::size_t>(m.seed));
+  w.key("defect_count");
+  w.value(m.defect_count);
+  w.key("envelope_samples");
+  w.value(m.envelope_samples);
+  w.key("max_classes");
+  w.value(m.max_classes);
+  w.key("with_noncatastrophic");
+  w.value(m.with_noncatastrophic);
+  w.key("shard_count");
+  w.value(m.shard_count);
+  w.key("shard_index");
+  w.value(m.shard_index);
+  w.key("solver_mode");
+  w.value(m.solver_mode);
+  w.end_object();
+  return w.str();
+}
+
+MetaInfo decode_meta(const JsonValue& v, const std::string& path) {
+  MetaInfo m;
+  m.schema = static_cast<int>(v.get("schema").as_size());
+  if (m.schema != kJournalSchema)
+    throw util::ShardError("journal " + path + " has schema " +
+                           std::to_string(m.schema) + " (expected " +
+                           std::to_string(kJournalSchema) + ")");
+  m.seed = v.get("seed").as_size();
+  m.defect_count = v.get("defect_count").as_size();
+  m.envelope_samples = static_cast<int>(v.get("envelope_samples").as_size());
+  m.max_classes = v.get("max_classes").as_size();
+  m.with_noncatastrophic = v.get("with_noncatastrophic").as_bool();
+  m.shard_count = v.get("shard_count").as_size();
+  m.shard_index = v.get("shard_index").as_size();
+  m.solver_mode = v.get("solver_mode").as_string();
+  if (m.shard_count == 0 || m.shard_index >= m.shard_count)
+    throw util::ShardError("journal " + path + " has shard index " +
+                           std::to_string(m.shard_index) + " of " +
+                           std::to_string(m.shard_count));
+  return m;
+}
+
+/// First field (other than shard_index, optionally) on which the two
+/// campaign identities disagree; empty when compatible.
+std::string meta_mismatch(const MetaInfo& a, const MetaInfo& b,
+                          bool compare_shard_index) {
+  if (a.seed != b.seed) return "seed";
+  if (a.defect_count != b.defect_count) return "defect_count";
+  if (a.envelope_samples != b.envelope_samples) return "envelope_samples";
+  if (a.max_classes != b.max_classes) return "max_classes";
+  if (a.with_noncatastrophic != b.with_noncatastrophic)
+    return "with_noncatastrophic";
+  if (a.shard_count != b.shard_count) return "shard_count";
+  if (compare_shard_index && a.shard_index != b.shard_index)
+    return "shard_index";
+  if (a.solver_mode != b.solver_mode) return "solver_mode";
+  return {};
+}
+
+/// Per-macro sprinkling statistics: everything write_macro (report.cpp)
+/// emits besides the outcomes themselves.
+struct MacroMeta {
+  double cell_area = 0.0;
+  std::size_t instances = 1;
+  std::size_t defects_sprinkled = 0;
+  std::size_t faults_extracted = 0;
+  std::size_t fault_classes = 0;
+
+  bool operator==(const MacroMeta&) const = default;
+};
+
+std::string encode_macro(const MacroCampaignResult& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value("macro");
+  w.key("macro");
+  w.value(r.macro_name);
+  w.key("cell_area_um2");
+  w.value(r.cell_area);
+  w.key("instances");
+  w.value(r.instance_count);
+  w.key("defects_sprinkled");
+  w.value(r.defects.defects_sprinkled);
+  w.key("faults_extracted");
+  w.value(r.defects.faults_extracted);
+  w.key("fault_classes");
+  w.value(r.defects.classes.size());
+  w.end_object();
+  return w.str();
+}
+
+MacroMeta decode_macro(const JsonValue& v) {
+  MacroMeta m;
+  m.cell_area = v.get("cell_area_um2").as_number();
+  m.instances = v.get("instances").as_size();
+  m.defects_sprinkled = v.get("defects_sprinkled").as_size();
+  m.faults_extracted = v.get("faults_extracted").as_size();
+  m.fault_classes = v.get("fault_classes").as_size();
+  return m;
+}
+
+void encode_outcome(JsonWriter& w, const FaultOutcome& o) {
+  w.begin_object();
+  w.key("kind");
+  w.value(fault::fault_kind_name(o.cls.representative.kind));
+  w.key("nets");
+  w.begin_array();
+  for (const auto& net : o.cls.representative.nets) w.value(net);
+  w.end_array();
+  if (!o.cls.representative.device.empty()) {
+    w.key("device");
+    w.value(o.cls.representative.device);
+  }
+  w.key("count");
+  w.value(o.cls.count);
+  w.key("voltage_signature");
+  w.value(macro::voltage_signature_name(o.voltage));
+  w.key("current");
+  w.begin_object();
+  w.key("ivdd");
+  w.value(o.current.ivdd);
+  w.key("iddq");
+  w.value(o.current.iddq);
+  w.key("iinput");
+  w.value(o.current.iinput);
+  w.end_object();
+  w.key("detection");
+  w.begin_object();
+  w.key("missing_code");
+  w.value(o.detection.missing_code);
+  w.key("ivdd");
+  w.value(o.detection.ivdd);
+  w.key("iddq");
+  w.value(o.detection.iddq);
+  w.key("iinput");
+  w.value(o.detection.iinput);
+  w.end_object();
+  w.key("status");
+  w.value(o.status == EvalStatus::kOk ? "ok" : "unresolved");
+  w.key("attempts");
+  w.value(o.attempts);
+  if (!o.failure.empty()) {
+    w.key("failure");
+    w.value(o.failure);
+  }
+  w.end_object();
+}
+
+FaultOutcome decode_outcome(const JsonValue& v, bool non_catastrophic) {
+  FaultOutcome o;
+  o.cls.representative.kind =
+      fault::parse_fault_kind(v.get("kind").as_string());
+  for (const auto& net : v.get("nets").items())
+    o.cls.representative.nets.push_back(net.as_string());
+  if (const JsonValue* device = v.find("device"))
+    o.cls.representative.device = device->as_string();
+  o.cls.count = v.get("count").as_size();
+  o.non_catastrophic = non_catastrophic;
+  o.voltage =
+      macro::parse_voltage_signature(v.get("voltage_signature").as_string());
+  const JsonValue& current = v.get("current");
+  o.current.ivdd = current.get("ivdd").as_bool();
+  o.current.iddq = current.get("iddq").as_bool();
+  o.current.iinput = current.get("iinput").as_bool();
+  const JsonValue& detection = v.get("detection");
+  o.detection.missing_code = detection.get("missing_code").as_bool();
+  o.detection.ivdd = detection.get("ivdd").as_bool();
+  o.detection.iddq = detection.get("iddq").as_bool();
+  o.detection.iinput = detection.get("iinput").as_bool();
+  const std::string& status = v.get("status").as_string();
+  if (status == "ok")
+    o.status = EvalStatus::kOk;
+  else if (status == "unresolved")
+    o.status = EvalStatus::kUnresolved;
+  else
+    throw util::InvalidInputError("journal: unknown class status: " + status);
+  o.attempts = static_cast<int>(v.get("attempts").as_size());
+  if (const JsonValue* failure = v.find("failure"))
+    o.failure = failure->as_string();
+  return o;
+}
+
+std::string encode_class(const std::string& macro, std::size_t index,
+                         const std::optional<FaultOutcome>& cat,
+                         const std::optional<FaultOutcome>& noncat) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value("class");
+  w.key("macro");
+  w.value(macro);
+  w.key("index");
+  w.value(index);
+  if (cat) {
+    w.key("catastrophic");
+    encode_outcome(w, *cat);
+  }
+  if (noncat) {
+    w.key("non_catastrophic");
+    encode_outcome(w, *noncat);
+  }
+  w.end_object();
+  return w.str();
+}
+
+ClassRecord decode_class(const JsonValue& v) {
+  ClassRecord record;
+  record.index = v.get("index").as_size();
+  if (const JsonValue* cat = v.find("catastrophic"))
+    record.catastrophic = decode_outcome(*cat, false);
+  if (const JsonValue* noncat = v.find("non_catastrophic"))
+    record.noncatastrophic = decode_outcome(*noncat, true);
+  return record;
+}
+
+const std::string& checked_journal_path(const CampaignConfig& config) {
+  const ResilienceOptions& r = config.resilience;
+  if (r.journal_path.empty())
+    throw util::InvalidInputError("campaign journal: empty path");
+  if (r.shard_count == 0 || r.shard_index >= r.shard_count)
+    throw util::ShardError("shard index " + std::to_string(r.shard_index) +
+                           " out of range for " +
+                           std::to_string(r.shard_count) + " shards");
+  return r.journal_path;
+}
+
+}  // namespace
+
+CampaignJournal::CampaignJournal(const CampaignConfig& config)
+    : writer_(checked_journal_path(config), config.resilience.resume,
+              std::max<std::size_t>(1, config.resilience.checkpoint_block)) {
+  const MetaInfo live = meta_of(config);
+  if (config.resilience.resume) {
+    const util::JournalContents contents = util::read_journal(writer_.path());
+    bool meta_seen = false;
+    for (const JsonValue& record : contents.records) {
+      const std::string& type = record.get("type").as_string();
+      if (type == "meta") {
+        const MetaInfo stored = decode_meta(record, writer_.path());
+        const std::string mismatch = meta_mismatch(stored, live, true);
+        if (!mismatch.empty())
+          throw util::ShardError("journal " + writer_.path() +
+                                 " was written by a different campaign "
+                                 "(mismatched " +
+                                 mismatch + "); refusing to resume");
+        meta_seen = true;
+      } else if (type == "macro") {
+        macros_recorded_.insert(record.get("macro").as_string());
+      } else if (type == "class") {
+        ClassRecord decoded = decode_class(record);
+        const std::size_t index = decoded.index;
+        restored_[record.get("macro").as_string()][index] = std::move(decoded);
+      } else {
+        throw util::ShardError("journal " + writer_.path() +
+                               ": unknown record type '" + type + "'");
+      }
+    }
+    if (!contents.records.empty() && !meta_seen)
+      throw util::ShardError("journal " + writer_.path() +
+                             " has no meta record; refusing to resume");
+    if (contents.records.empty()) writer_.append(encode_meta(live));
+  } else {
+    writer_.append(encode_meta(live));
+  }
+}
+
+void CampaignJournal::record_macro(const MacroCampaignResult& result) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!macros_recorded_.insert(result.macro_name).second) return;
+  }
+  writer_.append(encode_macro(result));
+}
+
+void CampaignJournal::record_class(const std::string& macro, std::size_t index,
+                                   const std::optional<FaultOutcome>& cat,
+                                   const std::optional<FaultOutcome>& noncat) {
+  writer_.append(encode_class(macro, index, cat, noncat));
+}
+
+const ClassRecord* CampaignJournal::completed(const std::string& macro,
+                                              std::size_t index) const {
+  const auto macro_it = restored_.find(macro);
+  if (macro_it == restored_.end()) return nullptr;
+  const auto class_it = macro_it->second.find(index);
+  return class_it == macro_it->second.end() ? nullptr : &class_it->second;
+}
+
+std::size_t CampaignJournal::resumed_classes() const {
+  std::size_t total = 0;
+  for (const auto& [macro, classes] : restored_) total += classes.size();
+  return total;
+}
+
+void CampaignJournal::close() { writer_.close(); }
+
+GlobalResult merge_shard_journals(const std::vector<std::string>& paths) {
+  if (paths.empty())
+    throw util::ShardError("merge: no shard journals given");
+
+  bool have_meta = false;
+  MetaInfo first;
+  std::set<std::size_t> shards_seen;
+  std::map<std::string, MacroMeta> macro_meta;
+  std::map<std::string, std::map<std::size_t, ClassRecord>> classes;
+
+  for (const std::string& path : paths) {
+    const util::JournalContents contents = util::read_journal(path);
+    if (contents.records.empty())
+      throw util::ShardError("merge: journal " + path +
+                             " is empty or missing");
+    bool meta_seen = false;
+    std::size_t shard_index = 0;
+    for (const JsonValue& record : contents.records) {
+      const std::string& type = record.get("type").as_string();
+      if (type == "meta") {
+        const MetaInfo meta = decode_meta(record, path);
+        if (!have_meta) {
+          first = meta;
+          have_meta = true;
+        } else {
+          const std::string mismatch = meta_mismatch(first, meta, false);
+          if (!mismatch.empty())
+            throw util::ShardError("merge: journal " + path +
+                                   " belongs to a different campaign "
+                                   "(mismatched " +
+                                   mismatch + ")");
+        }
+        shard_index = meta.shard_index;
+        if (!shards_seen.insert(shard_index).second)
+          throw util::ShardError("merge: duplicate journal for shard " +
+                                 std::to_string(shard_index));
+        meta_seen = true;
+      } else if (type == "macro") {
+        const std::string& name = record.get("macro").as_string();
+        const MacroMeta meta = decode_macro(record);
+        const auto [it, inserted] = macro_meta.emplace(name, meta);
+        if (!inserted && !(it->second == meta))
+          throw util::ShardError(
+              "merge: journals disagree on macro statistics", util::kNoClassIndex,
+              name);
+      } else if (type == "class") {
+        const std::string& name = record.get("macro").as_string();
+        ClassRecord decoded = decode_class(record);
+        const std::size_t index = decoded.index;
+        if (!classes[name].emplace(index, std::move(decoded)).second)
+          throw util::ShardError("merge: duplicate record", index, name);
+      } else {
+        throw util::ShardError("merge: journal " + path +
+                               ": unknown record type '" + type + "'");
+      }
+    }
+    if (!meta_seen)
+      throw util::ShardError("merge: journal " + path + " has no meta record");
+  }
+
+  if (shards_seen.size() != first.shard_count)
+    throw util::ShardError(
+        "merge: incomplete shard set: have " +
+        std::to_string(shards_seen.size()) + " journal(s) of " +
+        std::to_string(first.shard_count) + " shards");
+
+  // Canonical macro order (journal record order is nondeterministic);
+  // unknown macro names -- future campaigns -- follow alphabetically.
+  static const char* const kCanonicalOrder[] = {
+      "comparator", "ladder", "biasgen", "clockgen", "decoder"};
+  std::vector<std::string> order;
+  for (const char* name : kCanonicalOrder)
+    if (macro_meta.count(name) != 0) order.emplace_back(name);
+  for (const auto& [name, meta] : macro_meta)
+    if (std::find(order.begin(), order.end(), name) == order.end())
+      order.push_back(name);
+
+  for (const auto& [name, records] : classes)
+    if (macro_meta.count(name) == 0)
+      throw util::ShardError("merge: class records without a macro record",
+                             util::kNoClassIndex, name);
+
+  std::vector<MacroCampaignResult> macros;
+  for (const std::string& name : order) {
+    const MacroMeta& meta = macro_meta.at(name);
+    MacroCampaignResult result;
+    result.macro_name = name;
+    result.cell_area = meta.cell_area;
+    result.instance_count = meta.instances;
+    result.defects.defects_sprinkled = meta.defects_sprinkled;
+    result.defects.faults_extracted = meta.faults_extracted;
+    // Only the class count survives the journal (the representatives of
+    // evaluated classes ride on the outcomes); sized so reports derived
+    // from the merge agree with reports from the live run.
+    result.defects.classes.resize(meta.fault_classes);
+    const auto records_it = classes.find(name);
+    if (records_it != classes.end()) {
+      for (auto& [index, record] : records_it->second) {
+        if (record.catastrophic)
+          result.catastrophic.push_back(std::move(*record.catastrophic));
+        if (record.noncatastrophic)
+          result.noncatastrophic.push_back(std::move(*record.noncatastrophic));
+      }
+    }
+    macros.push_back(std::move(result));
+  }
+  return compile_global(std::move(macros));
+}
+
+}  // namespace dot::flashadc

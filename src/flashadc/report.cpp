@@ -36,6 +36,14 @@ void write_outcome(util::JsonWriter& w, const FaultOutcome& o) {
   w.value(o.detection.detected());
   w.key("missing_code");
   w.value(o.detection.missing_code);
+  w.key("status");
+  w.value(o.status == EvalStatus::kOk ? "ok" : "unresolved");
+  w.key("attempts");
+  w.value(o.attempts);
+  if (!o.failure.empty()) {
+    w.key("failure");
+    w.value(o.failure);
+  }
   w.end_object();
 }
 
@@ -57,6 +65,10 @@ void write_macro(util::JsonWriter& w, const MacroCampaignResult& r) {
   w.value(r.coverage(false));
   w.key("current_coverage");
   w.value(r.current_coverage(false));
+  w.key("unresolved_weight");
+  w.value(r.unresolved_weight(false));
+  w.key("unresolved_classes");
+  w.value(r.unresolved_classes());
   w.key("catastrophic");
   w.begin_array();
   for (const auto& o : r.catastrophic) write_outcome(w, o);
@@ -78,6 +90,8 @@ void write_venn(util::JsonWriter& w, const macro::VennResult& venn) {
   w.value(venn.current_only);
   w.key("undetected");
   w.value(venn.undetected);
+  w.key("unresolved");
+  w.value(venn.unresolved);
   w.key("coverage");
   w.value(venn.detected());
   w.end_object();

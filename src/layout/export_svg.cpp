@@ -108,6 +108,9 @@ void write_svg(const CellLayout& cell, const std::string& path,
   std::ofstream out(path);
   if (!out) throw util::InvalidInputError("write_svg: cannot open " + path);
   out << to_svg(cell, options);
+  // An ofstream buffers aggressively: a full disk or yanked mount often
+  // only surfaces at flush time, so force it before checking state.
+  out.flush();
   if (!out) throw util::InvalidInputError("write_svg: write failed " + path);
 }
 

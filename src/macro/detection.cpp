@@ -28,12 +28,22 @@ const std::string& voltage_signature_name(VoltageSignature signature) {
   return kVoltageNames[static_cast<std::size_t>(signature)];
 }
 
+VoltageSignature parse_voltage_signature(const std::string& name) {
+  for (std::size_t i = 0; i < kVoltageNames.size(); ++i)
+    if (kVoltageNames[i] == name) return static_cast<VoltageSignature>(i);
+  throw util::InvalidInputError("unknown voltage signature: " + name);
+}
+
 VennResult compile_venn(const std::vector<WeightedOutcome>& outcomes) {
   VennResult result;
   const double total = total_weight(outcomes);
   if (total <= 0.0) return result;
   for (const auto& wo : outcomes) {
     const double w = wo.weight / total;
+    if (wo.unresolved) {
+      result.unresolved += w;
+      continue;
+    }
     const bool v = wo.outcome.voltage_detected();
     const bool c = wo.outcome.current_detected();
     if (v && c)
@@ -63,9 +73,14 @@ MechanismMatrix compile_matrix(const std::vector<WeightedOutcome>& outcomes) {
   MechanismMatrix matrix;
   const double total = total_weight(outcomes);
   if (total <= 0.0) return matrix;
-  for (const auto& wo : outcomes)
+  for (const auto& wo : outcomes) {
+    if (wo.unresolved) {
+      matrix.unresolved += wo.weight / total;
+      continue;
+    }
     matrix.fraction[static_cast<std::size_t>(outcome_bits(wo.outcome))] +=
         wo.weight / total;
+  }
   return matrix;
 }
 
@@ -86,7 +101,7 @@ std::vector<WeightedOutcome> area_scaled_outcomes(
     if (macro_weight <= 0.0) continue;
     const double scale = (m.total_area() / chip_area) / macro_weight;
     for (const auto& wo : m.outcomes)
-      all.push_back({wo.outcome, wo.weight * scale});
+      all.push_back({wo.outcome, wo.weight * scale, wo.unresolved});
   }
   return all;
 }

@@ -26,6 +26,10 @@ struct DetectionOutcome {
 struct WeightedOutcome {
   DetectionOutcome outcome;
   double weight = 0.0;
+  /// The class never produced a trustworthy outcome (its evaluation
+  /// exhausted the retry/aid budget). Unresolved weight is reported in
+  /// its own bucket -- never silently counted detected or undetected.
+  bool unresolved = false;
 };
 
 /// Voltage/current Venn decomposition (paper figures 4-5): fractions of
@@ -35,6 +39,8 @@ struct VennResult {
   double both = 0.0;
   double current_only = 0.0;
   double undetected = 0.0;
+  /// Weight fraction of classes whose evaluation never resolved.
+  double unresolved = 0.0;
 
   double voltage_total() const { return voltage_only + both; }
   double current_total() const { return current_only + both; }
@@ -48,8 +54,11 @@ VennResult compile_venn(const std::vector<WeightedOutcome>& outcomes);
 struct MechanismMatrix {
   /// Index = bit0 missing_code | bit1 ivdd | bit2 iddq | bit3 iinput.
   std::array<double, 16> fraction{};
+  /// Weight fraction of classes whose evaluation never resolved (kept
+  /// out of every cell, including the undetected one).
+  double unresolved = 0.0;
 
-  double detected() const { return 1.0 - fraction[0]; }
+  double detected() const { return 1.0 - fraction[0] - unresolved; }
   /// Fraction detected by the given mechanism (alone or combined).
   double by_mechanism(int bit) const;
   /// Fraction detected ONLY by the given mechanism.

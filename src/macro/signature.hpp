@@ -22,6 +22,10 @@ inline constexpr int kVoltageSignatureCount = 5;
 
 const std::string& voltage_signature_name(VoltageSignature signature);
 
+/// Inverse of voltage_signature_name (journal decode); throws
+/// util::InvalidInputError on an unknown name.
+VoltageSignature parse_voltage_signature(const std::string& name);
+
 /// Current fault signature flags (paper Table 3). A fault can raise
 /// several flags at once (the table's percentages overlap).
 struct CurrentSignature {

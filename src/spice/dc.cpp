@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "spice/resilience.hpp"
 #include "util/error.hpp"
 
 namespace dot::spice {
@@ -35,6 +36,10 @@ DcResult newton_solve(const Netlist& netlist, const MnaMap& map,
   bool have_factors = false;
   bool force_fresh = true;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Per-iteration wall-clock budget check (campaign resilience): a
+    // class whose Newton iteration never settles throws TimeoutError
+    // here instead of spinning through every continuation rung.
+    EvalScope::check_deadline();
     const bool refresh = force_fresh || !have_factors || !sparse_path ||
                          since_factor >= depth;
     if (sparse_path) {
@@ -97,17 +102,44 @@ DcResult newton_solve(const Netlist& netlist, const MnaMap& map,
 }
 
 DcResult dc_operating_point(const Netlist& netlist, const MnaMap& map,
-                            const DcOptions& options,
+                            const DcOptions& base_options,
                             const std::vector<double>* warm_start,
                             SolverContext* solver) {
+  // Continuation aid ladder (campaign resilience): a retried fault
+  // class runs under an EvalScope whose aid level escalates the stock
+  // strategies. Level 0 (every non-campaign caller) is byte-identical
+  // to the original behaviour.
+  //
+  //   level >= 1  extended gmin stepping: a 100x heavier first shunt
+  //               rung and a 3x (instead of 10x) per-rung relaxation,
+  //               i.e. a much longer, gentler ladder;
+  //   level >= 2  finer source-stepping ramp (4x the rungs);
+  //   level >= 3  heavily damped Newton from a reset start: the warm
+  //               start is discarded (it may sit in the wrong basin for
+  //               a pathological fault), the per-iteration voltage step
+  //               is quartered and the iteration budget doubled.
+  const int aid = EvalScope::aid_level();
+  DcOptions options = base_options;
+  double gmin_relax = 10.0;
+  if (aid >= 1) {
+    options.gshunt_start = base_options.gshunt_start * 100.0;
+    gmin_relax = 3.0;
+  }
+  if (aid >= 2) options.source_steps = base_options.source_steps * 4;
+  if (aid >= 3) {
+    options.max_step_v = base_options.max_step_v / 4.0;
+    options.max_iterations = base_options.max_iterations * 2;
+  }
+
   const std::vector<double> no_prev(map.size(), 0.0);
   StampOptions stamp;
   stamp.mode = AnalysisMode::kDc;
   stamp.time = options.time;
   stamp.gshunt = options.gshunt;
 
-  // 0) Newton seeded from a matching previously converged solution.
-  if (warm_start && warm_start->size() == map.size()) {
+  // 0) Newton seeded from a matching previously converged solution
+  //    (skipped at aid >= 3: reset warm-start).
+  if (aid < 3 && warm_start && warm_start->size() == map.size()) {
     DcResult warm = newton_solve(netlist, map, *warm_start, stamp, options,
                                  no_prev, solver);
     if (warm.converged) return warm;
@@ -123,7 +155,7 @@ DcResult dc_operating_point(const Netlist& netlist, const MnaMap& map,
   {
     std::vector<double> guess(map.size(), 0.0);
     bool ladder_ok = true;
-    for (double g = options.gshunt_start; ladder_ok; g /= 10.0) {
+    for (double g = options.gshunt_start; ladder_ok; g /= gmin_relax) {
       const bool last = g <= options.gshunt;
       StampOptions rung = stamp;
       rung.gshunt = last ? options.gshunt : g;
@@ -174,7 +206,8 @@ DcResult dc_operating_point(const Netlist& netlist, const MnaMap& map,
 
   throw util::ConvergenceError(
       "dc_operating_point: Newton, gmin stepping and source stepping all "
-      "failed");
+      "failed" +
+      (aid > 0 ? " (aid level " + std::to_string(aid) + ")" : std::string()));
 }
 
 }  // namespace dot::spice

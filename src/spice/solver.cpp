@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "spice/resilience.hpp"
 #include "util/error.hpp"
 
 namespace dot::spice {
@@ -91,6 +92,10 @@ bool SolverContext::factor_sparse(std::size_t n) {
 }
 
 bool SolverContext::factor(std::size_t n) {
+  // Resilience hooks: per-class wall-clock deadline plus the test-only
+  // fault-injection point (both no-ops outside a campaign EvalScope).
+  EvalScope::check_deadline();
+  injection_point();
   if (use_sparse(n)) return factor_sparse(n);
   sparse_active_ = false;
   return dense_.factor(options_.pivot_epsilon);

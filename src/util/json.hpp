@@ -1,10 +1,16 @@
 // Minimal JSON writer (objects, arrays, strings, numbers, booleans)
-// used to export campaign results for downstream tooling. Write-only by
-// design: the library consumes netlists and layouts, not JSON.
+// used to export campaign results for downstream tooling, plus the
+// matching recursive-descent parser required by the campaign journal
+// (checkpoint/resume replay and shard merging read their own output;
+// the library still consumes netlists and layouts, not arbitrary JSON).
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace dot::util {
@@ -44,5 +50,59 @@ class JsonWriter {
 
 /// Escapes a string per JSON rules (quotes included).
 std::string json_quote(const std::string& text);
+
+/// Parsed JSON document node. Object member order is preserved (the
+/// journal diff tools rely on deterministic re-serialization).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; throw InvalidInputError on a kind mismatch so
+  /// journal readers surface corrupt records with a real message.
+  bool as_bool() const;
+  double as_number() const;
+  std::size_t as_size() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  std::size_t size() const { return array_.size(); }
+  const JsonValue& operator[](std::size_t i) const { return array_[i]; }
+  const std::vector<JsonValue>& items() const { return array_; }
+
+  /// Object access: find() returns null when absent, get() throws.
+  const JsonValue* find(const std::string& key) const;
+  const JsonValue& get(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (the full text must be consumed apart from
+/// trailing whitespace). Throws InvalidInputError with a byte offset on
+/// malformed input.
+JsonValue parse_json(std::string_view text);
 
 }  // namespace dot::util

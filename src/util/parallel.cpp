@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <string>
+
+#include "util/error.hpp"
 
 namespace dot::util {
 
@@ -88,18 +91,56 @@ unsigned ThreadPool::global_thread_count() {
   return global().thread_count();
 }
 
-void parallel_chunks(std::size_t count, std::size_t chunk,
+namespace {
+
+/// Builds the first-error-mode wrapper: context label + chunk index +
+/// the original what(), with the original exception kept reachable.
+ParallelError wrap_chunk_error(const char* context, const ChunkError& failed) {
+  std::string msg = "parallel section";
+  if (context != nullptr && context[0] != '\0')
+    msg += std::string(" [") + context + "]";
+  msg += ": chunk " + std::to_string(failed.chunk) + " (indices [" +
+         std::to_string(failed.begin) + ", " + std::to_string(failed.end) +
+         ")) failed: " + failed.message;
+  return ParallelError(msg, failed.chunk, failed.error);
+}
+
+std::string describe_exception(std::exception_ptr error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
+
+void parallel_chunks(std::size_t count, const ParallelOptions& options,
                      const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
   ThreadPool& pool = ThreadPool::global();
   const std::size_t parallelism = pool.thread_count();
+  std::size_t chunk = options.chunk;
   if (chunk == 0)
     chunk = std::max<std::size_t>(1, count / (parallelism * 8));
   const std::size_t chunks = (count + chunk - 1) / chunk;
+  const bool collect = options.errors != nullptr;
 
   if (parallelism <= 1 || chunks <= 1) {
-    for (std::size_t c = 0; c < chunks; ++c)
-      body(c * chunk, std::min(count, (c + 1) * chunk));
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(count, lo + chunk);
+      try {
+        body(lo, hi);
+      } catch (...) {
+        ChunkError failed{c, lo, hi, describe_exception(std::current_exception()),
+                          std::current_exception()};
+        if (!collect) throw wrap_chunk_error(options.context, failed);
+        options.errors->push_back(std::move(failed));
+      }
+    }
     return;
   }
 
@@ -111,15 +152,17 @@ void parallel_chunks(std::size_t count, std::size_t chunk,
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::atomic<bool> failed{false};
+    bool collect = false;
     std::size_t chunk = 0;
     std::size_t count = 0;
     std::size_t chunks = 0;
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::mutex mutex;
     std::condition_variable cv;
-    std::exception_ptr error;
+    std::vector<ChunkError> errors;
   };
   auto state = std::make_shared<State>();
+  state->collect = collect;
   state->chunk = chunk;
   state->count = count;
   state->chunks = chunks;
@@ -129,13 +172,18 @@ void parallel_chunks(std::size_t count, std::size_t chunk,
     for (;;) {
       const std::size_t c = s->next.fetch_add(1, std::memory_order_relaxed);
       if (c >= s->chunks) return;
-      if (!s->failed.load(std::memory_order_relaxed)) {
+      // Collect mode runs every chunk; first-error mode skips the rest
+      // once something failed.
+      if (s->collect || !s->failed.load(std::memory_order_relaxed)) {
+        const std::size_t lo = c * s->chunk;
+        const std::size_t hi = std::min(s->count, lo + s->chunk);
         try {
-          const std::size_t lo = c * s->chunk;
-          (*s->body)(lo, std::min(s->count, lo + s->chunk));
+          (*s->body)(lo, hi);
         } catch (...) {
           std::lock_guard<std::mutex> lock(s->mutex);
-          if (!s->error) s->error = std::current_exception();
+          s->errors.push_back(
+              {c, lo, hi, describe_exception(std::current_exception()),
+               std::current_exception()});
           s->failed.store(true, std::memory_order_relaxed);
         }
       }
@@ -157,12 +205,36 @@ void parallel_chunks(std::size_t count, std::size_t chunk,
       return state->done.load(std::memory_order_acquire) == state->chunks;
     });
   }
-  if (state->error) std::rethrow_exception(state->error);
+  if (state->errors.empty()) return;
+  // Arrival order depends on scheduling; chunk order does not.
+  std::sort(state->errors.begin(), state->errors.end(),
+            [](const ChunkError& a, const ChunkError& b) {
+              return a.chunk < b.chunk;
+            });
+  if (collect) {
+    for (auto& e : state->errors) options.errors->push_back(std::move(e));
+    return;
+  }
+  throw wrap_chunk_error(options.context, state->errors.front());
+}
+
+void parallel_chunks(std::size_t count, std::size_t chunk,
+                     const std::function<void(std::size_t, std::size_t)>& body) {
+  ParallelOptions options;
+  options.chunk = chunk;
+  parallel_chunks(count, options, body);
 }
 
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body) {
   parallel_chunks(count, 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+void parallel_for(std::size_t count, const ParallelOptions& options,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_chunks(count, options, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) body(i);
   });
 }
