@@ -19,6 +19,9 @@
 //   --json-root    shorthand for --json=BENCH_<bench>.json (the
 //                  trajectory files tracked at the repo root)
 //   --quick        small preset for smoke runs
+//   --smoke        tiny CI preset (also sets BenchArgs::smoke so a
+//                  bench can shrink its own sweep, e.g. bench_bank's
+//                  size list)
 //
 // Unknown flags are rejected with a usage message (a typo'd --defect=
 // must not silently run the 500k default). Results are bit-identical at
@@ -48,13 +51,14 @@ struct BenchArgs {
   std::string bench;      ///< Bench name (binary basename), for reports.
   std::string json_path;  ///< --json=<file>: machine-readable output.
   unsigned threads = 1;   ///< Resolved worker-thread count.
+  bool smoke = false;     ///< --smoke: tiny CI preset.
 
   static void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--defects=N] [--envelope=N] [--classes=N] "
                  "[--seed=N] [--threads=N] [--solver=auto|dense|sparse] "
                  "[--shamanskii=N] [--class-timeout-ms=T] [--max-retries=N] "
-                 "[--json=FILE] [--json-root] [--quick]\n",
+                 "[--json=FILE] [--json-root] [--quick] [--smoke]\n",
                  argv0);
   }
 
@@ -115,6 +119,11 @@ struct BenchArgs {
         args.config.defect_count = 60000;
         args.config.envelope_samples = 10;
         args.config.max_classes = 40;
+      } else if (arg == "--smoke") {
+        args.smoke = true;
+        args.config.defect_count = 8000;
+        args.config.envelope_samples = 4;
+        args.config.max_classes = 8;
       } else if (arg == "--help") {
         usage(argv[0]);
         std::exit(0);

@@ -2,12 +2,17 @@
 # validate the machine-readable report. Fails on non-zero exit or
 # malformed JSON. Invoked by CTest (see tests/CMakeLists.txt) as:
 #   cmake -DBENCH=<bench_table1_defects> -DOUT=<report.json> -P bench_smoke.cmake
+# FLAGS overrides the preset flag (default --quick; bench_bank uses its
+# own --smoke sweep). Pass a ;-list for multiple flags.
 if(NOT BENCH OR NOT OUT)
   message(FATAL_ERROR "bench_smoke: BENCH and OUT must be defined")
 endif()
+if(NOT DEFINED FLAGS)
+  set(FLAGS --quick)
+endif()
 
 execute_process(
-  COMMAND ${BENCH} --quick --threads=2 --json=${OUT}
+  COMMAND ${BENCH} ${FLAGS} --threads=2 --json=${OUT}
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE stdout
   ERROR_VARIABLE stderr)

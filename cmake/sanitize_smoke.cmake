@@ -1,0 +1,49 @@
+# sanitize-smoke: one-command AddressSanitizer pass over the unit-label
+# test suite. Configures a separate build tree with -DDOT_SANITIZE=address,
+# builds it, and runs `ctest -L unit` inside it -- the fast inner loop,
+# instrumented. Invoked by the `sanitize_smoke` custom target (see the
+# top-level CMakeLists.txt) or directly:
+#   cmake -DSRC=<source-dir> -DBIN=<scratch-build-dir> [-DSANITIZER=address]
+#         [-DJOBS=N] -P cmake/sanitize_smoke.cmake
+if(NOT SRC OR NOT BIN)
+  message(FATAL_ERROR "sanitize_smoke: SRC and BIN must be defined")
+endif()
+if(NOT DEFINED SANITIZER)
+  set(SANITIZER address)
+endif()
+if(NOT DEFINED JOBS)
+  include(ProcessorCount)
+  ProcessorCount(JOBS)
+  if(JOBS EQUAL 0)
+    set(JOBS 4)
+  endif()
+endif()
+
+function(run_step what)
+  execute_process(
+    COMMAND ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "sanitize_smoke: ${what} failed (${rc})\n${stdout}\n${stderr}")
+  endif()
+endfunction()
+
+run_step("configure" ${CMAKE_COMMAND} -S ${SRC} -B ${BIN}
+         -DDOT_SANITIZE=${SANITIZER})
+run_step("build" ${CMAKE_COMMAND} --build ${BIN} --parallel ${JOBS})
+
+# ASAN_OPTIONS makes leak/ODR findings fatal rather than advisory.
+set(ENV{ASAN_OPTIONS} "detect_leaks=1:halt_on_error=1")
+execute_process(
+  COMMAND ${CMAKE_CTEST_COMMAND} -L unit --output-on-failure -j ${JOBS}
+  WORKING_DIRECTORY ${BIN}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sanitize_smoke: ctest -L unit failed under "
+          "-fsanitize=${SANITIZER}")
+endif()
+
+message(STATUS "sanitize_smoke: ok (-fsanitize=${SANITIZER}, ctest -L unit)")

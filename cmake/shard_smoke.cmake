@@ -6,8 +6,13 @@
 # real binaries rather than in-process. Invoked by CTest as:
 #   cmake -DADC=<adc_coverage> -DMERGE=<merge_shards> -DDIR=<scratch>
 #         -P shard_smoke.cmake
+# EXTRA (a ;-list) appends campaign-selection flags to every adc run,
+# e.g. -DEXTRA=--macro=bank;--bank-size=64 for the flat-bank contract.
 if(NOT ADC OR NOT MERGE OR NOT DIR)
   message(FATAL_ERROR "shard_smoke: ADC, MERGE and DIR must be defined")
+endif()
+if(NOT DEFINED EXTRA)
+  set(EXTRA "")
 endif()
 
 file(REMOVE_RECURSE ${DIR})
@@ -26,11 +31,12 @@ function(run_checked)
   endif()
 endfunction()
 
-run_checked(${ADC} --smoke --threads=2 --shards=2 --shard=0
+run_checked(${ADC} --smoke --threads=2 ${EXTRA} --shards=2 --shard=0
             --journal=${DIR}/shard0.jsonl)
-run_checked(${ADC} --smoke --threads=2 --shards=2 --shard=1
+run_checked(${ADC} --smoke --threads=2 ${EXTRA} --shards=2 --shard=1
             --journal=${DIR}/shard1.jsonl)
-run_checked(${ADC} --smoke --threads=2 --journal=${DIR}/unsharded.jsonl)
+run_checked(${ADC} --smoke --threads=2 ${EXTRA}
+            --journal=${DIR}/unsharded.jsonl)
 
 run_checked(${MERGE} --out=${DIR}/merged.json
             ${DIR}/shard0.jsonl ${DIR}/shard1.jsonl)

@@ -14,6 +14,13 @@
 //   --resume              replay the journal, skipping completed classes
 //   --class-timeout-ms=T  wall-clock budget per class attempt (0 = off)
 //   --max-retries=N       retries under escalating solver aid (default 3)
+//   --macro=NAME          run a single macro campaign instead of the
+//                         five-macro flow: comparator | ladder | biasgen
+//                         | clockgen | decoder | bank (default: all)
+//   --bank-size=N         comparator-column height for --macro=bank
+//                         (2..64, must divide 256; default 64)
+//   --equivalence         with --macro=bank: diff the flat-bank result
+//                         against the per-comparator decomposition
 //   --json=FILE           write the full campaign report as JSON
 //   --quick               small preset for a fast demonstration run
 //   --smoke               tiny preset for CI (seconds, not minutes)
@@ -36,6 +43,7 @@ void usage(const char* argv0) {
       "usage: %s [--defects=N] [--envelope=N] [--classes=N] [--seed=N]\n"
       "          [--threads=N] [--shards=N] [--shard=K] [--journal=PATH]\n"
       "          [--resume] [--class-timeout-ms=T] [--max-retries=N]\n"
+      "          [--macro=NAME] [--bank-size=N] [--equivalence]\n"
       "          [--json=FILE] [--quick] [--smoke]\n",
       argv0);
 }
@@ -49,6 +57,7 @@ int main(int argc, char** argv) {
   config.defect_count = 250000;
   config.envelope_samples = 20;
   std::string json_path;
+  bool with_equivalence = false;
   unsigned threads = 0;  // 0 = hardware_concurrency
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -78,6 +87,12 @@ int main(int argc, char** argv) {
       config.resilience.class_timeout_ms = std::atof(v);
     } else if (const char* v = value("--max-retries=")) {
       config.resilience.max_retries = std::atoi(v);
+    } else if (const char* v = value("--macro=")) {
+      config.macro_selection = v;
+    } else if (const char* v = value("--bank-size=")) {
+      config.bank_size = std::atoi(v);
+    } else if (arg == "--equivalence") {
+      with_equivalence = true;
     } else if (const char* v = value("--json=")) {
       json_path = v;
     } else if (arg == "--quick") {
@@ -109,16 +124,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: --resume requires --journal=PATH\n", argv[0]);
     return 2;
   }
+  if (with_equivalence && config.macro_selection != "bank") {
+    std::fprintf(stderr, "%s: --equivalence requires --macro=bank\n",
+                 argv[0]);
+    return 2;
+  }
   util::ThreadPool::set_global_thread_count(threads);
 
   const bool sharded = config.resilience.shard_count > 1;
-  std::printf("running the defect-oriented test path on all five macros\n"
-              "(%zu defects per macro%s)...\n\n",
-              config.defect_count,
-              sharded ? ", sharded" : "");
+  const bool single = config.macro_selection != "all" &&
+                      !config.macro_selection.empty();
+  if (single)
+    std::printf("running the defect-oriented test path on macro '%s'\n"
+                "(%zu defects%s)...\n\n",
+                config.macro_selection.c_str(), config.defect_count,
+                sharded ? ", sharded" : "");
+  else
+    std::printf("running the defect-oriented test path on all five macros\n"
+                "(%zu defects per macro%s)...\n\n",
+                config.defect_count, sharded ? ", sharded" : "");
   flashadc::GlobalResult global;
   try {
-    global = flashadc::run_full_campaign(config);
+    global = flashadc::run_campaign(config);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
     return 1;
@@ -151,6 +178,37 @@ int main(int argc, char** argv) {
   std::printf("global (non-catastrophic): coverage %.1f %% "
               "(paper: 93.1 %%)\n",
               100.0 * noncat.detected());
+
+  if (with_equivalence) {
+    std::printf("\ndiffing the flat bank against the per-comparator "
+                "decomposition...\n");
+    macro::EquivalenceReport eq;
+    try {
+      eq = flashadc::compare_bank_decomposition(config, global.macros.at(0));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 1;
+    }
+    std::printf("  fault-class weight by locality:\n");
+    std::printf("    slice-local  %5.1f %%\n", 100.0 * eq.slice_local_weight());
+    std::printf("    shared-net   %5.1f %%\n", 100.0 * eq.shared_weight());
+    std::printf("    inter-slice  %5.1f %%  (invisible to the "
+                "decomposition)\n",
+                100.0 * eq.inter_slice_weight());
+    std::printf("    unmappable   %5.1f %%\n", 100.0 * eq.unmappable_weight());
+    if (eq.unresolved_weight > 0.0)
+      std::printf("    unresolved   %5.1f %%\n",
+                  100.0 * eq.unresolved_weight);
+    std::printf("  agreement over %zu comparable classes: verdict %.1f %%, "
+                "mechanisms %.1f %%, signature %.1f %% "
+                "(%zu verdict mismatches)\n",
+                eq.comparable_classes, 100.0 * eq.verdict_agreement,
+                100.0 * eq.detection_agreement,
+                100.0 * eq.signature_agreement, eq.verdict_mismatches);
+    std::printf("  coverage: flat bank %.1f %% vs decomposed view %.1f %%\n",
+                100.0 * eq.composite_coverage,
+                100.0 * eq.decomposed_coverage);
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);

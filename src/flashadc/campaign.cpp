@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "flashadc/bank.hpp"
 #include "flashadc/behavioral.hpp"
 #include "flashadc/biasgen.hpp"
 #include "flashadc/clockgen.hpp"
@@ -93,8 +94,11 @@ FaultModelOptions model_options(const CampaignConfig& config,
 
 /// Shared evaluation skeleton: for each (possibly truncated) fault
 /// class, for each model variant and catastrophic/non-catastrophic
-/// form, run `evaluate` on the faulty macro netlist and keep the
-/// hardest-to-detect variant.
+/// form, run `evaluate(faulty_netlist, representative)` on the faulty
+/// macro netlist and keep the hardest-to-detect variant. The
+/// representative rides along so campaigns with fault-dependent
+/// observation points (the bank picks the touched slice) can steer the
+/// measurement.
 ///
 /// Classes are evaluated in parallel: each one builds its own faulty
 /// netlist and shares only read-only state (good netlist, options, the
@@ -145,7 +149,7 @@ void evaluate_classes(const std::string& macro_name, const Netlist& good,
       for (int variant = 0; variant < variants; ++variant) {
         Netlist faulty = fault::apply_fault(good, cls.representative,
                                             model_opt, variant, noncat);
-        FaultOutcome outcome = evaluate(faulty);
+        FaultOutcome outcome = evaluate(faulty, cls.representative);
         outcome.cls = cls;
         outcome.non_catastrophic = noncat;
         if (!worst ||
@@ -215,6 +219,80 @@ void evaluate_classes(const std::string& macro_name, const Netlist& good,
     if (eval.cat) catastrophic.push_back(std::move(*eval.cat));
     if (eval.noncat) noncatastrophic.push_back(std::move(*eval.noncat));
   }
+}
+
+/// Everything the comparator fault evaluation needs, hoisted so the
+/// decomposition-equivalence diff can re-evaluate projected bank
+/// classes with the exact per-comparator machinery the campaign uses.
+struct ComparatorEvalContext {
+  macro::MacroCell cell;
+  std::array<ComparatorRun, 4> nominal;
+  macro::GoodEnvelope envelope;
+
+  FaultOutcome evaluate(const Netlist& faulty_macro) const {
+    FaultOutcome outcome;
+    std::array<ComparatorRun, 4> runs;
+    for (std::size_t i = 0; i < kDecisionGrid.size(); ++i)
+      runs[i] = simulate_comparator(faulty_macro, kDecisionGrid[i]);
+    outcome.voltage = classify_comparator(runs, nominal);
+    if (runs.front().converged && runs.back().converged) {
+      outcome.current = envelope.classify(
+          comparator_measurements(runs.front(), runs.back()));
+    } else {
+      // The faulty circuit has no valid operating point (typically a
+      // hard supply short): its supply current is grossly abnormal.
+      outcome.current.ivdd = true;
+    }
+    outcome.detection = make_outcome(outcome.voltage, outcome.current);
+    return outcome;
+  }
+};
+
+ComparatorEvalContext make_comparator_eval_context(
+    const CampaignConfig& config) {
+  macro::MacroCell cell = build_comparator_macro(config.dft);
+
+  // Fault-free reference runs.
+  auto nominal = simulate_comparator_grid(cell.netlist);
+
+  // Good-signature envelope over process / supply / temperature; one
+  // counter-based RNG stream per Monte-Carlo sample keeps the
+  // population identical at any thread count.
+  const auto layout = comparator_measurement_layout();
+  spice::ProcessSpread spread;
+  const util::Rng master(config.seed ^ 0xc0ffee);
+  const std::vector<std::string> supplies = {"VDDA", "VDDD", "VBN_SRC",
+                                             "VBC_SRC"};
+  const auto samples = macro::monte_carlo_samples(
+      config.envelope_samples, master,
+      [&](int, util::Rng& rng) -> std::optional<std::vector<double>> {
+        const auto env = spice::sample_environment(spread, rng);
+        const Netlist lo_bench = spice::perturb(
+            instantiate_comparator_bench(cell.netlist, kDecisionGrid.front()),
+            spread, env, supplies, rng);
+        const Netlist hi_bench = spice::perturb(
+            instantiate_comparator_bench(cell.netlist, kDecisionGrid.back()),
+            spread, env, supplies, rng);
+        try {
+          const ComparatorRun lo = run_comparator(lo_bench);
+          const ComparatorRun hi = run_comparator(hi_bench);
+          return comparator_measurements(lo, hi);
+        } catch (const util::ConvergenceError&) {
+          return std::nullopt;  // drop this Monte-Carlo sample
+        }
+      });
+  macro::BandPolicy comparator_policy = config.band_policy;
+  // IVdd and the analog/reference input currents are chip-level
+  // measurements shared by all 256 comparator instances; the fault-free
+  // spread one faulty instance must escape scales accordingly. IDDQ is
+  // deliberately NOT diluted: the digital part's quiescent current is
+  // near zero no matter how many instances (the paper's key insight).
+  comparator_policy.ivdd_dilution *= static_cast<double>(cell.instance_count);
+  comparator_policy.iinput_dilution *=
+      static_cast<double>(cell.instance_count);
+  auto envelope = macro::build_envelope(layout, samples, comparator_policy);
+
+  return ComparatorEvalContext{std::move(cell), nominal, std::move(envelope)};
 }
 
 }  // namespace
@@ -311,7 +389,8 @@ std::size_t MacroCampaignResult::unresolved_classes() const {
 
 MacroCampaignResult run_comparator_campaign(const CampaignConfig& config,
                                             CampaignJournal* journal) {
-  const macro::MacroCell cell = build_comparator_macro(config.dft);
+  const ComparatorEvalContext context = make_comparator_eval_context(config);
+  const macro::MacroCell& cell = context.cell;
   MacroCampaignResult result;
   result.macro_name = cell.name;
   result.cell_area = cell.cell_area();
@@ -319,63 +398,9 @@ MacroCampaignResult run_comparator_campaign(const CampaignConfig& config,
   result.defects = sprinkle(cell, config, 1);
   if (journal != nullptr) journal->record_macro(result);
 
-  // Fault-free reference runs.
-  const auto nominal = simulate_comparator_grid(cell.netlist);
-
-  // Good-signature envelope over process / supply / temperature; one
-  // counter-based RNG stream per Monte-Carlo sample keeps the
-  // population identical at any thread count.
-  const auto layout = comparator_measurement_layout();
-  spice::ProcessSpread spread;
-  const util::Rng master(config.seed ^ 0xc0ffee);
-  const std::vector<std::string> supplies = {"VDDA", "VDDD", "VBN_SRC",
-                                             "VBC_SRC"};
-  const auto samples = macro::monte_carlo_samples(
-      config.envelope_samples, master,
-      [&](int, util::Rng& rng) -> std::optional<std::vector<double>> {
-        const auto env = spice::sample_environment(spread, rng);
-        const Netlist lo_bench = spice::perturb(
-            instantiate_comparator_bench(cell.netlist, kDecisionGrid.front()),
-            spread, env, supplies, rng);
-        const Netlist hi_bench = spice::perturb(
-            instantiate_comparator_bench(cell.netlist, kDecisionGrid.back()),
-            spread, env, supplies, rng);
-        try {
-          const ComparatorRun lo = run_comparator(lo_bench);
-          const ComparatorRun hi = run_comparator(hi_bench);
-          return comparator_measurements(lo, hi);
-        } catch (const util::ConvergenceError&) {
-          return std::nullopt;  // drop this Monte-Carlo sample
-        }
-      });
-  macro::BandPolicy comparator_policy = config.band_policy;
-  // IVdd and the analog/reference input currents are chip-level
-  // measurements shared by all 256 comparator instances; the fault-free
-  // spread one faulty instance must escape scales accordingly. IDDQ is
-  // deliberately NOT diluted: the digital part's quiescent current is
-  // near zero no matter how many instances (the paper's key insight).
-  comparator_policy.ivdd_dilution *= static_cast<double>(cell.instance_count);
-  comparator_policy.iinput_dilution *=
-      static_cast<double>(cell.instance_count);
-  const auto envelope =
-      macro::build_envelope(layout, samples, comparator_policy);
-
-  auto evaluate = [&](const Netlist& faulty_macro) {
-    FaultOutcome outcome;
-    std::array<ComparatorRun, 4> runs;
-    for (std::size_t i = 0; i < kDecisionGrid.size(); ++i)
-      runs[i] = simulate_comparator(faulty_macro, kDecisionGrid[i]);
-    outcome.voltage = classify_comparator(runs, nominal);
-    if (runs.front().converged && runs.back().converged) {
-      outcome.current =
-          envelope.classify(comparator_measurements(runs.front(), runs.back()));
-    } else {
-      // The faulty circuit has no valid operating point (typically a
-      // hard supply short): its supply current is grossly abnormal.
-      outcome.current.ivdd = true;
-    }
-    outcome.detection = make_outcome(outcome.voltage, outcome.current);
-    return outcome;
+  auto evaluate = [&](const Netlist& faulty_macro,
+                      const fault::CircuitFault&) {
+    return context.evaluate(faulty_macro);
   };
 
   evaluate_classes(result.macro_name, cell.netlist,
@@ -429,7 +454,8 @@ MacroCampaignResult run_ladder_campaign(const CampaignConfig& config,
   const auto envelope =
       macro::build_envelope(layout, samples, config.band_policy);
 
-  auto evaluate = [&](const Netlist& faulty_macro) {
+  auto evaluate = [&](const Netlist& faulty_macro,
+                      const fault::CircuitFault&) {
     FaultOutcome outcome;
     const auto sol = solve_ladder(faulty_macro, &context);
     if (!sol.converged) {
@@ -501,7 +527,8 @@ MacroCampaignResult run_biasgen_campaign(const CampaignConfig& config,
   const auto envelope =
       macro::build_envelope(layout, samples, config.band_policy);
 
-  auto evaluate = [&](const Netlist& faulty_macro) {
+  auto evaluate = [&](const Netlist& faulty_macro,
+                      const fault::CircuitFault&) {
     FaultOutcome outcome;
     const auto sol = solve_biasgen(faulty_macro, &context);
     if (!sol.converged) {
@@ -571,7 +598,8 @@ MacroCampaignResult run_clockgen_campaign(const CampaignConfig& config,
   const auto envelope =
       macro::build_envelope(layout, samples, config.band_policy);
 
-  auto evaluate = [&](const Netlist& faulty_macro) {
+  auto evaluate = [&](const Netlist& faulty_macro,
+                      const fault::CircuitFault&) {
     FaultOutcome outcome;
     const auto sol = solve_clockgen(faulty_macro, &context);
     if (!sol.converged) {
@@ -645,7 +673,8 @@ MacroCampaignResult run_decoder_campaign(const CampaignConfig& config,
   const auto envelope =
       macro::build_envelope(layout, samples, config.band_policy);
 
-  auto evaluate = [&](const Netlist& faulty_macro) {
+  auto evaluate = [&](const Netlist& faulty_macro,
+                      const fault::CircuitFault&) {
     FaultOutcome outcome;
     const auto sol = solve_decoder(faulty_macro, &context);
     if (!sol.converged) {
@@ -673,6 +702,157 @@ MacroCampaignResult run_decoder_campaign(const CampaignConfig& config,
                    model_options(config, "vddd"), config, journal, evaluate,
                    result.catastrophic, result.noncatastrophic);
   return result;
+}
+
+// ---------------------------------------------------------------------
+// Flat comparator bank.
+
+namespace {
+
+BankOptions bank_options_of(const CampaignConfig& config) {
+  BankOptions opt;
+  opt.size = config.bank_size;
+  opt.dft = config.dft;
+  return opt;
+}
+
+}  // namespace
+
+MacroCampaignResult run_bank_campaign(const CampaignConfig& config,
+                                      CampaignJournal* journal) {
+  const BankOptions bank_opt = bank_options_of(config);
+  const macro::MacroCell cell = build_bank_macro(bank_opt);
+  MacroCampaignResult result;
+  result.macro_name = cell.name;
+  result.cell_area = cell.cell_area();
+  result.instance_count = cell.instance_count;
+  result.defects = sprinkle(cell, config, 6);
+  if (journal != nullptr) journal->record_macro(result);
+
+  // Fault-free reference runs, observed at the middle slice (its tap
+  // sits at mid-scale like the per-comparator bench's reference). The
+  // fault-free decision pattern and the shared clock levels are
+  // slice-independent by construction, so this one grid is the nominal
+  // for every observation slice.
+  const int mid_slice = bank_opt.size / 2;
+  const auto nominal = simulate_bank_grid(cell.netlist, bank_opt, mid_slice);
+
+  // Good-signature envelope: whole-column currents over the same
+  // process / supply / temperature population as the per-comparator
+  // campaign. Measurement layout is shared with the comparator (the
+  // run records are field-identical).
+  const auto layout = comparator_measurement_layout();
+  spice::ProcessSpread spread;
+  const util::Rng master(config.seed ^ 0xba4c);
+  const std::vector<std::string> supplies = {"VDDA", "VDDD", "VBN_SRC",
+                                             "VBC_SRC"};
+  const auto samples = macro::monte_carlo_samples(
+      config.envelope_samples, master,
+      [&](int, util::Rng& rng) -> std::optional<std::vector<double>> {
+        const auto env = spice::sample_environment(spread, rng);
+        const Netlist lo_bench = spice::perturb(
+            instantiate_bank_bench(cell.netlist, bank_opt, mid_slice,
+                                   kDecisionGrid.front()),
+            spread, env, supplies, rng);
+        const Netlist hi_bench = spice::perturb(
+            instantiate_bank_bench(cell.netlist, bank_opt, mid_slice,
+                                   kDecisionGrid.back()),
+            spread, env, supplies, rng);
+        try {
+          const ComparatorRun lo = run_bank_bench(lo_bench, bank_opt,
+                                                  mid_slice);
+          const ComparatorRun hi = run_bank_bench(hi_bench, bank_opt,
+                                                  mid_slice);
+          return comparator_measurements(lo, hi);
+        } catch (const util::ConvergenceError&) {
+          return std::nullopt;  // drop this Monte-Carlo sample
+        }
+      });
+  macro::BandPolicy bank_policy = config.band_policy;
+  // N slices already sum inside the column measurement; the remaining
+  // chip-level dilution is the kLevels/N bank instances, so the total
+  // matches the per-comparator campaign's 256-instance dilution.
+  bank_policy.ivdd_dilution *= static_cast<double>(cell.instance_count);
+  bank_policy.iinput_dilution *= static_cast<double>(cell.instance_count);
+  const auto envelope = macro::build_envelope(layout, samples, bank_policy);
+
+  auto evaluate = [&](const Netlist& faulty_macro,
+                      const fault::CircuitFault& representative) {
+    FaultOutcome outcome;
+    // Observe the slice the fault touches (shared faults at mid-scale).
+    const int slice = bank_observed_slice(bank_opt, representative);
+    const auto runs = simulate_bank_grid(faulty_macro, bank_opt, slice);
+    outcome.voltage = classify_comparator(runs, nominal);
+    if (runs.front().converged && runs.back().converged) {
+      outcome.current = envelope.classify(
+          comparator_measurements(runs.front(), runs.back()));
+    } else {
+      // No valid operating point: supply current grossly abnormal.
+      outcome.current.ivdd = true;
+    }
+    outcome.detection = make_outcome(outcome.voltage, outcome.current);
+    return outcome;
+  };
+
+  evaluate_classes(result.macro_name, cell.netlist,
+                   truncated_classes(result.defects, config),
+                   model_options(config, "vdda"), config, journal, evaluate,
+                   result.catastrophic, result.noncatastrophic);
+  return result;
+}
+
+macro::EquivalenceReport compare_bank_decomposition(
+    const CampaignConfig& config, const MacroCampaignResult& bank) {
+  const BankOptions bank_opt = bank_options_of(config);
+  const macro::SliceMapper mapper = bank_slice_mapper(bank_opt);
+  const ComparatorEvalContext context = make_comparator_eval_context(config);
+  const FaultModelOptions model_opt = model_options(config, "vdda");
+
+  // One entry per catastrophic bank class: project it onto the
+  // single-comparator namespace; mapped classes are re-evaluated there
+  // with the campaign's own variant loop / worst-case keep.
+  const auto& outcomes = bank.catastrophic;
+  auto entries = util::parallel_map(outcomes.size(), [&](std::size_t i) {
+    const FaultOutcome& o = outcomes[i];
+    macro::EquivalenceEntry e;
+    e.index = i;
+    e.weight = static_cast<double>(o.cls.count);
+    e.composite_key = o.cls.representative.key();
+    e.composite_voltage = o.voltage;
+    e.composite_detection = o.detection;
+    e.composite_unresolved = o.status == EvalStatus::kUnresolved;
+    const macro::ProjectedFault projected =
+        macro::project_fault(o.cls.representative, mapper);
+    e.locality = projected.locality;
+    e.slice = projected.slice;
+    if (!projected.fault) return e;
+    e.projected_key = projected.fault->key();
+    try {
+      std::optional<FaultOutcome> worst;
+      const int variants = fault::model_variant_count(*projected.fault);
+      for (int variant = 0; variant < variants; ++variant) {
+        Netlist faulty = fault::apply_fault(
+            context.cell.netlist, *projected.fault, model_opt, variant, false);
+        FaultOutcome outcome = context.evaluate(faulty);
+        if (!worst ||
+            detectability_score(outcome) < detectability_score(*worst))
+          worst = std::move(outcome);
+      }
+      if (worst) {
+        e.projected_voltage = worst->voltage;
+        e.projected_detection = worst->detection;
+      } else {
+        e.projected_unresolved = true;
+      }
+    } catch (const std::exception&) {
+      // The projection is structurally valid but the comparator-side
+      // model rejected it (e.g. hardware mismatch): carry it as
+      // unresolved on the projected side rather than aborting the diff.
+      e.projected_unresolved = true;
+    }
+    return e;
+  });
+  return macro::compile_equivalence(std::move(entries));
 }
 
 // ---------------------------------------------------------------------
@@ -715,6 +895,36 @@ GlobalResult run_full_campaign(const CampaignConfig& config) {
   auto macros = util::parallel_map(std::size(kRunners), [&](std::size_t m) {
     return kRunners[m](config, journal.get());
   });
+  if (journal) journal->close();
+  return compile_global(std::move(macros));
+}
+
+GlobalResult run_campaign(const CampaignConfig& config) {
+  if (config.macro_selection == "all" || config.macro_selection.empty())
+    return run_full_campaign(config);
+  using Runner = MacroCampaignResult (*)(const CampaignConfig&,
+                                         CampaignJournal*);
+  Runner runner = nullptr;
+  if (config.macro_selection == "comparator")
+    runner = run_comparator_campaign;
+  else if (config.macro_selection == "ladder")
+    runner = run_ladder_campaign;
+  else if (config.macro_selection == "biasgen")
+    runner = run_biasgen_campaign;
+  else if (config.macro_selection == "clockgen")
+    runner = run_clockgen_campaign;
+  else if (config.macro_selection == "decoder")
+    runner = run_decoder_campaign;
+  else if (config.macro_selection == "bank")
+    runner = run_bank_campaign;
+  else
+    throw util::InvalidInputError("unknown macro selection: " +
+                                  config.macro_selection);
+  std::unique_ptr<CampaignJournal> journal;
+  if (!config.resilience.journal_path.empty())
+    journal = std::make_unique<CampaignJournal>(config);
+  std::vector<MacroCampaignResult> macros;
+  macros.push_back(runner(config, journal.get()));
   if (journal) journal->close();
   return compile_global(std::move(macros));
 }

@@ -15,6 +15,7 @@
 #include "flashadc/comparator.hpp"
 #include "macro/detection.hpp"
 #include "macro/envelope.hpp"
+#include "macro/equivalence.hpp"
 #include "macro/signature.hpp"
 #include "spice/solver.hpp"
 
@@ -79,6 +80,13 @@ struct CampaignConfig {
   spice::SolverOptions solver;
   /// Sharding / checkpoint-resume / degradation knobs.
   ResilienceOptions resilience;
+  /// Which macro campaign run_campaign drives: "all" (the five-macro
+  /// decomposed flow) or a single macro name -- comparator / ladder /
+  /// biasgen / clockgen / decoder / bank.
+  std::string macro_selection = "all";
+  /// Column height for the flat comparator-bank macro (2..64, must
+  /// divide 256). Only meaningful with macro_selection == "bank".
+  int bank_size = 64;
 };
 
 /// How a fault-class evaluation resolved.
@@ -140,6 +148,13 @@ MacroCampaignResult run_clockgen_campaign(const CampaignConfig& config,
                                           CampaignJournal* journal = nullptr);
 MacroCampaignResult run_decoder_campaign(const CampaignConfig& config,
                                          CampaignJournal* journal = nullptr);
+/// The flat comparator-bank campaign (config.bank_size slices as one
+/// netlist): same sprinkle -> collapse -> simulate -> signature pipeline
+/// as every other macro, with each fault class observed at the slice it
+/// touches. Sharding / journaling / resume work unchanged (macro name
+/// "bank").
+MacroCampaignResult run_bank_campaign(const CampaignConfig& config,
+                                      CampaignJournal* journal = nullptr);
 
 /// Whole-circuit results (paper figures 4 and 5).
 struct GlobalResult {
@@ -152,7 +167,22 @@ struct GlobalResult {
 
 GlobalResult run_full_campaign(const CampaignConfig& config);
 
+/// Dispatches on config.macro_selection: the full five-macro flow for
+/// "all", or a single macro campaign (journaled when configured)
+/// compiled alone. Throws util::InvalidInputError on an unknown name.
+GlobalResult run_campaign(const CampaignConfig& config);
+
 /// Compiles the global figures from already-run macro results.
 GlobalResult compile_global(std::vector<MacroCampaignResult> macros);
+
+/// Diffs a finished bank campaign against the paper's per-comparator
+/// decomposition: every bank fault class is projected onto the
+/// single-comparator macro (macro::project_fault with the bank's slice
+/// mapper); mapped classes are re-evaluated there under the same band
+/// policy, and genuine inter-slice / unmappable classes -- the weight
+/// the decomposition never sees -- are bucketed separately with their
+/// weight kept in every coverage denominator.
+macro::EquivalenceReport compare_bank_decomposition(
+    const CampaignConfig& config, const MacroCampaignResult& bank);
 
 }  // namespace dot::flashadc

@@ -13,7 +13,10 @@ using util::JsonWriter;
 
 namespace {
 
-constexpr int kJournalSchema = 1;
+// Schema 2 added the campaign selection + bank size to the meta record
+// (a bank journal must never resume into a comparator campaign or into
+// a bank of a different height).
+constexpr int kJournalSchema = 2;
 
 /// Campaign identity stored in the journal's meta record; a resumed or
 /// merged journal must agree with the live configuration on every field
@@ -30,6 +33,8 @@ struct MetaInfo {
   std::size_t shard_count = 1;
   std::size_t shard_index = 0;
   std::string solver_mode;
+  std::string campaign = "all";
+  int bank_size = 64;
 };
 
 MetaInfo meta_of(const CampaignConfig& config) {
@@ -42,6 +47,8 @@ MetaInfo meta_of(const CampaignConfig& config) {
   m.shard_count = config.resilience.shard_count;
   m.shard_index = config.resilience.shard_index;
   m.solver_mode = spice::solver_mode_name(config.solver.mode);
+  m.campaign = config.macro_selection.empty() ? "all" : config.macro_selection;
+  m.bank_size = config.bank_size;
   return m;
 }
 
@@ -68,6 +75,10 @@ std::string encode_meta(const MetaInfo& m) {
   w.value(m.shard_index);
   w.key("solver_mode");
   w.value(m.solver_mode);
+  w.key("campaign");
+  w.value(m.campaign);
+  w.key("bank_size");
+  w.value(m.bank_size);
   w.end_object();
   return w.str();
 }
@@ -87,6 +98,8 @@ MetaInfo decode_meta(const JsonValue& v, const std::string& path) {
   m.shard_count = v.get("shard_count").as_size();
   m.shard_index = v.get("shard_index").as_size();
   m.solver_mode = v.get("solver_mode").as_string();
+  m.campaign = v.get("campaign").as_string();
+  m.bank_size = static_cast<int>(v.get("bank_size").as_size());
   if (m.shard_count == 0 || m.shard_index >= m.shard_count)
     throw util::ShardError("journal " + path + " has shard index " +
                            std::to_string(m.shard_index) + " of " +
@@ -108,6 +121,8 @@ std::string meta_mismatch(const MetaInfo& a, const MetaInfo& b,
   if (compare_shard_index && a.shard_index != b.shard_index)
     return "shard_index";
   if (a.solver_mode != b.solver_mode) return "solver_mode";
+  if (a.campaign != b.campaign) return "campaign";
+  if (a.campaign == "bank" && a.bank_size != b.bank_size) return "bank_size";
   return {};
 }
 
@@ -304,7 +319,14 @@ CampaignJournal::CampaignJournal(const CampaignConfig& config)
       } else if (type == "class") {
         ClassRecord decoded = decode_class(record);
         const std::size_t index = decoded.index;
-        restored_[record.get("macro").as_string()][index] = std::move(decoded);
+        const std::string& macro = record.get("macro").as_string();
+        // A duplicated class id means the journal was corrupted or
+        // concatenated from different runs; restoring either copy
+        // silently would hide that.
+        if (!restored_[macro].emplace(index, std::move(decoded)).second)
+          throw util::ShardError("journal " + writer_.path() +
+                                     ": duplicate class record",
+                                 index, macro);
       } else {
         throw util::ShardError("journal " + writer_.path() +
                                ": unknown record type '" + type + "'");
@@ -418,7 +440,7 @@ GlobalResult merge_shard_journals(const std::vector<std::string>& paths) {
   // Canonical macro order (journal record order is nondeterministic);
   // unknown macro names -- future campaigns -- follow alphabetically.
   static const char* const kCanonicalOrder[] = {
-      "comparator", "ladder", "biasgen", "clockgen", "decoder"};
+      "comparator", "ladder", "biasgen", "clockgen", "decoder", "bank"};
   std::vector<std::string> order;
   for (const char* name : kCanonicalOrder)
     if (macro_meta.count(name) != 0) order.emplace_back(name);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 
 #include "spice/resilience.hpp"
@@ -35,13 +37,28 @@ DcResult newton_solve(const Netlist& netlist, const MnaMap& map,
   int since_factor = 0;
   bool have_factors = false;
   bool force_fresh = true;
+  // A frozen Jacobian is only trustworthy near the iterate it was
+  // factored at: device models switch regions over ~100 mV, so once
+  // the iterate drifts further than that the stale solve mixes a fresh
+  // RHS with an off-region linearization and can cycle without
+  // converging (seen on from-zero transient steps, where nodes slew
+  // rail to rail). Near a fixed point -- the campaign's warm-started
+  // re-solves, where reuse pays -- drift stays below vtol and the
+  // guard never fires.
+  constexpr double kStaleDriftV = 0.1;
+  std::vector<double> x_at_factor;
+  double prev_max_dv = std::numeric_limits<double>::infinity();
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     // Per-iteration wall-clock budget check (campaign resilience): a
     // class whose Newton iteration never settles throws TimeoutError
     // here instead of spinning through every continuation rung.
     EvalScope::check_deadline();
+    double drift = 0.0;
+    if (have_factors && depth > 1)
+      for (std::size_t i = 0; i < map.node_unknowns(); ++i)
+        drift = std::max(drift, std::fabs(result.x[i] - x_at_factor[i]));
     const bool refresh = force_fresh || !have_factors || !sparse_path ||
-                         since_factor >= depth;
+                         since_factor >= depth || drift > kStaleDriftV;
     if (sparse_path) {
       assemble_mna(netlist, map, result.x, x_prev_step, stamp,
                    ctx.assembler(), b);
@@ -57,6 +74,7 @@ DcResult newton_solve(const Netlist& netlist, const MnaMap& map,
       have_factors = true;
       force_fresh = false;
       since_factor = 0;
+      if (depth > 1) x_at_factor = result.x;
     }
     ++since_factor;
     const bool stale = since_factor > 1;
@@ -66,12 +84,33 @@ DcResult newton_solve(const Netlist& netlist, const MnaMap& map,
     double max_dv = 0.0;
     for (std::size_t i = 0; i < map.node_unknowns(); ++i)
       max_dv = std::max(max_dv, std::fabs(x_new[i] - result.x[i]));
+
+    // Safeguarded reuse: a frozen-Jacobian step whose update grows
+    // relative to the previous accepted iteration is moving away from
+    // the fixed point, not toward it (positive-feedback stages flip
+    // the step direction across a device corner). Applying it would
+    // undo the fresh iterations' progress and can lock Newton into a
+    // fresh-good / stale-bad limit cycle that exhausts the iteration
+    // budget. Discard the step and refactor at the current iterate;
+    // near convergence stale updates shrink monotonically, so the
+    // reuse win in warm re-solves is untouched.
+    result.iterations = iter + 1;
+    if (stale && max_dv > prev_max_dv) {
+      force_fresh = true;
+      continue;
+    }
+
     const double alpha =
         max_dv > options.max_step_v ? options.max_step_v / max_dv : 1.0;
     for (std::size_t i = 0; i < n; ++i)
       result.x[i] += alpha * (x_new[i] - result.x[i]);
-
-    result.iterations = iter + 1;
+    prev_max_dv = max_dv;
+    static const bool debug = std::getenv("DOT_NEWTON_DEBUG") != nullptr;
+    if (debug)
+      std::fprintf(stderr,
+                   "  iter=%d refresh=%d stale=%d alpha=%.3f max_dv=%.6g "
+                   "drift=%.6g\n",
+                   iter, refresh ? 1 : 0, stale ? 1 : 0, alpha, max_dv, drift);
     if (alpha == 1.0 && !stale && max_dv < best_max_dv) {
       best_max_dv = max_dv;
       best_x = result.x;

@@ -136,6 +136,21 @@ void Netlist::add_device(Device device) {
   devices_.push_back(std::move(device));
 }
 
+void Netlist::append_renamed(
+    const Netlist& other, const std::string& device_prefix,
+    const std::function<std::string(const std::string&)>& map_net) {
+  for (const Device& source : other.devices()) {
+    Device copy = source;
+    std::visit([&](auto& d) { d.name = device_prefix + d.name; }, copy);
+    const auto nodes = terminal_nodes(source);
+    for (std::size_t t = 0; t < nodes.size(); ++t) {
+      const std::string& old_name = other.node_name(nodes[t]);
+      set_terminal_node(copy, static_cast<int>(t), node(map_net(old_name)));
+    }
+    add_device(std::move(copy));
+  }
+}
+
 bool Netlist::remove_device(const std::string& name) {
   auto it = device_index_.find(name);
   if (it == device_index_.end()) return false;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -64,6 +65,15 @@ class Netlist {
 
   /// Adds an already-built device; checks name uniqueness and node ids.
   void add_device(Device device);
+
+  /// Appends a copy of every device in `other`, prefixing device names
+  /// with `device_prefix` and renaming each terminal's node through
+  /// `map_net` (old name -> new name; "0" must map to a ground alias to
+  /// stay ground). Used by procedural generators that stamp a sub-cell
+  /// repeatedly into a composite netlist.
+  void append_renamed(
+      const Netlist& other, const std::string& device_prefix,
+      const std::function<std::string(const std::string&)>& map_net);
 
   /// Removes the named device. Returns false if absent.
   bool remove_device(const std::string& name);

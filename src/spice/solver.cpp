@@ -96,6 +96,7 @@ bool SolverContext::factor(std::size_t n) {
   // fault-injection point (both no-ops outside a campaign EvalScope).
   EvalScope::check_deadline();
   injection_point();
+  ++factorizations_;
   if (use_sparse(n)) return factor_sparse(n);
   sparse_active_ = false;
   return dense_.factor(options_.pivot_epsilon);

@@ -114,6 +114,10 @@ class SolverContext {
   /// Number of from-scratch symbolic analyses this context has run
   /// (test/diagnostic hook: cache hits keep this flat).
   std::size_t symbolic_analyses() const { return symbolic_analyses_; }
+  /// Number of numeric factorizations (factor() calls). Under
+  /// Shamanskii reuse, Newton iterations exceed this; the difference is
+  /// the factor-reuse saving bench_bank reports.
+  std::size_t factorizations() const { return factorizations_; }
   /// Whether the last successful factor() used the sparse factors.
   bool sparse_active() const { return sparse_active_; }
 
@@ -127,6 +131,7 @@ class SolverContext {
   /// Pattern-keyed symbolic cache, front = golden/seed entry.
   std::vector<std::shared_ptr<const numeric::SparseSymbolic>> cache_;
   std::size_t symbolic_analyses_ = 0;
+  std::size_t factorizations_ = 0;
   bool sparse_active_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "spice/transient.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -85,11 +86,15 @@ TranResult transient(const Netlist& netlist, const TranOptions& options) {
   SolverContext solver(options.solver);
 
   // Initial condition.
+  TranStats stats;
+  stats.unknowns = map.size();
   std::vector<double> x(map.size(), 0.0);
   if (options.start_from_dc) {
     DcOptions dc = options.newton;
     dc.time = 0.0;
-    x = dc_operating_point(netlist, map, dc, nullptr, &solver).x;
+    const DcResult op = dc_operating_point(netlist, map, dc, nullptr, &solver);
+    stats.newton_iterations += static_cast<std::size_t>(op.iterations);
+    x = op.x;
   }
   result.append(0.0, x);
 
@@ -116,12 +121,15 @@ TranResult transient(const Netlist& netlist, const TranOptions& options) {
 
     DcResult step =
         newton_solve(netlist, map, x, stamp, options.newton, x, &solver);
+    stats.newton_iterations += static_cast<std::size_t>(step.iterations);
     if (!step.converged) {
       dt /= 2.0;
-      if (dt < options.dt_min)
-        throw util::ConvergenceError(
-            "transient: step failed at t = " + std::to_string(t) +
-            " even at dt_min");
+      if (dt < options.dt_min) {
+        char msg[96];
+        std::snprintf(msg, sizeof msg,
+                      "transient: step failed at t = %.6e even at dt_min", t);
+        throw util::ConvergenceError(msg);
+      }
       continue;
     }
     if (options.integrator == Integrator::kTrapezoidal)
@@ -132,6 +140,10 @@ TranResult transient(const Netlist& netlist, const TranOptions& options) {
     // Recover the step size after successful steps.
     if (dt < options.dt) dt = std::min(options.dt, dt * 2.0);
   }
+  stats.factorizations = solver.factorizations();
+  stats.symbolic_analyses = solver.symbolic_analyses();
+  stats.sparse = solver.sparse_active();
+  result.set_stats(stats);
   return result;
 }
 

@@ -28,6 +28,25 @@ struct TranOptions {
   Integrator integrator = Integrator::kBackwardEuler;
 };
 
+/// Aggregate solver work of one transient run (scaling diagnostics:
+/// bench_bank plots unknowns vs per-Newton-solve wall time and the
+/// Shamanskii factor-reuse rate from these counters).
+struct TranStats {
+  std::size_t unknowns = 0;           ///< MNA system size.
+  std::size_t newton_iterations = 0;  ///< Across all step attempts.
+  std::size_t factorizations = 0;     ///< Numeric factor() calls.
+  std::size_t symbolic_analyses = 0;  ///< From-scratch sparse analyses.
+  bool sparse = false;  ///< Sparse path active on the last factor.
+
+  /// Fraction of Newton iterations served by reused (stale) factors.
+  double factor_reuse_rate() const {
+    return newton_iterations == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(factorizations) /
+                           static_cast<double>(newton_iterations);
+  }
+};
+
 /// Result of a transient run; indexable by node name / source name via
 /// the stored netlist metadata.
 class TranResult {
@@ -58,6 +77,10 @@ class TranResult {
 
   const MnaMap& map() const { return map_; }
 
+  /// Aggregate solver work of the run that produced this result.
+  const TranStats& stats() const { return stats_; }
+  void set_stats(const TranStats& stats) { stats_ = stats; }
+
  private:
   NodeId node_id(const std::string& node) const;
   std::size_t step_before(double time) const;
@@ -66,6 +89,7 @@ class TranResult {
   std::vector<std::string> node_names_;
   std::vector<double> times_;
   std::vector<std::vector<double>> states_;
+  TranStats stats_;
 };
 
 /// Runs the transient simulation. Throws util::ConvergenceError when a

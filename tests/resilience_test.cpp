@@ -4,6 +4,8 @@
 // kill-and-resume.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstddef>
 #include <fstream>
@@ -25,7 +27,13 @@ namespace dot {
 namespace {
 
 std::string temp_path(const std::string& name) {
-  return ::testing::TempDir() + name;
+  // gtest_discover_tests runs every case as its own process, so a plain
+  // TempDir() + name races under `ctest -j`: two cases rebuilding the
+  // same helper journal corrupt each other. Namespace by PID.
+  static const std::string prefix =
+      ::testing::TempDir() + std::to_string(static_cast<long>(::getpid())) +
+      "_";
+  return prefix + name;
 }
 
 void write_file(const std::string& path, const std::string& contents) {
@@ -440,6 +448,225 @@ TEST(Resume, KilledRunResumesToIdenticalReport) {
   const std::string merged_full = flashadc::to_json(
       flashadc::merge_shard_journals({config.resilience.journal_path}));
   EXPECT_EQ(merged_resumed, merged_full);
+}
+
+// ---------------------------------------------------------------------
+// Journal robustness fuzzing: hand-corrupted JSONL corpora must raise
+// clean, typed errors (ShardError / InvalidInputError with a message
+// naming the journal and the defect) or be tolerated with the damage
+// explicitly dropped -- never a silent wrong resume, never a crash.
+
+/// Tiny flat-bank campaign (2 slices): the journal under attack carries
+/// a campaign="bank" meta record, so the bank-specific identity fields
+/// are on the resume/merge path.
+flashadc::CampaignConfig tiny_bank_config() {
+  flashadc::CampaignConfig config;
+  config.macro_selection = "bank";
+  config.bank_size = 2;
+  config.defect_count = 8000;
+  config.envelope_samples = 4;
+  config.max_classes = 6;
+  config.seed = 77;
+  config.with_noncatastrophic = false;
+  return config;
+}
+
+/// Journal text of one completed tiny-bank campaign (run once, reused
+/// as the mutation base by every fuzz case).
+const std::string& bank_journal_text() {
+  static const std::string text = [] {
+    auto config = tiny_bank_config();
+    config.resilience.journal_path = temp_path("bank_fuzz_base.jsonl");
+    config.resilience.checkpoint_block = 1;
+    flashadc::run_campaign(config);
+    return read_file(config.resilience.journal_path);
+  }();
+  return text;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream ss(text);
+  for (std::string line; std::getline(ss, line);) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) out += line + "\n";
+  return out;
+}
+
+std::size_t count_class_lines(const std::vector<std::string>& lines) {
+  std::size_t n = 0;
+  for (const auto& line : lines)
+    n += line.find("\"type\":\"class\"") != std::string::npos ? 1u : 0u;
+  return n;
+}
+
+flashadc::CampaignConfig bank_resume_config(const std::string& path) {
+  auto config = tiny_bank_config();
+  config.resilience.journal_path = path;
+  config.resilience.resume = true;
+  return config;
+}
+
+template <typename Fn>
+std::string shard_error_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const util::ShardError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected util::ShardError";
+  return {};
+}
+
+TEST(JournalFuzz, TruncatedUtf8TailIsDroppedNotRestored) {
+  auto lines = split_lines(bank_journal_text());
+  const std::size_t classes = count_class_lines(lines);
+  ASSERT_GT(classes, 1u);
+  // A crash mid-write tears the final record inside a multi-byte UTF-8
+  // sequence (the first two bytes of U+20AC), no trailing newline.
+  std::string torn = lines.back().substr(0, lines.back().size() / 2);
+  torn += "caf\xE2\x82";
+  lines.back() = torn;
+  std::string text = join_lines(lines);
+  text.pop_back();  // no newline after the torn record
+
+  const std::string path = temp_path("fuzz_utf8_tail.jsonl");
+  write_file(path, text);
+  // The torn record is dropped, everything before it restores.
+  flashadc::CampaignJournal journal(bank_resume_config(path));
+  EXPECT_EQ(journal.resumed_classes(), classes - 1);
+  journal.close();
+}
+
+TEST(JournalFuzz, TornWriteInsideJournalIsRejected) {
+  auto lines = split_lines(bank_journal_text());
+  ASSERT_GT(lines.size(), 2u);
+  // A torn record that is NOT the tail (filesystem reordered the
+  // flush): interior corruption must fail loudly, not resume around.
+  lines[lines.size() - 2] =
+      lines[lines.size() - 2].substr(0, lines[lines.size() - 2].size() / 2);
+  const std::string path = temp_path("fuzz_torn_interior.jsonl");
+  write_file(path, join_lines(lines));
+  EXPECT_THROW(flashadc::CampaignJournal journal(bank_resume_config(path)),
+               util::InvalidInputError);
+}
+
+TEST(JournalFuzz, DuplicateClassRecordIsRejected) {
+  auto lines = split_lines(bank_journal_text());
+  // Concatenating two runs' journals duplicates class ids; restoring
+  // either copy silently would hide the corruption.
+  std::size_t class_line = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    if (lines[i].find("\"type\":\"class\"") != std::string::npos)
+      class_line = i;
+  lines.push_back(lines[class_line]);
+  const std::string path = temp_path("fuzz_duplicate_class.jsonl");
+  write_file(path, join_lines(lines));
+  const std::string message = shard_error_message([&] {
+    flashadc::CampaignJournal journal(bank_resume_config(path));
+  });
+  EXPECT_NE(message.find("duplicate class record"), std::string::npos)
+      << message;
+}
+
+TEST(JournalFuzz, BankSizeMismatchRefusesResume) {
+  const std::string path = temp_path("fuzz_bank_size.jsonl");
+  write_file(path, bank_journal_text());
+  // The journal was written by a 2-slice bank campaign; resuming a
+  // 4-slice configuration must refuse (the class lists differ).
+  auto config = bank_resume_config(path);
+  config.bank_size = 4;
+  const std::string message = shard_error_message(
+      [&] { flashadc::CampaignJournal journal(config); });
+  EXPECT_NE(message.find("bank_size"), std::string::npos) << message;
+}
+
+TEST(JournalFuzz, CampaignSelectionMismatchRefusesResume) {
+  const std::string path = temp_path("fuzz_campaign.jsonl");
+  write_file(path, bank_journal_text());
+  auto config = bank_resume_config(path);
+  config.macro_selection = "comparator";
+  const std::string message = shard_error_message(
+      [&] { flashadc::CampaignJournal journal(config); });
+  EXPECT_NE(message.find("campaign"), std::string::npos) << message;
+}
+
+TEST(JournalFuzz, WrongSchemaVersionIsRejected) {
+  auto lines = split_lines(bank_journal_text());
+  const std::size_t at = lines[0].find("\"schema\":2");
+  ASSERT_NE(at, std::string::npos) << lines[0];
+  lines[0].replace(at, 10, "\"schema\":1");
+  const std::string path = temp_path("fuzz_schema.jsonl");
+  write_file(path, join_lines(lines));
+  const std::string message = shard_error_message([&] {
+    flashadc::CampaignJournal journal(bank_resume_config(path));
+  });
+  EXPECT_NE(message.find("schema 1"), std::string::npos) << message;
+}
+
+TEST(JournalFuzz, UnknownRecordTypeIsRejected) {
+  auto lines = split_lines(bank_journal_text());
+  lines.push_back("{\"type\":\"mystery\"}");
+  const std::string path = temp_path("fuzz_unknown_type.jsonl");
+  write_file(path, join_lines(lines));
+  const std::string message = shard_error_message([&] {
+    flashadc::CampaignJournal journal(bank_resume_config(path));
+  });
+  EXPECT_NE(message.find("unknown record type"), std::string::npos) << message;
+}
+
+TEST(JournalFuzz, ClassRecordsWithoutMetaRefuseResume) {
+  auto lines = split_lines(bank_journal_text());
+  ASSERT_NE(lines[0].find("\"type\":\"meta\""), std::string::npos);
+  lines.erase(lines.begin());
+  const std::string path = temp_path("fuzz_no_meta.jsonl");
+  write_file(path, join_lines(lines));
+  const std::string message = shard_error_message([&] {
+    flashadc::CampaignJournal journal(bank_resume_config(path));
+  });
+  EXPECT_NE(message.find("no meta record"), std::string::npos) << message;
+}
+
+TEST(JournalFuzz, MergeRejectsBankSizeMismatchAcrossShards) {
+  // Two real bank shards...
+  auto shard0 = tiny_bank_config();
+  shard0.resilience.shard_count = 2;
+  shard0.resilience.shard_index = 0;
+  shard0.resilience.journal_path = temp_path("fuzz_merge_shard0.jsonl");
+  flashadc::run_campaign(shard0);
+  auto shard1 = shard0;
+  shard1.resilience.shard_index = 1;
+  shard1.resilience.journal_path = temp_path("fuzz_merge_shard1.jsonl");
+  flashadc::run_campaign(shard1);
+
+  // ...merge cleanly...
+  EXPECT_NO_THROW(flashadc::merge_shard_journals(
+      {shard0.resilience.journal_path, shard1.resilience.journal_path}));
+
+  // ...but not once shard 1's meta claims a different column height.
+  auto lines = split_lines(read_file(shard1.resilience.journal_path));
+  const std::size_t at = lines[0].find("\"bank_size\":2");
+  ASSERT_NE(at, std::string::npos) << lines[0];
+  lines[0].replace(at, 13, "\"bank_size\":4");
+  const std::string tampered = temp_path("fuzz_merge_shard1_tampered.jsonl");
+  write_file(tampered, join_lines(lines));
+  const std::string message = shard_error_message([&] {
+    flashadc::merge_shard_journals(
+        {shard0.resilience.journal_path, tampered});
+  });
+  EXPECT_NE(message.find("bank_size"), std::string::npos) << message;
+
+  // A duplicated shard journal is rejected as well.
+  const std::string dup = shard_error_message([&] {
+    flashadc::merge_shard_journals(
+        {shard0.resilience.journal_path, shard0.resilience.journal_path});
+  });
+  EXPECT_NE(dup.find("duplicate journal for shard"), std::string::npos)
+      << dup;
 }
 
 }  // namespace
