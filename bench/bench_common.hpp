@@ -15,6 +15,11 @@
 //                  retried under escalating solver aid and reported
 //                  unresolved after the retry budget
 //   --max-retries=N retries after a failed class attempt (default 3)
+//   --batch=N|auto  sibling-fault batch size for the lockstep
+//                  transient prepass on the comparator/bank campaigns
+//                  (1 = scalar path, the default; auto = 8)
+//   --phase-times  collect the device-eval/assembly/factor/solve
+//                  wall-time breakdown from batched evaluations
 //   --json=FILE    machine-readable result + run metadata
 //   --json-root    shorthand for --json=BENCH_<bench>.json (the
 //                  trajectory files tracked at the repo root)
@@ -58,6 +63,7 @@ struct BenchArgs {
                  "usage: %s [--defects=N] [--envelope=N] [--classes=N] "
                  "[--seed=N] [--threads=N] [--solver=auto|dense|sparse] "
                  "[--shamanskii=N] [--class-timeout-ms=T] [--max-retries=N] "
+                 "[--batch=N|auto] [--phase-times] "
                  "[--json=FILE] [--json-root] [--quick] [--smoke]\n",
                  argv0);
   }
@@ -111,6 +117,19 @@ struct BenchArgs {
         args.config.resilience.class_timeout_ms = std::atof(v);
       } else if (const char* v = value("--max-retries=")) {
         args.config.resilience.max_retries = std::atoi(v);
+      } else if (const char* v = value("--batch=")) {
+        // "auto" maps to the sentinel 0; anything else must be a whole
+        // number, or garbage would silently select auto via strtoull.
+        char* end = nullptr;
+        args.config.batch =
+            std::strcmp(v, "auto") == 0 ? 0 : std::strtoull(v, &end, 10);
+        if (std::strcmp(v, "auto") != 0 && (end == v || *end != '\0')) {
+          std::fprintf(stderr, "%s: bad --batch value '%s'\n", argv[0], v);
+          usage(argv[0]);
+          std::exit(2);
+        }
+      } else if (arg == "--phase-times") {
+        args.config.collect_phase_times = true;
       } else if (const char* v = value("--json=")) {
         args.json_path = v;
       } else if (arg == "--json-root") {
@@ -153,6 +172,26 @@ class WallTimer {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Robust micro-benchmark timing: runs `fn` `warmup` times untimed --
+/// absorbing cold-start effects (first-touch page faults, lazy pool /
+/// allocator initialization, instruction-cache warming) -- then `k`
+/// timed repetitions and returns the minimum. The minimum of K is the
+/// standard low-noise estimator for a single-process benchmark: every
+/// source of interference (scheduling, frequency ramps) only ever adds
+/// time, so the fastest observation is the closest to the true cost.
+template <typename Fn>
+double min_of_k_seconds(Fn&& fn, int warmup = 1, int k = 3) {
+  for (int i = 0; i < warmup; ++i) fn();
+  double best = -1.0;
+  for (int i = 0; i < k; ++i) {
+    const WallTimer timer;
+    fn();
+    const double s = timer.seconds();
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
 
 inline void print_header(const char* what) {
   std::printf("====================================================\n");

@@ -1,0 +1,32 @@
+# vec-report-check: assert that the SoA device kernels (DeviceBatch
+# lane loops in src/spice/devices.cpp) actually auto-vectorized. The
+# build compiles that translation unit with
+# -fopt-info-vec-optimized=<REPORT> (see src/spice/CMakeLists.txt), so
+# the compiler's own vectorizer report is the ground truth: a
+# refactoring that silently reintroduces control flow or aliasing into
+# the lane loops drops the "loop vectorized" entries and fails here.
+# Invoked by CTest (see tests/CMakeLists.txt) as:
+#   cmake -DREPORT=<devices_vec_report.txt> -DMIN_LOOPS=<n> -P vec_report_check.cmake
+if(NOT REPORT)
+  message(FATAL_ERROR "vec_report_check: REPORT must be defined")
+endif()
+if(NOT DEFINED MIN_LOOPS)
+  set(MIN_LOOPS 4)
+endif()
+
+if(NOT EXISTS ${REPORT})
+  message(FATAL_ERROR
+          "vec_report_check: ${REPORT} not found -- was devices.cpp built "
+          "with the GNU per-source vectorizer flags?")
+endif()
+
+file(STRINGS ${REPORT} vec_lines REGEX "devices\\.cpp.*loop vectorized")
+list(LENGTH vec_lines count)
+if(count LESS ${MIN_LOOPS})
+  file(READ ${REPORT} full)
+  message(FATAL_ERROR
+          "vec_report_check: expected >= ${MIN_LOOPS} vectorized loops in "
+          "devices.cpp, found ${count}. Report:\n${full}")
+endif()
+
+message(STATUS "vec_report_check: ok (${count} vectorized loops)")

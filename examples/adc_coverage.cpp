@@ -14,6 +14,12 @@
 //   --resume              replay the journal, skipping completed classes
 //   --class-timeout-ms=T  wall-clock budget per class attempt (0 = off)
 //   --max-retries=N       retries under escalating solver aid (default 3)
+//   --batch=N|auto        sibling-fault batch size for the lockstep
+//                         transient prepass on the comparator/bank
+//                         campaigns (1 = scalar path, the default)
+//   --phase-times         collect the device-eval/assembly/factor/solve
+//                         wall-time breakdown from batched evaluations
+//                         (reported in the --json output)
 //   --macro=NAME          run a single macro campaign instead of the
 //                         five-macro flow: comparator | ladder | biasgen
 //                         | clockgen | decoder | bank (default: all)
@@ -43,7 +49,8 @@ void usage(const char* argv0) {
       "usage: %s [--defects=N] [--envelope=N] [--classes=N] [--seed=N]\n"
       "          [--threads=N] [--shards=N] [--shard=K] [--journal=PATH]\n"
       "          [--resume] [--class-timeout-ms=T] [--max-retries=N]\n"
-      "          [--macro=NAME] [--bank-size=N] [--equivalence]\n"
+      "          [--batch=N|auto] [--phase-times] [--macro=NAME]\n"
+      "          [--bank-size=N] [--equivalence]\n"
       "          [--json=FILE] [--quick] [--smoke]\n",
       argv0);
 }
@@ -87,6 +94,19 @@ int main(int argc, char** argv) {
       config.resilience.class_timeout_ms = std::atof(v);
     } else if (const char* v = value("--max-retries=")) {
       config.resilience.max_retries = std::atoi(v);
+    } else if (const char* v = value("--batch=")) {
+      // "auto" maps to the sentinel 0; anything else must be a whole
+      // number, or garbage would silently select auto via strtoull.
+      char* end = nullptr;
+      config.batch =
+          std::strcmp(v, "auto") == 0 ? 0 : std::strtoull(v, &end, 10);
+      if (std::strcmp(v, "auto") != 0 && (end == v || *end != '\0')) {
+        std::fprintf(stderr, "%s: bad --batch value '%s'\n", argv[0], v);
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--phase-times") {
+      config.collect_phase_times = true;
     } else if (const char* v = value("--macro=")) {
       config.macro_selection = v;
     } else if (const char* v = value("--bank-size=")) {

@@ -320,12 +320,7 @@ Netlist instantiate_bank_bench(const Netlist& macro_netlist,
   return n;
 }
 
-ComparatorRun run_bank_bench(const Netlist& full_bench,
-                             const BankOptions& options, int slice) {
-  check_options(options);
-  if (slice < 0 || slice >= options.size)
-    throw util::InvalidInputError("bank bench: slice out of range");
-  ComparatorRun run;
+spice::TranOptions bank_tran_options() {
   spice::TranOptions opt;
   opt.t_stop = 2.0 * kCyclePeriod;
   opt.dt = 0.5e-9;
@@ -338,9 +333,15 @@ ComparatorRun run_bank_bench(const Netlist& full_bench,
   // caps pin every floating node -- and lands in the same first-cycle
   // trajectory (measurements are read in cycle 2 regardless).
   opt.start_from_dc = false;
+  return opt;
+}
 
-  const spice::TranResult result = spice::transient(full_bench, opt);
-
+ComparatorRun extract_bank_run(const spice::TranResult& result,
+                               const BankOptions& options, int slice) {
+  check_options(options);
+  if (slice < 0 || slice >= options.size)
+    throw util::InvalidInputError("bank bench: slice out of range");
+  ComparatorRun run;
   auto delivered = [&](double t, const std::string& src) {
     return -result.current_at(t, src);
   };
@@ -375,6 +376,12 @@ ComparatorRun run_bank_bench(const Netlist& full_bench,
     run.decision = 0;
   run.converged = true;
   return run;
+}
+
+ComparatorRun run_bank_bench(const Netlist& full_bench,
+                             const BankOptions& options, int slice) {
+  return extract_bank_run(spice::transient(full_bench, bank_tran_options()),
+                          options, slice);
 }
 
 ComparatorRun simulate_bank_slice(const Netlist& macro_netlist,

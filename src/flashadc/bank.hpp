@@ -101,6 +101,19 @@ spice::Netlist instantiate_bank_bench(const spice::Netlist& macro_netlist,
                                       const BankOptions& options, int slice,
                                       double delta_v);
 
+/// Transient settings of the bank bench (no t=0 operating point: with
+/// every clock low the sampled nodes float behind subthreshold leakage
+/// and the column-sized DC solve fails for many faulted variants, so
+/// the run integrates from the zero state). Shared by the scalar path
+/// and the batched campaign prepass.
+spice::TranOptions bank_tran_options();
+
+/// Extracts the run record from a finished bank transient: decisions
+/// from slice `slice`'s flipflop, currents from the shared supplies
+/// (converged=true).
+ComparatorRun extract_bank_run(const spice::TranResult& result,
+                               const BankOptions& options, int slice);
+
 /// Two-cycle transient on an already-instantiated bench; decisions read
 /// from slice `slice`'s flipflop, currents from the shared supplies/pins
 /// (whole-column measurements). Field-compatible with the

@@ -80,6 +80,17 @@ struct CampaignConfig {
   spice::SolverOptions solver;
   /// Sharding / checkpoint-resume / degradation knobs.
   ResilienceOptions resilience;
+  /// Batched sibling-fault evaluation: fault classes evaluated together
+  /// per lockstep transient batch on the transient-bench macros
+  /// (comparator, bank). 1 = scalar path (default, byte-identical to
+  /// the original flow); 0 = auto (currently 32). A batch member that
+  /// exhausts its budget degrades to the unchanged scalar attempt
+  /// ladder for its class, so resilience semantics are preserved.
+  std::size_t batch = 1;
+  /// Collect the device-eval / assembly / factor / solve wall-time
+  /// breakdown from batched evaluations (MacroCampaignResult::
+  /// phase_times). Off by default: the hot loops stay clock-free.
+  bool collect_phase_times = false;
   /// Which macro campaign run_campaign drives: "all" (the five-macro
   /// decomposed flow) or a single macro name -- comparator / ladder /
   /// biasgen / clockgen / decoder / bank.
@@ -119,6 +130,12 @@ struct MacroCampaignResult {
   defect::CampaignResult defects;
   std::vector<FaultOutcome> catastrophic;
   std::vector<FaultOutcome> noncatastrophic;
+  /// Fault classes whose whole evaluation came from the batched
+  /// lockstep prepass (0 on the scalar path / non-batched macros).
+  std::size_t batch_evaluated = 0;
+  /// Solver wall-time breakdown summed over the batched evaluations;
+  /// all zero unless CampaignConfig::collect_phase_times was set.
+  spice::PhaseTimes phase_times;
 
   /// Weighted outcomes for the global compilation.
   macro::MacroContribution contribution(bool non_catastrophic) const;

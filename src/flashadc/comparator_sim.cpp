@@ -81,18 +81,17 @@ Netlist instantiate_comparator_bench(const Netlist& macro, double delta_v) {
   return n;
 }
 
-ComparatorRun run_comparator(const Netlist& full_bench) {
-  ComparatorRun run;
+spice::TranOptions comparator_tran_options() {
   spice::TranOptions opt;
   opt.t_stop = 2.0 * kCyclePeriod;
   opt.dt = 0.5e-9;
   opt.dt_min = 1e-13;
   opt.newton.max_iterations = 120;
+  return opt;
+}
 
-  spice::TranResult result = [&] {
-    return spice::transient(full_bench, opt);
-  }();
-
+ComparatorRun extract_comparator_run(const spice::TranResult& result) {
+  ComparatorRun run;
   auto delivered = [&](double t, const std::string& src) {
     return -result.current_at(t, src);
   };
@@ -132,6 +131,11 @@ ComparatorRun run_comparator(const Netlist& full_bench) {
     run.decision = 0;
   run.converged = true;
   return run;
+}
+
+ComparatorRun run_comparator(const Netlist& full_bench) {
+  return extract_comparator_run(
+      spice::transient(full_bench, comparator_tran_options()));
 }
 
 ComparatorRun simulate_comparator(const Netlist& macro, double delta_v) {

@@ -12,6 +12,7 @@
 #include "macro/envelope.hpp"
 #include "macro/signature.hpp"
 #include "spice/netlist.hpp"
+#include "spice/transient.hpp"
 
 namespace dot::flashadc {
 
@@ -41,8 +42,17 @@ struct ComparatorRun {
 spice::Netlist instantiate_comparator_bench(const spice::Netlist& macro,
                                             double delta_v);
 
-/// Runs the two-cycle transient and extracts the run record. A
-/// convergence failure returns converged = false instead of throwing.
+/// Transient settings of the two-cycle comparator bench (shared by the
+/// scalar path and the batched campaign prepass, which simulates many
+/// benches in lockstep and extracts each record afterwards).
+spice::TranOptions comparator_tran_options();
+
+/// Extracts the run record from a finished two-cycle transient
+/// (decisions, phase-midpoint currents, clock levels; converged=true).
+ComparatorRun extract_comparator_run(const spice::TranResult& result);
+
+/// Runs the two-cycle transient and extracts the run record. Throws
+/// util::ConvergenceError when a step fails (callers decide policy).
 ComparatorRun run_comparator(const spice::Netlist& full_bench);
 
 /// Convenience: bench + run for a macro netlist at one input level.

@@ -69,6 +69,23 @@ void write_macro(util::JsonWriter& w, const MacroCampaignResult& r) {
   w.value(r.unresolved_weight(false));
   w.key("unresolved_classes");
   w.value(r.unresolved_classes());
+  w.key("batch_evaluated");
+  w.value(r.batch_evaluated);
+  if (r.phase_times.total_seconds() > 0.0) {
+    // Solver wall-time breakdown of the batched evaluations (collected
+    // only when CampaignConfig::collect_phase_times is set).
+    w.key("phase_times");
+    w.begin_object();
+    w.key("device_eval_seconds");
+    w.value(r.phase_times.device_eval_seconds);
+    w.key("assembly_seconds");
+    w.value(r.phase_times.assembly_seconds);
+    w.key("factor_seconds");
+    w.value(r.phase_times.factor_seconds);
+    w.key("solve_seconds");
+    w.value(r.phase_times.solve_seconds);
+    w.end_object();
+  }
   w.key("catastrophic");
   w.begin_array();
   for (const auto& o : r.catastrophic) write_outcome(w, o);

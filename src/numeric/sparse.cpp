@@ -15,7 +15,7 @@ namespace dot::numeric {
 // ---------------------------------------------------------------------------
 
 template <typename Scalar>
-void SparseAssemblerT<Scalar>::begin(std::size_t n) {
+void SparseAssemblerT<Scalar>::begin(std::size_t n, std::uint32_t stream_tag) {
   if (n != n_) {
     frozen_ = false;
     n_ = n;
@@ -23,10 +23,27 @@ void SparseAssemblerT<Scalar>::begin(std::size_t n) {
   codes_.clear();
   vals_.clear();
   pattern_reused_ = false;
+  // Trusted path: the caller vouches (via a matching nonzero tag) that
+  // this round's add() stream repeats the frozen one, so values scatter
+  // straight into their CSR slots.
+  fast_ = stream_tag != 0 && frozen_ && stream_tag == frozen_tag_;
+  fast_used_ = false;
+  fast_index_ = 0;
+  frozen_tag_ = stream_tag;
+  if (fast_) values_.assign(pattern_.cols.size(), Scalar(0));
 }
 
 template <typename Scalar>
 void SparseAssemblerT<Scalar>::finish() {
+  if (fast_) {
+    if (fast_index_ != frozen_codes_.size())
+      throw std::logic_error(
+          "SparseAssemblerT: trusted stream length mismatch");
+    fast_ = false;
+    fast_used_ = true;
+    pattern_reused_ = true;
+    return;
+  }
   const std::size_t m = codes_.size();
   if (frozen_ && codes_ == frozen_codes_) {
     pattern_reused_ = true;
@@ -359,6 +376,51 @@ void SparseFactorsT<Scalar>::solve_into(const std::vector<Scalar>& b,
   }
   // Undo the column permutation: factor column j is A column qperm[j].
   for (std::int32_t j = 0; j < n; ++j) x[s.qperm[j]] = z_[j];
+}
+
+template <typename Scalar>
+void SparseFactorsT<Scalar>::solve_multi(
+    const std::vector<const std::vector<Scalar>*>& rhs,
+    std::vector<std::vector<Scalar>>& x) {
+  if (!symbolic_)
+    throw util::ConvergenceError(
+        "SparseFactorsT::solve_multi: no valid factorization");
+  const SparseSymbolic& s = *symbolic_;
+  const std::int32_t n = static_cast<std::int32_t>(s.pattern.n);
+  const std::size_t k = rhs.size();
+  x.resize(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    if (rhs[m]->size() != static_cast<std::size_t>(n))
+      throw std::invalid_argument("SparseFactorsT::solve_multi: rhs size");
+    x[m].assign(rhs[m]->begin(), rhs[m]->end());
+  }
+  // One sweep over the factor columns, all right-hand sides advanced in
+  // lockstep: the L/U column data is touched once per pivot instead of
+  // once per (pivot, rhs). Each rhs still sees solve_into's exact
+  // per-column operation sequence, so results are bit-identical to k
+  // individual solves.
+  std::vector<std::vector<Scalar>> z(k, std::vector<Scalar>(n));
+  for (std::int32_t j = 0; j < n; ++j) {
+    for (std::size_t m = 0; m < k; ++m) {
+      std::vector<Scalar>& xm = x[m];
+      const Scalar xj = xm[s.pivrow[j]];
+      if (xj == Scalar(0)) continue;
+      for (std::int32_t li = s.l_ptr[j]; li < s.l_ptr[j + 1]; ++li)
+        xm[s.l_rows[li]] -= l_vals_[li] * xj;
+    }
+  }
+  for (std::int32_t j = n - 1; j >= 0; --j) {
+    for (std::size_t m = 0; m < k; ++m) {
+      std::vector<Scalar>& xm = x[m];
+      const Scalar zj = xm[s.pivrow[j]] / udiag_[j];
+      z[m][j] = zj;
+      if (zj == Scalar(0)) continue;
+      for (std::int32_t ui = s.u_ptr[j]; ui < s.u_ptr[j + 1]; ++ui)
+        xm[s.pivrow[s.u_pos[ui]]] -= u_vals_[ui] * zj;
+    }
+  }
+  for (std::size_t m = 0; m < k; ++m)
+    for (std::int32_t j = 0; j < n; ++j) x[m][s.qperm[j]] = z[m][j];
 }
 
 // Explicit instantiations: the real (DC/transient) and complex (AC)

@@ -53,20 +53,58 @@ struct CsrPattern {
 /// then pattern() / values() expose the CSR system. A second assembly
 /// with the identical (r, c) stream reuses the frozen pattern and only
 /// rewrites values (pattern_reused() reports which path ran).
+///
+/// Trusted streams: begin(n, tag) with a nonzero tag declares that the
+/// upcoming add() stream is identical to the last one frozen under the
+/// same tag (a fixed netlist stamped in a fixed analysis mode). The
+/// assembler then skips the code push and comparison entirely and
+/// scatters each add() straight into its cached CSR slot -- the batched
+/// fault-evaluation hot path. Accumulation order is unchanged (stream
+/// order into slots), so the values are bit-identical to the checked
+/// path. A tag or size change refreezes from scratch; tag 0 always runs
+/// the checked path.
 template <typename Scalar>
 class SparseAssemblerT {
  public:
-  void begin(std::size_t n);
+  void begin(std::size_t n, std::uint32_t stream_tag = 0);
   void add(std::size_t r, std::size_t c, Scalar v) {
+    if (fast_) {
+      values_[static_cast<std::size_t>(slot_[fast_index_++])] += v;
+      return;
+    }
     codes_.push_back(static_cast<std::uint64_t>(r) * n_ + c);
     vals_.push_back(v);
   }
   void finish();
 
+  /// Number of add() calls so far this round (device bracketing for
+  /// the stamp-plan capture in assemble_mna).
+  std::size_t cursor() const { return fast_ ? fast_index_ : vals_.size(); }
+  /// Whether this round runs the trusted (slot-scatter) path.
+  bool fast_active() const { return fast_; }
+  /// CSR value slot of stream position `pos` (valid once frozen; the
+  /// stamp-plan capture reads the slots its device occupied).
+  std::int32_t slot_at(std::size_t pos) const { return slot_[pos]; }
+  /// Precompiled stamp segment (see spice::MosStampPlan): applies
+  /// `count` adds as values_[slots[i]] += signs[i] * fields[srcs[i]],
+  /// advancing the trusted-stream cursor. Bit-identical to the add()
+  /// calls it replaces: the slots are the exact stream positions and
+  /// +/-1.0 multiplies are exact in IEEE arithmetic.
+  void apply_plan(const std::int32_t* slots, const double* signs,
+                  const std::int32_t* srcs, std::size_t count,
+                  const Scalar* fields) {
+    for (std::size_t i = 0; i < count; ++i)
+      values_[static_cast<std::size_t>(slots[i])] +=
+          signs[i] * fields[static_cast<std::size_t>(srcs[i])];
+    fast_index_ += count;
+  }
+
   std::size_t size() const { return n_; }
   const CsrPattern& pattern() const { return pattern_; }
   const std::vector<Scalar>& values() const { return values_; }
   bool pattern_reused() const { return pattern_reused_; }
+  /// Whether the last finish() ran the trusted (slot-scatter) path.
+  bool fast_path_used() const { return fast_used_; }
 
  private:
   std::size_t n_ = 0;
@@ -78,6 +116,10 @@ class SparseAssemblerT {
   std::vector<Scalar> values_;
   bool frozen_ = false;
   bool pattern_reused_ = false;
+  std::uint32_t frozen_tag_ = 0;  ///< Tag the pattern was frozen under.
+  bool fast_ = false;             ///< Trusted scatter active this round.
+  bool fast_used_ = false;
+  std::size_t fast_index_ = 0;    ///< add() counter on the trusted path.
 };
 
 using SparseAssembler = SparseAssemblerT<double>;
@@ -152,6 +194,14 @@ class SparseFactorsT {
   /// Solves A x = b (original row/column space). Throws
   /// util::ConvergenceError when no valid factorization is held.
   void solve_into(const std::vector<Scalar>& b, std::vector<Scalar>& x);
+
+  /// Multi-RHS solve: one triangular sweep per right-hand side over the
+  /// shared factors (the batched Newton path solves all sibling fault
+  /// members against one factorization). Each column's arithmetic is
+  /// exactly solve_into's, so result k is bit-identical to an
+  /// individual solve of rhs[k].
+  void solve_multi(const std::vector<const std::vector<Scalar>*>& rhs,
+                   std::vector<std::vector<Scalar>>& x);
 
  private:
   std::shared_ptr<const SparseSymbolic> symbolic_;

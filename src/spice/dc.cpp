@@ -1,6 +1,7 @@
 #include "spice/dc.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,16 @@
 #include "util/error.hpp"
 
 namespace dot::spice {
+
+namespace {
+
+using PhaseClock = std::chrono::steady_clock;
+
+double phase_seconds(PhaseClock::time_point from, PhaseClock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
 
 DcResult newton_solve(const Netlist& netlist, const MnaMap& map,
                       std::vector<double> initial_guess,
@@ -59,12 +70,29 @@ DcResult newton_solve(const Netlist& netlist, const MnaMap& map,
         drift = std::max(drift, std::fabs(result.x[i] - x_at_factor[i]));
     const bool refresh = force_fresh || !have_factors || !sparse_path ||
                          since_factor >= depth || drift > kStaleDriftV;
+    // Phase-time attribution (batched campaign path only; pt is null
+    // everywhere else and the hot loop stays clock-free). Device eval
+    // reached through prepare_assembly self-reports into pt, so the
+    // assembly phase is the stamping wall time minus that delta.
+    PhaseTimes* const pt = ctx.phase_times();
+    PhaseClock::time_point t0;
+    double dev_before = 0.0;
+    if (pt != nullptr) {
+      t0 = PhaseClock::now();
+      dev_before = pt->device_eval_seconds;
+    }
     if (sparse_path) {
       assemble_mna(netlist, map, result.x, x_prev_step, stamp,
                    ctx.assembler(), b);
     } else {
       assemble_mna(netlist, map, result.x, x_prev_step, stamp,
                    ctx.dense().matrix(), b);
+    }
+    PhaseClock::time_point t1;
+    if (pt != nullptr) {
+      t1 = PhaseClock::now();
+      pt->assembly_seconds +=
+          phase_seconds(t0, t1) - (pt->device_eval_seconds - dev_before);
     }
     if (refresh) {
       if (!ctx.factor(n)) {
@@ -76,9 +104,15 @@ DcResult newton_solve(const Netlist& netlist, const MnaMap& map,
       since_factor = 0;
       if (depth > 1) x_at_factor = result.x;
     }
+    PhaseClock::time_point t2;
+    if (pt != nullptr) {
+      t2 = PhaseClock::now();
+      if (refresh) pt->factor_seconds += phase_seconds(t1, t2);
+    }
     ++since_factor;
     const bool stale = since_factor > 1;
     ctx.solve(b, x_new);
+    if (pt != nullptr) pt->solve_seconds += phase_seconds(t2, PhaseClock::now());
 
     // Damping: restrict the largest node-voltage move per iteration.
     double max_dv = 0.0;

@@ -3,8 +3,10 @@
 // never by mutating a shared circuit.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "spice/source_spec.hpp"
 
@@ -45,6 +47,38 @@ struct MosOperatingPoint {
 /// terminal voltages. Handles drain/source symmetry internally.
 MosOperatingPoint eval_mos(const MosModel& model, double w_over_l,
                            double vgs, double vds, double vbs);
+
+/// Struct-of-arrays batch for the level-1 MOSFET model: one lane per
+/// (batch member, device) occurrence with contiguous terminal-voltage,
+/// parameter and result arrays, so the companion-model hot loops of the
+/// batched fault-evaluation path auto-vectorize. The drain/source
+/// normalization, threshold/body-effect and swap-back passes are
+/// branchless lane loops; the exp-heavy region evaluation stays scalar.
+/// Lane results are bit-identical to eval_mos on the same inputs (the
+/// region core is shared and the select-based passes compute the same
+/// expressions the scalar branches do).
+///
+/// Usage: push_device() once per lane, refresh vgs/vds/vbs before each
+/// eval_mos_batch() call, read ids/gm/gds/gmb after.
+struct DeviceBatch {
+  // Static per-lane parameters, derived by push_device.
+  std::vector<double> vt0, gamma, phi, sqrt_phi, n_vt, i0, beta, lambda;
+  // Inputs: NMOS-convention terminal voltages (unnormalized).
+  std::vector<double> vgs, vds, vbs;
+  // Outputs: MosOperatingPoint lanes.
+  std::vector<double> ids, gm, gds, gmb;
+  // Scratch lanes used by eval_mos_batch (normalized voltages,
+  // swap flags, threshold results); sized on demand.
+  std::vector<double> nvgs, nvds, nvbs, swapped, vt, dvt;
+
+  std::size_t size() const { return vt0.size(); }
+  /// Appends one lane holding the device's derived static parameters
+  /// (beta = kp*W/L etc., the same products eval_mos forms per call).
+  void push_device(const MosModel& model, double w_over_l);
+};
+
+/// Evaluates every lane of the batch; see DeviceBatch.
+void eval_mos_batch(DeviceBatch& batch);
 
 struct Resistor {
   std::string name;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <type_traits>
 
 #include "util/error.hpp"
 
@@ -14,6 +16,7 @@ MnaMap::MnaMap(const Netlist& netlist) {
     if (std::holds_alternative<VoltageSource>(device) ||
         std::holds_alternative<Vcvs>(device) ||
         std::holds_alternative<Inductor>(device)) {
+      branch_order_.push_back(next);
       branch_.emplace(device_name(device), next++);
     }
   }
@@ -95,8 +98,8 @@ class Stamper {
   void current(NodeId from, NodeId to, double amps) {
     const int i = map_.node_index(from);
     const int j = map_.node_index(to);
-    if (i >= 0) b_[idx(i)] -= amps;
-    if (j >= 0) b_[idx(j)] += amps;
+    if (i >= 0) rhs_add(idx(i), -amps);
+    if (j >= 0) rhs_add(idx(j), amps);
   }
 
   /// Transconductance: current injected into (nd -> ns) controlled by
@@ -114,9 +117,8 @@ class Stamper {
     if (s >= 0 && cn >= 0) a_.add(idx(s), idx(cn), g);
   }
 
-  void voltage_source_rows(const std::string& name, NodeId pos, NodeId neg,
+  void voltage_source_rows(std::size_t k, NodeId pos, NodeId neg,
                            double volts) {
-    const std::size_t k = map_.branch_index(name);
     const int p = map_.node_index(pos);
     const int n = map_.node_index(neg);
     if (p >= 0) {
@@ -127,15 +129,14 @@ class Stamper {
       a_.add(idx(n), k, -1.0);
       a_.add(k, idx(n), -1.0);
     }
-    b_[k] += volts;
+    rhs_add(k, volts);
   }
 
   /// Inductor branch: KCL couplings plus the row
   ///   v(a) - v(b) - l_over_dt * i = rhs
   /// (l_over_dt = 0 and rhs = 0 makes it a DC short).
-  void inductor_rows(const std::string& name, NodeId na, NodeId nb,
+  void inductor_rows(std::size_t k, NodeId na, NodeId nb,
                      double l_over_dt, double rhs) {
-    const std::size_t k = map_.branch_index(name);
     const int i = map_.node_index(na);
     const int j = map_.node_index(nb);
     if (i >= 0) {
@@ -147,11 +148,10 @@ class Stamper {
       a_.add(k, idx(j), -1.0);
     }
     a_.add(k, k, -l_over_dt);
-    b_[k] += rhs;
+    rhs_add(k, rhs);
   }
 
-  void vcvs_rows(const Vcvs& e) {
-    const std::size_t k = map_.branch_index(e.name);
+  void vcvs_rows(std::size_t k, const Vcvs& e) {
     const int p = map_.node_index(e.p);
     const int n = map_.node_index(e.n);
     const int cp = map_.node_index(e.cp);
@@ -168,6 +168,8 @@ class Stamper {
     if (cn >= 0) a_.add(k, idx(cn), e.gain);
   }
 
+  void rhs_add(std::size_t i, double delta) { b_[i] += delta; }
+
  private:
   static std::size_t idx(int i) { return static_cast<std::size_t>(i); }
 
@@ -176,13 +178,109 @@ class Stamper {
   std::vector<double>& b_;
 };
 
+// MosStampPlan reads the companions as a flat array of 4 doubles per
+// occurrence (field index = declaration order gm, gds, gmb, ieq).
+static_assert(sizeof(MosCompanion) == 4 * sizeof(double),
+              "MosCompanion must stay a flat struct of 4 doubles");
+
+/// Appends one MOSFET's stamp segment to the plan by mirroring the
+/// Stamper emission order of the companion path (three
+/// transconductance calls then the ieq current), validating the
+/// predicted matrix-add count against the assembler's actual cursor
+/// advance over this device.
+void append_mos_plan(MosStampPlan& plan, const numeric::SparseAssembler& a,
+                     std::size_t mat0, const MnaMap& map, const Mosfet& d,
+                     std::size_t mos) {
+  const int dn = map.node_index(d.drain);
+  const int sn = map.node_index(d.source);
+  const int gn = map.node_index(d.gate);
+  const int bn = map.node_index(d.bulk);
+  const auto base = static_cast<std::int32_t>(4 * mos);
+  const std::size_t first = plan.sign.size();
+  // transconductance(drain, source, cp, cn, g) emits, guarded on
+  // non-ground terminals: (d,cp)+g, (d,cn)-g, (s,cp)-g, (s,cn)+g.
+  auto tc = [&](int cp, int cn, std::int32_t field) {
+    if (dn >= 0 && cp >= 0) {
+      plan.sign.push_back(1.0);
+      plan.src.push_back(base + field);
+    }
+    if (dn >= 0 && cn >= 0) {
+      plan.sign.push_back(-1.0);
+      plan.src.push_back(base + field);
+    }
+    if (sn >= 0 && cp >= 0) {
+      plan.sign.push_back(-1.0);
+      plan.src.push_back(base + field);
+    }
+    if (sn >= 0 && cn >= 0) {
+      plan.sign.push_back(1.0);
+      plan.src.push_back(base + field);
+    }
+  };
+  tc(gn, sn, 0);  // gm:  controlled by v(gate) - v(source).
+  tc(dn, sn, 1);  // gds: controlled by v(drain) - v(source).
+  tc(bn, sn, 2);  // gmb: controlled by v(bulk) - v(source).
+  const std::size_t count = plan.sign.size() - first;
+  if (a.cursor() - mat0 != count)
+    throw std::logic_error("assemble_mna: MOS stamp-plan count mismatch");
+  for (std::size_t k = 0; k < count; ++k)
+    plan.slot.push_back(a.slot_at(mat0 + k));
+  plan.mat_ptr.push_back(static_cast<std::int32_t>(plan.sign.size()));
+  // current(drain, source, ieq): b[drain] -= ieq, b[source] += ieq.
+  if (dn >= 0) {
+    plan.b_node.push_back(dn);
+    plan.b_sign.push_back(-1.0);
+    plan.b_src.push_back(base + 3);
+  }
+  if (sn >= 0) {
+    plan.b_node.push_back(sn);
+    plan.b_sign.push_back(1.0);
+    plan.b_src.push_back(base + 3);
+  }
+  plan.b_ptr.push_back(static_cast<std::int32_t>(plan.b_node.size()));
+}
+
 template <typename Target>
 void assemble_into(const Netlist& netlist, const MnaMap& map,
                    const std::vector<double>& x,
                    const std::vector<double>& x_prev_step,
                    const StampOptions& options, Target target,
                    std::vector<double>& b) {
+  constexpr bool kSparse = std::is_same_v<Target, SparseTarget>;
   Stamper<Target> stamp(map, target, b);
+
+  if (options.prepare_assembly != nullptr) (*options.prepare_assembly)(x);
+
+  // MOS stamp-plan disposition (see MosStampPlan). Apply rounds replace
+  // each MOSFET's Stamper walk with a precompiled flat loop; the first
+  // trusted round after a freeze (or a stream-tag change) runs the full
+  // walk once and captures the plan from the frozen slots.
+  MosStampPlan* plan = nullptr;
+  bool plan_apply = false;
+  bool plan_capture = false;
+  const double* comp_flat = nullptr;
+  if constexpr (kSparse) {
+    plan = options.mos_plan;
+    if (plan != nullptr && options.mos_companions != nullptr &&
+        target.a.fast_active()) {
+      comp_flat =
+          reinterpret_cast<const double*>(options.mos_companions->data());
+      if (plan->ready && plan->tag == options.stream_tag) {
+        plan_apply = true;
+      } else {
+        plan_capture = true;
+        plan->ready = false;
+        plan->slot.clear();
+        plan->sign.clear();
+        plan->src.clear();
+        plan->b_node.clear();
+        plan->b_sign.clear();
+        plan->b_src.clear();
+        plan->mat_ptr.assign(1, 0);
+        plan->b_ptr.assign(1, 0);
+      }
+    }
+  }
 
   // Node-to-ground shunts keep otherwise-floating nodes solvable and
   // implement gmin stepping.
@@ -190,7 +288,29 @@ void assemble_into(const Netlist& netlist, const MnaMap& map,
     target.add(i, i, options.gshunt);
 
   std::size_t cap_index = 0;
+  std::size_t mos_index = 0;
+  std::size_t branch_seq = 0;  // branch_at occurrence counter
+
   for (const auto& device : netlist.devices()) {
+    std::size_t mat0 = 0;
+    if constexpr (kSparse) {
+      if (plan_apply && std::holds_alternative<Mosfet>(device)) {
+        const std::size_t m = mos_index++;
+        const auto p0 = static_cast<std::size_t>(plan->mat_ptr[m]);
+        const auto p1 = static_cast<std::size_t>(plan->mat_ptr[m + 1]);
+        target.a.apply_plan(plan->slot.data() + p0, plan->sign.data() + p0,
+                            plan->src.data() + p0, p1 - p0, comp_flat);
+        const auto q1 = static_cast<std::size_t>(plan->b_ptr[m + 1]);
+        for (auto k = static_cast<std::size_t>(plan->b_ptr[m]); k < q1; ++k)
+          b[static_cast<std::size_t>(plan->b_node[k])] +=
+              plan->b_sign[k] * comp_flat[static_cast<std::size_t>(
+                                    plan->b_src[k])];
+        continue;
+      }
+      if (plan_capture && std::holds_alternative<Mosfet>(device))
+        mat0 = target.a.cursor();
+    }
+    const std::size_t mos_before = mos_index;
     std::visit(
         [&](const auto& d) {
           using T = std::decay_t<decltype(d)>;
@@ -218,32 +338,33 @@ void assemble_into(const Netlist& netlist, const MnaMap& map,
             ++cap_index;
           } else if constexpr (std::is_same_v<T, VoltageSource>) {
             stamp.voltage_source_rows(
-                d.name, d.pos, d.neg,
+                map.branch_at(branch_seq++), d.pos, d.neg,
                 options.source_scale * d.spec.eval(options.time));
           } else if constexpr (std::is_same_v<T, CurrentSource>) {
             stamp.current(d.pos, d.neg,
                           options.source_scale * d.spec.eval(options.time));
           } else if constexpr (std::is_same_v<T, Vcvs>) {
-            stamp.vcvs_rows(d);
+            stamp.vcvs_rows(map.branch_at(branch_seq++), d);
           } else if constexpr (std::is_same_v<T, Vccs>) {
             stamp.transconductance(d.p, d.n, d.cp, d.cn, d.gm);
           } else if constexpr (std::is_same_v<T, Inductor>) {
+            const std::size_t k = map.branch_at(branch_seq++);
             if (options.mode == AnalysisMode::kDc) {
-              stamp.inductor_rows(d.name, d.a, d.b, 0.0, 0.0);
+              stamp.inductor_rows(k, d.a, d.b, 0.0, 0.0);
             } else {
-              const double i_prev = x_prev_step[map.branch_index(d.name)];
+              const double i_prev = x_prev_step[k];
               const double v_prev =
                   map.voltage(x_prev_step, d.a) - map.voltage(x_prev_step, d.b);
               if (options.integrator == Integrator::kTrapezoidal &&
                   options.cap_i_prev != nullptr) {
                 // v + v_prev = (2L/dt) (i - i_prev)
                 const double l2 = 2.0 * d.henries / options.dt;
-                stamp.inductor_rows(d.name, d.a, d.b, l2,
+                stamp.inductor_rows(k, d.a, d.b, l2,
                                     -v_prev - l2 * i_prev);
               } else {
                 // Backward Euler: v = (L/dt) (i - i_prev)
                 const double l1 = d.henries / options.dt;
-                stamp.inductor_rows(d.name, d.a, d.b, l1, -l1 * i_prev);
+                stamp.inductor_rows(k, d.a, d.b, l1, -l1 * i_prev);
               }
             }
           } else if constexpr (std::is_same_v<T, Diode>) {
@@ -257,6 +378,20 @@ void assemble_into(const Netlist& netlist, const MnaMap& map,
                 map.voltage(x, d.ctrl_p) - map.voltage(x, d.ctrl_n);
             stamp.conductance(d.a, d.b, switch_conductance(d, vctrl));
           } else if constexpr (std::is_same_v<T, Mosfet>) {
+            if (options.mos_companions != nullptr) {
+              // Batched path: the SoA kernel already evaluated this
+              // occurrence for the current iterate (prepare_assembly);
+              // stamp the precomputed companion directly.
+              const MosCompanion& c = (*options.mos_companions)[mos_index++];
+              stamp.transconductance(d.drain, d.source, d.gate, d.source,
+                                     c.gm);
+              stamp.transconductance(d.drain, d.source, d.drain, d.source,
+                                     c.gds);
+              stamp.transconductance(d.drain, d.source, d.bulk, d.source,
+                                     c.gmb);
+              stamp.current(d.drain, d.source, c.ieq);
+              return;
+            }
             // NMOS-normalized terminal voltages around the candidate.
             const double sign = d.type == MosType::kNmos ? 1.0 : -1.0;
             const double vd = map.voltage(x, d.drain);
@@ -286,6 +421,17 @@ void assemble_into(const Netlist& netlist, const MnaMap& map,
           }
         },
         device);
+    if constexpr (kSparse) {
+      if (plan_capture && std::holds_alternative<Mosfet>(device))
+        append_mos_plan(*plan, target.a, mat0, map, std::get<Mosfet>(device),
+                        mos_before);
+    }
+  }
+  if constexpr (kSparse) {
+    if (plan_capture) {
+      plan->ready = true;
+      plan->tag = options.stream_tag;
+    }
   }
 }
 
@@ -309,7 +455,7 @@ void assemble_mna(const Netlist& netlist, const MnaMap& map,
                   const StampOptions& options, numeric::SparseAssembler& a,
                   std::vector<double>& b) {
   const std::size_t n = map.size();
-  a.begin(n);
+  a.begin(n, options.stream_tag);
   b.assign(n, 0.0);
   assemble_into(netlist, map, x, x_prev_step, options, SparseTarget{a}, b);
   a.finish();

@@ -7,6 +7,8 @@
 // engines iterate assemble/solve to convergence.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +32,56 @@ enum class Integrator {
                    ///< currents (supplied via StampOptions::cap_i_prev).
 };
 
+/// Precomputed Newton companion model for one MOSFET occurrence, in the
+/// device's NMOS-normalized convention; `ieq` already carries the
+/// polarity sign, so it stamps as-is (see the MOSFET branch in
+/// assemble_into). Produced by the batched SoA device kernel.
+struct MosCompanion {
+  double gm = 0.0;
+  double gds = 0.0;
+  double gmb = 0.0;
+  double ieq = 0.0;  ///< sign * (ids - gm*vgs - gds*vds - gmb*vbs).
+};
+
+/// Precompiled MOSFET stamp segments for the batched Newton path.
+///
+/// Stamping a MOSFET companion walks four Stamper calls per device:
+/// node-index lookups, grounded-terminal guards and sign branches that
+/// are identical every Newton iteration -- only the four companion
+/// values change. Once the assembler's trusted stream is frozen, the
+/// slot each add() lands in is fixed, so the whole per-device stamp
+/// collapses to a table of (CSR slot, +/-1 sign, companion field):
+///
+///   values[slot[i]] += sign[i] * companions_flat[src[i]]
+///
+/// applied in the exact stream positions the Stamper calls occupied.
+/// Per CSR slot the contributions land in the same order with the same
+/// values (+/-1.0 multiplies are exact), so the assembled system is
+/// bit-identical to full stamping.
+///
+/// Owned by the batch engine, one instance per member; scalar callers
+/// leave StampOptions::mos_plan null and are untouched. The plan is
+/// captured on the first trusted-stream round after the pattern
+/// freezes, keyed by the stream tag: a tag change (DC -> transient
+/// stream) discards and recaptures. assemble_mna validates the
+/// predicted add count against the assembler cursor at capture and
+/// throws on mismatch, so a desynchronized plan cannot ship values.
+struct MosStampPlan {
+  bool ready = false;
+  std::uint32_t tag = 0;  ///< Stream tag the plan was captured under.
+  /// Matrix entries, all MOSFETs concatenated in device order;
+  /// mat_ptr[m] .. mat_ptr[m+1] is the m-th MOSFET's slice.
+  std::vector<std::int32_t> slot;  ///< CSR value slot.
+  std::vector<double> sign;        ///< +/-1.0.
+  std::vector<std::int32_t> src;   ///< 4*mos + field (gm,gds,gmb,ieq).
+  std::vector<std::int32_t> mat_ptr;
+  /// RHS entries (the ieq injection), sliced by b_ptr like mat_ptr.
+  std::vector<std::int32_t> b_node;  ///< Unknown index in b.
+  std::vector<double> b_sign;
+  std::vector<std::int32_t> b_src;
+  std::vector<std::int32_t> b_ptr;
+};
+
 /// Options shared by assembly-based solvers.
 struct StampOptions {
   double gshunt = 1e-12;      ///< Conductance from every node to ground.
@@ -41,6 +93,26 @@ struct StampOptions {
   /// Trapezoidal only: capacitor currents at the previous time point,
   /// ordered by capacitor occurrence in the device list.
   const std::vector<double>* cap_i_prev = nullptr;
+
+  // --- Batched-evaluation hooks (defaults keep the scalar path
+  // byte-identical; see spice/batch.hpp). ---
+  /// Precomputed MOSFET companions, one entry per Mosfet in device
+  /// order. When set, assembly consumes them instead of evaluating the
+  /// level-1 model inline; `prepare_assembly` is expected to refresh
+  /// them for the candidate iterate.
+  const std::vector<MosCompanion>* mos_companions = nullptr;
+  /// Invoked with the candidate iterate at the top of every assembly,
+  /// before any stamping: the batch path gathers terminal voltages and
+  /// runs the SoA device kernel here.
+  const std::function<void(const std::vector<double>& x)>* prepare_assembly =
+      nullptr;
+  /// Trusted-stream tag forwarded to SparseAssembler::begin (nonzero
+  /// only when the caller guarantees the stamp stream is frozen for
+  /// this netlist + analysis mode; see numeric::SparseAssemblerT).
+  std::uint32_t stream_tag = 0;
+  /// Precompiled MOSFET stamp segments (sparse trusted streams with
+  /// mos_companions only; see MosStampPlan). Null disables the plan.
+  MosStampPlan* mos_plan = nullptr;
 };
 
 /// Index map from netlist entities to unknown-vector slots. The map is
@@ -61,6 +133,14 @@ class MnaMap {
   std::size_t branch_index(const std::string& source_name) const;
   bool has_branch(const std::string& source_name) const;
 
+  /// Branch-current index of the k-th branch device (voltage source,
+  /// VCVS or inductor) in device-list order. Assembly walks devices in
+  /// that same order, so this replaces a per-stamp string hash lookup
+  /// with an array read on the Newton-loop hot path.
+  std::size_t branch_at(std::size_t occurrence) const {
+    return branch_order_[occurrence];
+  }
+
   /// Node voltage from a solution vector (0 for ground).
   double voltage(const std::vector<double>& x, NodeId node) const;
 
@@ -74,6 +154,7 @@ class MnaMap {
   std::size_t size_ = 0;
   std::size_t node_unknowns_ = 0;
   std::unordered_map<std::string, std::size_t> branch_;
+  std::vector<std::size_t> branch_order_;  ///< Branch slots in device order.
 };
 
 /// Assembles the Newton-linearized MNA system around candidate solution

@@ -63,6 +63,31 @@ struct SolverSeed {
   std::shared_ptr<const numeric::SparseSymbolic> symbolic;
 };
 
+/// Wall-time breakdown of a Newton/transient run, attributing each
+/// iteration to its phases: device (companion-model) evaluation, MNA
+/// assembly (stamping minus device eval), numeric factorization, and
+/// triangular solves. Collected only when a PhaseTimes sink is attached
+/// to the SolverContext (the batched campaign path); the scalar hot
+/// loop stays clock-free.
+struct PhaseTimes {
+  double device_eval_seconds = 0.0;
+  double assembly_seconds = 0.0;
+  double factor_seconds = 0.0;
+  double solve_seconds = 0.0;
+
+  double total_seconds() const {
+    return device_eval_seconds + assembly_seconds + factor_seconds +
+           solve_seconds;
+  }
+  PhaseTimes& operator+=(const PhaseTimes& o) {
+    device_eval_seconds += o.device_eval_seconds;
+    assembly_seconds += o.assembly_seconds;
+    factor_seconds += o.factor_seconds;
+    solve_seconds += o.solve_seconds;
+    return *this;
+  }
+};
+
 /// Mutable per-solve workspace; cheap to construct from a SolverSeed
 /// (copies two words and a shared_ptr). Not thread-safe; make one per
 /// worker/solve like the Rng streams.
@@ -105,6 +130,24 @@ class SolverContext {
   /// (which may be deliberately stale under Shamanskii reuse).
   void solve(const std::vector<double>& b, std::vector<double>& x);
 
+  /// Multi-RHS solve against the current factors: one factor sweep,
+  /// all right-hand sides in lockstep, each result bit-identical to an
+  /// individual solve(). Requires the sparse factors to be active (the
+  /// batched Newton path checks sparse_active() first).
+  void solve_multi(const std::vector<const std::vector<double>*>& rhs,
+                   std::vector<std::vector<double>>& x);
+
+  /// Injects a symbolic analysis produced by a sibling context (the
+  /// batch group leader) into this context's cache, so the next sparse
+  /// factor() of the same pattern refactors without re-analyzing.
+  void adopt_symbolic(std::shared_ptr<const numeric::SparseSymbolic> symbolic);
+
+  /// Attaches (or detaches, with nullptr) a per-phase wall-time sink;
+  /// newton_solve and the stamping hooks accumulate into it. The sink
+  /// must outlive the context or be detached first.
+  void set_phase_times(PhaseTimes* sink) { phase_times_ = sink; }
+  PhaseTimes* phase_times() const { return phase_times_; }
+
   /// Symbolic analysis of the golden (first-analyzed) pattern, for
   /// seeding campaign contexts. Null when only the dense path ran.
   std::shared_ptr<const numeric::SparseSymbolic> shared_symbolic() const {
@@ -133,6 +176,7 @@ class SolverContext {
   std::size_t symbolic_analyses_ = 0;
   std::size_t factorizations_ = 0;
   bool sparse_active_ = false;
+  PhaseTimes* phase_times_ = nullptr;
 };
 
 }  // namespace dot::spice

@@ -69,6 +69,58 @@ std::vector<double> TranResult::voltage_series(const std::string& node) const {
   return out;
 }
 
+TranStepper::TranStepper(const Netlist& netlist, const MnaMap& map,
+                         const TranOptions& options, std::vector<double> x0,
+                         SolverContext* solver)
+    : netlist_(netlist),
+      map_(map),
+      options_(options),
+      solver_(solver),
+      x_(std::move(x0)),
+      dt_(options.dt) {
+  // Trapezoidal integration needs the capacitor currents of the previous
+  // accepted point; at t = 0 (DC) they are zero.
+  std::size_t cap_count = 0;
+  for (const auto& device : netlist_.devices())
+    cap_count += std::holds_alternative<Capacitor>(device) ? 1u : 0u;
+  cap_i_.assign(cap_count, 0.0);
+}
+
+void TranStepper::step() {
+  while (true) {
+    dt_ = std::min(dt_, options_.t_stop - t_);
+    const double t_next = t_ + dt_;
+
+    stamp_.mode = AnalysisMode::kTransient;
+    stamp_.dt = dt_;
+    stamp_.time = t_next;
+    stamp_.gshunt = options_.newton.gshunt;
+    stamp_.integrator = options_.integrator;
+    stamp_.cap_i_prev = &cap_i_;
+
+    DcResult step =
+        newton_solve(netlist_, map_, x_, stamp_, options_.newton, x_, solver_);
+    newton_iterations_ += static_cast<std::size_t>(step.iterations);
+    if (!step.converged) {
+      dt_ /= 2.0;
+      if (dt_ < options_.dt_min) {
+        char msg[96];
+        std::snprintf(msg, sizeof msg,
+                      "transient: step failed at t = %.6e even at dt_min", t_);
+        throw util::ConvergenceError(msg);
+      }
+      continue;
+    }
+    if (options_.integrator == Integrator::kTrapezoidal)
+      cap_i_ = capacitor_currents(netlist_, map_, step.x, x_, stamp_);
+    x_ = std::move(step.x);
+    t_ = t_next;
+    // Recover the step size after successful steps.
+    if (dt_ < options_.dt) dt_ = std::min(options_.dt, dt_ * 2.0);
+    return;
+  }
+}
+
 TranResult transient(const Netlist& netlist, const TranOptions& options) {
   if (options.dt <= 0.0 || options.t_stop <= 0.0)
     throw util::InvalidInputError("transient: dt and t_stop must be positive");
@@ -84,6 +136,8 @@ TranResult transient(const Netlist& netlist, const TranOptions& options) {
   // so every time step after the first refactors against the cached
   // symbolic analysis.
   SolverContext solver(options.solver);
+  PhaseTimes phases;
+  if (options.collect_phase_times) solver.set_phase_times(&phases);
 
   // Initial condition.
   TranStats stats;
@@ -98,51 +152,16 @@ TranResult transient(const Netlist& netlist, const TranOptions& options) {
   }
   result.append(0.0, x);
 
-  double t = 0.0;
-  double dt = options.dt;
-  // Trapezoidal integration needs the capacitor currents of the previous
-  // accepted point; at t = 0 (DC) they are zero.
-  std::size_t cap_count = 0;
-  for (const auto& device : netlist.devices())
-    cap_count += std::holds_alternative<Capacitor>(device) ? 1u : 0u;
-  std::vector<double> cap_i(cap_count, 0.0);
-
-  while (t < options.t_stop - 1e-18) {
-    dt = std::min(dt, options.t_stop - t);
-    const double t_next = t + dt;
-
-    StampOptions stamp;
-    stamp.mode = AnalysisMode::kTransient;
-    stamp.dt = dt;
-    stamp.time = t_next;
-    stamp.gshunt = options.newton.gshunt;
-    stamp.integrator = options.integrator;
-    stamp.cap_i_prev = &cap_i;
-
-    DcResult step =
-        newton_solve(netlist, map, x, stamp, options.newton, x, &solver);
-    stats.newton_iterations += static_cast<std::size_t>(step.iterations);
-    if (!step.converged) {
-      dt /= 2.0;
-      if (dt < options.dt_min) {
-        char msg[96];
-        std::snprintf(msg, sizeof msg,
-                      "transient: step failed at t = %.6e even at dt_min", t);
-        throw util::ConvergenceError(msg);
-      }
-      continue;
-    }
-    if (options.integrator == Integrator::kTrapezoidal)
-      cap_i = capacitor_currents(netlist, map, step.x, x, stamp);
-    x = std::move(step.x);
-    t = t_next;
-    result.append(t, x);
-    // Recover the step size after successful steps.
-    if (dt < options.dt) dt = std::min(options.dt, dt * 2.0);
+  TranStepper stepper(netlist, map, options, std::move(x), &solver);
+  while (!stepper.done()) {
+    stepper.step();
+    result.append(stepper.time(), stepper.state());
   }
+  stats.newton_iterations += stepper.newton_iterations();
   stats.factorizations = solver.factorizations();
   stats.symbolic_analyses = solver.symbolic_analyses();
   stats.sparse = solver.sparse_active();
+  stats.phases = phases;
   result.set_stats(stats);
   return result;
 }

@@ -26,6 +26,9 @@ struct TranOptions {
   /// regenerative latches) or trapezoidal (second order, for accuracy
   /// studies on smooth circuits).
   Integrator integrator = Integrator::kBackwardEuler;
+  /// Collect the per-phase wall-time breakdown (TranStats::phases).
+  /// Off by default: the scalar hot loop stays clock-free.
+  bool collect_phase_times = false;
 };
 
 /// Aggregate solver work of one transient run (scaling diagnostics:
@@ -37,6 +40,9 @@ struct TranStats {
   std::size_t factorizations = 0;     ///< Numeric factor() calls.
   std::size_t symbolic_analyses = 0;  ///< From-scratch sparse analyses.
   bool sparse = false;  ///< Sparse path active on the last factor.
+  /// Wall-time breakdown by phase (device eval / assembly / factor /
+  /// solve); all zero unless TranOptions::collect_phase_times was set.
+  PhaseTimes phases;
 
   /// Fraction of Newton iterations served by reused (stale) factors.
   double factor_reuse_rate() const {
@@ -90,6 +96,50 @@ class TranResult {
   std::vector<double> times_;
   std::vector<std::vector<double>> states_;
   TranStats stats_;
+};
+
+/// Resumable core of the transient loop: one object advances a single
+/// circuit from a given t=0 state, one *accepted* time point per step()
+/// call (internal dt halving retries failed Newton solves, exactly like
+/// transient()). The batched fault-evaluation path round-robins a
+/// stepper per batch member so sibling faults advance in lockstep;
+/// transient() itself delegates here, so the two paths share one
+/// integration loop.
+class TranStepper {
+ public:
+  /// `netlist`, `map` and `solver` must outlive the stepper; `x0` is
+  /// the state at t = 0 (post-DC operating point, or flat).
+  TranStepper(const Netlist& netlist, const MnaMap& map,
+              const TranOptions& options, std::vector<double> x0,
+              SolverContext* solver);
+
+  /// True once the final time point (t_stop) has been accepted.
+  bool done() const { return t_ >= options_.t_stop - 1e-18; }
+  /// Advances to the next accepted time point. Precondition: !done().
+  /// Throws util::ConvergenceError when the step fails even at dt_min.
+  void step();
+
+  double time() const { return t_; }
+  const std::vector<double>& state() const { return x_; }
+  std::size_t newton_iterations() const { return newton_iterations_; }
+
+  /// Stamp template used for every assembly: the batched path sets its
+  /// hook fields (mos_companions / prepare_assembly / stream_tag) here.
+  /// Per-step fields (mode, dt, time, gshunt, integrator, cap_i_prev)
+  /// are overwritten by step().
+  StampOptions& stamp_overrides() { return stamp_; }
+
+ private:
+  const Netlist& netlist_;
+  const MnaMap& map_;
+  TranOptions options_;
+  SolverContext* solver_;
+  StampOptions stamp_;
+  std::vector<double> x_;
+  std::vector<double> cap_i_;
+  double t_ = 0.0;
+  double dt_ = 0.0;
+  std::size_t newton_iterations_ = 0;
 };
 
 /// Runs the transient simulation. Throws util::ConvergenceError when a
