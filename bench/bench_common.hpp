@@ -61,7 +61,7 @@ struct BenchArgs {
   static void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--defects=N] [--envelope=N] [--classes=N] "
-                 "[--seed=N] [--threads=N] [--solver=auto|dense|sparse] "
+                 "[--seed=N] [--threads=N] [--solver=auto|dense|sparse|schur] "
                  "[--shamanskii=N] [--class-timeout-ms=T] [--max-retries=N] "
                  "[--batch=N|auto] [--phase-times] "
                  "[--json=FILE] [--json-root] [--quick] [--smoke]\n",

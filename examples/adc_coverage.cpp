@@ -22,11 +22,20 @@
 //                         (reported in the --json output)
 //   --macro=NAME          run a single macro campaign instead of the
 //                         five-macro flow: comparator | ladder | biasgen
-//                         | clockgen | decoder | bank (default: all)
+//                         | clockgen | decoder | bank | chip
+//                         (default: all)
 //   --bank-size=N         comparator-column height for --macro=bank
-//                         (2..64, must divide 256; default 64)
-//   --equivalence         with --macro=bank: diff the flat-bank result
-//                         against the per-comparator decomposition
+//                         (2..256, must divide 256; default 64)
+//   --chip-slices=N       comparator count for --macro=chip (4..256,
+//                         must divide 256 and be a multiple of 4;
+//                         default 256)
+//   --solver=MODE         linear solver for every simulation: auto |
+//                         dense | sparse | schur (default auto; schur
+//                         is the block-arrowhead path built for the
+//                         bank/chip macros)
+//   --equivalence         with --macro=bank or --macro=chip: diff the
+//                         flat result against the per-comparator
+//                         decomposition
 //   --json=FILE           write the full campaign report as JSON
 //   --quick               small preset for a fast demonstration run
 //   --smoke               tiny preset for CI (seconds, not minutes)
@@ -50,8 +59,8 @@ void usage(const char* argv0) {
       "          [--threads=N] [--shards=N] [--shard=K] [--journal=PATH]\n"
       "          [--resume] [--class-timeout-ms=T] [--max-retries=N]\n"
       "          [--batch=N|auto] [--phase-times] [--macro=NAME]\n"
-      "          [--bank-size=N] [--equivalence]\n"
-      "          [--json=FILE] [--quick] [--smoke]\n",
+      "          [--bank-size=N] [--chip-slices=N] [--solver=MODE]\n"
+      "          [--equivalence] [--json=FILE] [--quick] [--smoke]\n",
       argv0);
 }
 
@@ -110,7 +119,34 @@ int main(int argc, char** argv) {
     } else if (const char* v = value("--macro=")) {
       config.macro_selection = v;
     } else if (const char* v = value("--bank-size=")) {
-      config.bank_size = std::atoi(v);
+      // Strict whole-number parse: atoi would silently turn garbage
+      // into 0 and surface as a confusing bank-size error much later.
+      char* end = nullptr;
+      const long size = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || size < 2 || size > 256) {
+        std::fprintf(stderr, "%s: bad --bank-size value '%s'\n", argv[0], v);
+        usage(argv[0]);
+        return 2;
+      }
+      config.bank_size = static_cast<int>(size);
+    } else if (const char* v = value("--chip-slices=")) {
+      char* end = nullptr;
+      const long slices = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || slices < 4 || slices > 256) {
+        std::fprintf(stderr, "%s: bad --chip-slices value '%s'\n", argv[0],
+                     v);
+        usage(argv[0]);
+        return 2;
+      }
+      config.chip_slices = static_cast<int>(slices);
+    } else if (const char* v = value("--solver=")) {
+      try {
+        config.solver.mode = spice::parse_solver_mode(v);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        usage(argv[0]);
+        return 2;
+      }
     } else if (arg == "--equivalence") {
       with_equivalence = true;
     } else if (const char* v = value("--json=")) {
@@ -144,8 +180,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: --resume requires --journal=PATH\n", argv[0]);
     return 2;
   }
-  if (with_equivalence && config.macro_selection != "bank") {
-    std::fprintf(stderr, "%s: --equivalence requires --macro=bank\n",
+  if (with_equivalence && config.macro_selection != "bank" &&
+      config.macro_selection != "chip") {
+    std::fprintf(stderr,
+                 "%s: --equivalence requires --macro=bank or --macro=chip\n",
                  argv[0]);
     return 2;
   }
@@ -200,11 +238,16 @@ int main(int argc, char** argv) {
               100.0 * noncat.detected());
 
   if (with_equivalence) {
-    std::printf("\ndiffing the flat bank against the per-comparator "
-                "decomposition...\n");
+    std::printf("\ndiffing the flat %s against the per-comparator "
+                "decomposition...\n",
+                config.macro_selection.c_str());
     macro::EquivalenceReport eq;
     try {
-      eq = flashadc::compare_bank_decomposition(config, global.macros.at(0));
+      eq = config.macro_selection == "chip"
+               ? flashadc::compare_chip_decomposition(config,
+                                                      global.macros.at(0))
+               : flashadc::compare_bank_decomposition(config,
+                                                      global.macros.at(0));
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
       return 1;
@@ -225,7 +268,7 @@ int main(int argc, char** argv) {
                 eq.comparable_classes, 100.0 * eq.verdict_agreement,
                 100.0 * eq.detection_agreement,
                 100.0 * eq.signature_agreement, eq.verdict_mismatches);
-    std::printf("  coverage: flat bank %.1f %% vs decomposed view %.1f %%\n",
+    std::printf("  coverage: flat macro %.1f %% vs decomposed view %.1f %%\n",
                 100.0 * eq.composite_coverage,
                 100.0 * eq.decomposed_coverage);
   }

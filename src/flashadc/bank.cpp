@@ -19,11 +19,12 @@ using spice::SourceSpec;
 namespace {
 
 void check_options(const BankOptions& options) {
-  if (options.size < 2 || options.size > 64 ||
+  if (options.size < 2 || options.size > kLevels ||
       kLevels % options.size != 0)
     throw util::InvalidInputError(
-        "bank: size must lie in 2..64 and divide " + std::to_string(kLevels) +
-        ", got " + std::to_string(options.size));
+        "bank: size must lie in 2.." + std::to_string(kLevels) +
+        " and divide " + std::to_string(kLevels) + ", got " +
+        std::to_string(options.size));
 }
 
 /// Shared distribution nets: identical names in the bank and in the
@@ -380,8 +381,9 @@ ComparatorRun extract_bank_run(const spice::TranResult& result,
 
 ComparatorRun run_bank_bench(const Netlist& full_bench,
                              const BankOptions& options, int slice) {
-  return extract_bank_run(spice::transient(full_bench, bank_tran_options()),
-                          options, slice);
+  spice::TranOptions tran = bank_tran_options();
+  tran.solver = options.solver;
+  return extract_bank_run(spice::transient(full_bench, tran), options, slice);
 }
 
 ComparatorRun simulate_bank_slice(const Netlist& macro_netlist,

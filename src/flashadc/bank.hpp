@@ -31,14 +31,21 @@
 #include "macro/equivalence.hpp"
 #include "macro/macro_cell.hpp"
 #include "spice/netlist.hpp"
+#include "spice/solver.hpp"
 
 namespace dot::flashadc {
 
 struct BankOptions {
   /// Comparators in the column. Must divide kLevels (256) and lie in
-  /// 2..64; build_bank_netlist throws util::InvalidInputError otherwise.
+  /// 2..256; build_bank_netlist throws util::InvalidInputError
+  /// otherwise. (The historical 64 cap fell with the Schur solver: the
+  /// paper-scale 256-slice column is the chip macro's backbone.)
   int size = 64;
   ComparatorDft dft;
+  /// Linear-solver selection for every bank transient (run_bank_bench
+  /// and everything layered on it). kSchur engages the block-arrowhead
+  /// path with the slice partition derived from the bench netlist.
+  spice::SolverOptions solver;
 };
 
 /// "s<k>_" -- prefix of slice k's local net names.

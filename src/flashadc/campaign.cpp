@@ -8,6 +8,7 @@
 
 #include "flashadc/bank.hpp"
 #include "flashadc/behavioral.hpp"
+#include "flashadc/chip.hpp"
 #include "flashadc/biasgen.hpp"
 #include "flashadc/clockgen.hpp"
 #include "flashadc/comparator_sim.hpp"
@@ -269,7 +270,7 @@ PrecomputedEvals batch_prepass(
     const FaultModelOptions& model_opt, const CampaignConfig& config,
     CampaignJournal* journal, const spice::TranOptions& tran,
     MakeBench&& make_bench, ExtractRun&& extract_run, ClassifyRuns&& classify,
-    std::size_t& batch_evaluated, spice::PhaseTimes& phase_times) {
+    MacroCampaignResult& result) {
   const ResilienceOptions& res = config.resilience;
   PrecomputedEvals out;
   // Auto chunk: 32 measured fastest on the comparator campaign (the
@@ -277,6 +278,7 @@ PrecomputedEvals batch_prepass(
   // while 64 starts thrashing the per-member working sets).
   const std::size_t chunk = config.batch == 0 ? 32 : config.batch;
   spice::TranOptions options = tran;
+  options.solver = config.solver;
   options.collect_phase_times = config.collect_phase_times;
 
   // Classes this process still has to evaluate: its shard, minus what
@@ -355,7 +357,11 @@ PrecomputedEvals batch_prepass(
             if (outcomes[j].converged) {
               runs[k.grid] =
                   extract_run(*outcomes[j].result, cls.representative);
-              phase_times += outcomes[j].result->stats().phases;
+              const spice::TranStats& stats = outcomes[j].result->stats();
+              result.phase_times += stats.phases;
+              result.block_refreshes += stats.block_refreshes;
+              result.block_reuses += stats.block_reuses;
+              result.lowrank_updates += stats.lowrank_updates;
             }
             // else: default-constructed run, converged == false -- the
             // same record simulate_comparator's catch produces.
@@ -370,7 +376,7 @@ PrecomputedEvals batch_prepass(
         (noncat ? eval.noncat : eval.cat) = std::move(worst);
       }
       out.emplace(c, std::move(eval));
-      ++batch_evaluated;
+      ++result.batch_evaluated;
     }
   }
   return out;
@@ -580,7 +586,7 @@ MacroCampaignResult run_comparator_campaign(const CampaignConfig& config,
         },
         [&](const std::array<ComparatorRun, 4>& runs,
             const fault::CircuitFault&) { return context.evaluate_runs(runs); },
-        result.batch_evaluated, result.phase_times);
+        result);
   }
   evaluate_classes(result.macro_name, cell.netlist, classes, model_opt, config,
                    journal, evaluate, result.catastrophic,
@@ -892,6 +898,7 @@ BankOptions bank_options_of(const CampaignConfig& config) {
   BankOptions opt;
   opt.size = config.bank_size;
   opt.dft = config.dft;
+  opt.solver = config.solver;
   return opt;
 }
 
@@ -999,7 +1006,7 @@ MacroCampaignResult run_bank_campaign(const CampaignConfig& config,
           return extract_bank_run(r, bank_opt,
                                   bank_observed_slice(bank_opt, rep));
         },
-        classify_runs, result.batch_evaluated, result.phase_times);
+        classify_runs, result);
   }
   evaluate_classes(result.macro_name, cell.netlist, classes, model_opt, config,
                    journal, evaluate, result.catastrophic,
@@ -1055,6 +1062,172 @@ macro::EquivalenceReport compare_bank_decomposition(
       // The projection is structurally valid but the comparator-side
       // model rejected it (e.g. hardware mismatch): carry it as
       // unresolved on the projected side rather than aborting the diff.
+      e.projected_unresolved = true;
+    }
+    return e;
+  });
+  return macro::compile_equivalence(std::move(entries));
+}
+
+// ---------------------------------------------------------------------
+// Full chip.
+
+namespace {
+
+ChipOptions chip_options_of(const CampaignConfig& config) {
+  ChipOptions opt;
+  opt.slices = config.chip_slices;
+  opt.dft = config.dft;
+  opt.solver = config.solver;
+  return opt;
+}
+
+}  // namespace
+
+MacroCampaignResult run_chip_campaign(const CampaignConfig& config,
+                                      CampaignJournal* journal) {
+  const ChipOptions chip_opt = chip_options_of(config);
+  const macro::MacroCell cell = build_chip_macro(chip_opt);
+  MacroCampaignResult result;
+  result.macro_name = cell.name;
+  result.cell_area = cell.cell_area();
+  result.instance_count = cell.instance_count;
+  result.defects = sprinkle(cell, config, 7);
+  if (journal != nullptr) journal->record_macro(result);
+
+  // Fault-free reference runs, observed at the middle slice (same
+  // slice-independence argument as the bank: the decision pattern and
+  // clock levels are common to every observation slice).
+  const int mid_slice = chip_opt.slices / 2;
+  const auto nominal = simulate_chip_grid(cell.netlist, chip_opt, mid_slice);
+
+  // Good-signature envelope. Only the two chip supplies are perturbed:
+  // the bias and clock sources of the bank bench are on-chip hardware
+  // here, inside the netlist being measured.
+  const auto layout = comparator_measurement_layout();
+  spice::ProcessSpread spread;
+  const util::Rng master(config.seed ^ 0xc41b);
+  const std::vector<std::string> supplies = {"VDDA", "VDDD"};
+  const auto samples = macro::monte_carlo_samples(
+      config.envelope_samples, master,
+      [&](int, util::Rng& rng) -> std::optional<std::vector<double>> {
+        const auto env = spice::sample_environment(spread, rng);
+        const Netlist lo_bench = spice::perturb(
+            instantiate_chip_bench(cell.netlist, chip_opt, mid_slice,
+                                   kDecisionGrid.front()),
+            spread, env, supplies, rng);
+        const Netlist hi_bench = spice::perturb(
+            instantiate_chip_bench(cell.netlist, chip_opt, mid_slice,
+                                   kDecisionGrid.back()),
+            spread, env, supplies, rng);
+        try {
+          const ComparatorRun lo = run_chip_bench(lo_bench, chip_opt,
+                                                  mid_slice);
+          const ComparatorRun hi = run_chip_bench(hi_bench, chip_opt,
+                                                  mid_slice);
+          return comparator_measurements(lo, hi);
+        } catch (const util::ConvergenceError&) {
+          return std::nullopt;  // drop this Monte-Carlo sample
+        }
+      });
+  // The chip is the whole converter (instance_count 1): the measured
+  // currents already carry the full-chip dilution, no extra scaling.
+  const auto envelope =
+      macro::build_envelope(layout, samples, config.band_policy);
+
+  auto classify_runs = [&](const std::array<ComparatorRun, 4>& runs,
+                           const fault::CircuitFault&) {
+    FaultOutcome outcome;
+    outcome.voltage = classify_comparator(runs, nominal);
+    if (runs.front().converged && runs.back().converged) {
+      outcome.current = envelope.classify(
+          comparator_measurements(runs.front(), runs.back()));
+    } else {
+      outcome.current.ivdd = true;  // no valid operating point
+    }
+    outcome.detection = make_outcome(outcome.voltage, outcome.current);
+    return outcome;
+  };
+
+  auto evaluate = [&](const Netlist& faulty_macro,
+                      const fault::CircuitFault& representative) {
+    const int slice = chip_observed_slice(chip_opt, representative);
+    const auto runs = simulate_chip_grid(faulty_macro, chip_opt, slice);
+    return classify_runs(runs, representative);
+  };
+
+  const auto classes = truncated_classes(result.defects, config);
+  const FaultModelOptions model_opt = model_options(config, "vdda");
+  PrecomputedEvals precomputed;
+  if (config.batch != 1) {
+    precomputed = batch_prepass(
+        result.macro_name, cell.netlist, classes, model_opt, config, journal,
+        chip_tran_options(),
+        [&](const Netlist& faulty, const fault::CircuitFault& rep,
+            std::size_t g) {
+          return instantiate_chip_bench(faulty, chip_opt,
+                                        chip_observed_slice(chip_opt, rep),
+                                        kDecisionGrid[g]);
+        },
+        [&](const spice::TranResult& r, const fault::CircuitFault& rep) {
+          return extract_chip_run(r, chip_opt,
+                                  chip_observed_slice(chip_opt, rep));
+        },
+        classify_runs, result);
+  }
+  evaluate_classes(result.macro_name, cell.netlist, classes, model_opt, config,
+                   journal, evaluate, result.catastrophic,
+                   result.noncatastrophic,
+                   config.batch != 1 ? &precomputed : nullptr);
+  return result;
+}
+
+macro::EquivalenceReport compare_chip_decomposition(
+    const CampaignConfig& config, const MacroCampaignResult& chip) {
+  const ChipOptions chip_opt = chip_options_of(config);
+  const macro::SliceMapper mapper = chip_slice_mapper(chip_opt);
+  const ComparatorEvalContext context = make_comparator_eval_context(config);
+  const FaultModelOptions model_opt = model_options(config, "vdda");
+
+  // Identical projection/re-evaluation loop to the bank diff; the
+  // difference is entirely in what project_fault can map. Comparator
+  // column hardware projects; decoder / clockgen / biasgen hardware,
+  // the digital nets and every interface-straddling bridge stay
+  // unmappable and land in their own equivalence bucket.
+  const auto& outcomes = chip.catastrophic;
+  auto entries = util::parallel_map(outcomes.size(), [&](std::size_t i) {
+    const FaultOutcome& o = outcomes[i];
+    macro::EquivalenceEntry e;
+    e.index = i;
+    e.weight = static_cast<double>(o.cls.count);
+    e.composite_key = o.cls.representative.key();
+    e.composite_voltage = o.voltage;
+    e.composite_detection = o.detection;
+    e.composite_unresolved = o.status == EvalStatus::kUnresolved;
+    const macro::ProjectedFault projected =
+        macro::project_fault(o.cls.representative, mapper);
+    e.locality = projected.locality;
+    e.slice = projected.slice;
+    if (!projected.fault) return e;
+    e.projected_key = projected.fault->key();
+    try {
+      std::optional<FaultOutcome> worst;
+      const int variants = fault::model_variant_count(*projected.fault);
+      for (int variant = 0; variant < variants; ++variant) {
+        Netlist faulty = fault::apply_fault(
+            context.cell.netlist, *projected.fault, model_opt, variant, false);
+        FaultOutcome outcome = context.evaluate(faulty);
+        if (!worst ||
+            detectability_score(outcome) < detectability_score(*worst))
+          worst = std::move(outcome);
+      }
+      if (worst) {
+        e.projected_voltage = worst->voltage;
+        e.projected_detection = worst->detection;
+      } else {
+        e.projected_unresolved = true;
+      }
+    } catch (const std::exception&) {
       e.projected_unresolved = true;
     }
     return e;
@@ -1124,6 +1297,8 @@ GlobalResult run_campaign(const CampaignConfig& config) {
     runner = run_decoder_campaign;
   else if (config.macro_selection == "bank")
     runner = run_bank_campaign;
+  else if (config.macro_selection == "chip")
+    runner = run_chip_campaign;
   else
     throw util::InvalidInputError("unknown macro selection: " +
                                   config.macro_selection);

@@ -93,11 +93,15 @@ struct CampaignConfig {
   bool collect_phase_times = false;
   /// Which macro campaign run_campaign drives: "all" (the five-macro
   /// decomposed flow) or a single macro name -- comparator / ladder /
-  /// biasgen / clockgen / decoder / bank.
+  /// biasgen / clockgen / decoder / bank / chip.
   std::string macro_selection = "all";
-  /// Column height for the flat comparator-bank macro (2..64, must
+  /// Column height for the flat comparator-bank macro (2..256, must
   /// divide 256). Only meaningful with macro_selection == "bank".
   int bank_size = 64;
+  /// Comparator count for the full-chip macro (4..256, must divide 256
+  /// and be a multiple of 4 so the thermometer decoder tiles). Only
+  /// meaningful with macro_selection == "chip".
+  int chip_slices = 256;
 };
 
 /// How a fault-class evaluation resolved.
@@ -136,6 +140,23 @@ struct MacroCampaignResult {
   /// Solver wall-time breakdown summed over the batched evaluations;
   /// all zero unless CampaignConfig::collect_phase_times was set.
   spice::PhaseTimes phase_times;
+  /// Schur block-factor accounting summed over the batched
+  /// evaluations (zero on the flat solver paths): full block
+  /// refactorizations, bit-identical block reuses, exact low-rank
+  /// updates.
+  std::size_t block_refreshes = 0;
+  std::size_t block_reuses = 0;
+  std::size_t lowrank_updates = 0;
+
+  /// Fraction of per-block factor decisions resolved without a full
+  /// block refactorization.
+  double block_reuse_rate() const {
+    const std::size_t total = block_refreshes + block_reuses + lowrank_updates;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(block_reuses + lowrank_updates) /
+                     static_cast<double>(total);
+  }
 
   /// Weighted outcomes for the global compilation.
   macro::MacroContribution contribution(bool non_catastrophic) const;
@@ -172,6 +193,14 @@ MacroCampaignResult run_decoder_campaign(const CampaignConfig& config,
 /// "bank").
 MacroCampaignResult run_bank_campaign(const CampaignConfig& config,
                                       CampaignJournal* journal = nullptr);
+/// The full-chip campaign (config.chip_slices comparators plus the
+/// bias generator, clock generator and thermometer decoder as ONE flat
+/// netlist): the first coverage number with no decomposition
+/// assumptions at all. Same pipeline, same resilience semantics
+/// (macro name "chip"). Sized for the Schur solver -- run it with
+/// config.solver.mode == kSchur unless you enjoy waiting.
+MacroCampaignResult run_chip_campaign(const CampaignConfig& config,
+                                      CampaignJournal* journal = nullptr);
 
 /// Whole-circuit results (paper figures 4 and 5).
 struct GlobalResult {
@@ -201,5 +230,14 @@ GlobalResult compile_global(std::vector<MacroCampaignResult> macros);
 /// weight kept in every coverage denominator.
 macro::EquivalenceReport compare_bank_decomposition(
     const CampaignConfig& config, const MacroCampaignResult& bank);
+
+/// Diffs a finished chip campaign against the per-comparator
+/// decomposition, exactly like compare_bank_decomposition -- except
+/// here the unmappable bucket additionally holds every support-macro
+/// class (decoder / clockgen / biasgen hardware and the cross-macro
+/// nets), i.e. the interface-straddling weight the paper's figure 1
+/// flow only ever models indirectly.
+macro::EquivalenceReport compare_chip_decomposition(
+    const CampaignConfig& config, const MacroCampaignResult& chip);
 
 }  // namespace dot::flashadc

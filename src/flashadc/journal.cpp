@@ -48,7 +48,10 @@ MetaInfo meta_of(const CampaignConfig& config) {
   m.shard_index = config.resilience.shard_index;
   m.solver_mode = spice::solver_mode_name(config.solver.mode);
   m.campaign = config.macro_selection.empty() ? "all" : config.macro_selection;
-  m.bank_size = config.bank_size;
+  // The one column-height field does double duty: it carries the chip
+  // slice count for chip campaigns (schema unchanged; the campaign
+  // field disambiguates which knob it mirrors).
+  m.bank_size = m.campaign == "chip" ? config.chip_slices : config.bank_size;
   return m;
 }
 
@@ -123,6 +126,8 @@ std::string meta_mismatch(const MetaInfo& a, const MetaInfo& b,
   if (a.solver_mode != b.solver_mode) return "solver_mode";
   if (a.campaign != b.campaign) return "campaign";
   if (a.campaign == "bank" && a.bank_size != b.bank_size) return "bank_size";
+  if (a.campaign == "chip" && a.bank_size != b.bank_size)
+    return "chip_slices";
   return {};
 }
 
@@ -440,7 +445,8 @@ GlobalResult merge_shard_journals(const std::vector<std::string>& paths) {
   // Canonical macro order (journal record order is nondeterministic);
   // unknown macro names -- future campaigns -- follow alphabetically.
   static const char* const kCanonicalOrder[] = {
-      "comparator", "ladder", "biasgen", "clockgen", "decoder", "bank"};
+      "comparator", "ladder", "biasgen", "clockgen", "decoder", "bank",
+      "chip"};
   std::vector<std::string> order;
   for (const char* name : kCanonicalOrder)
     if (macro_meta.count(name) != 0) order.emplace_back(name);

@@ -11,6 +11,7 @@
 #include "spice/dc.hpp"
 #include "spice/devices.hpp"
 #include "spice/mna.hpp"
+#include "spice/partition.hpp"
 #include "spice/resilience.hpp"
 #include "spice/solver.hpp"
 #include "util/error.hpp"
@@ -132,6 +133,11 @@ void BatchEngine::init_member(Member& m, const BatchJob& job) {
   if (m.options.solver.mode == SolverMode::kAuto)
     m.options.solver.mode = SolverMode::kSparse;
   m.ctx = SolverContext(m.options.solver);
+  // Each member carries its own fault netlist, so each derives its own
+  // slice partition (a bridge fault's nets demote to the interface of
+  // that member only).
+  if (m.options.solver.mode == SolverMode::kSchur)
+    m.ctx.set_partition(make_slice_partition(*job.netlist, m.map));
   if (m.options.collect_phase_times) m.ctx.set_phase_times(&m.phases);
 
   // SoA lanes: one entry per MOSFET occurrence, in device order (the
@@ -364,9 +370,14 @@ void BatchEngine::finalize(Member& m, BatchJobOutcome& out) {
   stats.unknowns = m.map.size();
   stats.newton_iterations =
       m.newton_iterations + (m.stepper ? m.stepper->newton_iterations() : 0);
+  stats.gshunt_rescues = m.stepper ? m.stepper->gshunt_rescues() : 0;
   stats.factorizations = m.ctx.factorizations();
   stats.symbolic_analyses = m.ctx.symbolic_analyses();
   stats.sparse = m.ctx.sparse_active();
+  stats.schur = m.ctx.schur_active();
+  stats.block_refreshes = m.ctx.schur_stats().block_refreshes;
+  stats.block_reuses = m.ctx.schur_stats().block_reuses;
+  stats.lowrank_updates = m.ctx.schur_stats().lowrank_updates;
   stats.phases = m.phases;
   m.result->set_stats(stats);
   out.result = std::move(m.result);

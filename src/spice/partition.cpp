@@ -1,0 +1,125 @@
+#include "spice/partition.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+namespace dot::spice {
+
+namespace {
+
+/// Block key of a net name under the slice naming conventions; empty
+/// for interface nets. "s12_q" -> "s12", "dec3_n1" -> "dec3",
+/// "ckg_phi" -> "ckg", "bg_mid" -> "bg"; ladder/input taps ("ref12",
+/// "in12"), trunks and bench nets match nothing and stay shared.
+std::string block_key_of(const std::string& name) {
+  const auto indexed_prefix = [&](std::size_t start) -> std::size_t {
+    std::size_t i = start;
+    while (i < name.size() && std::isdigit(static_cast<unsigned char>(name[i])))
+      ++i;
+    if (i == start || i >= name.size() || name[i] != '_')
+      return std::string::npos;
+    return i;
+  };
+  if (!name.empty() && name[0] == 's') {
+    const std::size_t u = indexed_prefix(1);
+    if (u != std::string::npos) return name.substr(0, u);
+  }
+  if (name.compare(0, 3, "dec") == 0) {
+    const std::size_t u = indexed_prefix(3);
+    if (u != std::string::npos) return name.substr(0, u);
+  }
+  if (name.compare(0, 4, "ckg_") == 0) return "ckg";
+  if (name.compare(0, 3, "bg_") == 0) return "bg";
+  return {};
+}
+
+}  // namespace
+
+std::shared_ptr<const numeric::BlockPartition> make_slice_partition(
+    const Netlist& netlist, const MnaMap& map) {
+  auto part = std::make_shared<numeric::BlockPartition>();
+  part->n = map.size();
+  part->block_of.assign(map.size(), -1);
+
+  // Pass 1: label node unknowns straight from the net names. Ids are
+  // assigned in node order, so the labeling is deterministic.
+  std::unordered_map<std::string, std::int32_t> key_ids;
+  for (std::size_t node = 0; node < netlist.node_count(); ++node) {
+    const int u = map.node_index(static_cast<NodeId>(node));
+    if (u < 0) continue;  // Ground.
+    const std::string key = block_key_of(netlist.node_name(node));
+    if (key.empty()) continue;
+    const auto it =
+        key_ids.emplace(key, static_cast<std::int32_t>(key_ids.size())).first;
+    part->block_of[u] = it->second;
+  }
+
+  // Pass 2: demote nets so no device spans two blocks. A bridge fault
+  // between slices, or the decoder's gate taps into s*_q, keeps its
+  // first block and pushes the foreign nets onto the interface.
+  // Demotion only moves nets to the interface -- it can never create a
+  // new block-block coupling -- so one pass over the devices settles it.
+  for (const Device& device : netlist.devices()) {
+    const auto nodes = Netlist::terminal_nodes(device);
+    std::int32_t first = -1;
+    bool multi = false;
+    for (const NodeId nd : nodes) {
+      const int u = map.node_index(nd);
+      if (u < 0) continue;
+      const std::int32_t b = part->block_of[u];
+      if (b < 0) continue;
+      if (first < 0)
+        first = b;
+      else if (b != first)
+        multi = true;
+    }
+    if (!multi) continue;
+    for (const NodeId nd : nodes) {
+      const int u = map.node_index(nd);
+      if (u < 0) continue;
+      if (part->block_of[u] >= 0 && part->block_of[u] != first)
+        part->block_of[u] = -1;
+    }
+  }
+
+  // Pass 3: branch currents (voltage sources, VCVS, inductors) join
+  // the single block their terminals live in, if any. After pass 2 at
+  // most one block appears among a device's terminals, and a branch
+  // only ever couples to its own terminals, so this stays arrowhead.
+  std::size_t branch_seq = 0;
+  for (const Device& device : netlist.devices()) {
+    const bool has_branch = std::holds_alternative<VoltageSource>(device) ||
+                            std::holds_alternative<Vcvs>(device) ||
+                            std::holds_alternative<Inductor>(device);
+    if (!has_branch) continue;
+    const std::size_t bu = map.branch_at(branch_seq++);
+    std::int32_t block = -1;
+    for (const NodeId nd : Netlist::terminal_nodes(device)) {
+      const int u = map.node_index(nd);
+      if (u < 0) continue;
+      if (part->block_of[u] >= 0) {
+        block = part->block_of[u];
+        break;
+      }
+    }
+    part->block_of[bu] = block;
+  }
+
+  // Compact away blocks that demotion emptied; ids stay in first-
+  // occurrence order, keeping the partition deterministic.
+  std::vector<std::int32_t> remap(key_ids.size(), -1);
+  std::int32_t next = 0;
+  for (std::int32_t& b : part->block_of) {
+    if (b < 0) continue;
+    if (remap[b] < 0) remap[b] = next++;
+    b = remap[b];
+  }
+  part->block_count = static_cast<std::size_t>(next);
+  return part;
+}
+
+}  // namespace dot::spice

@@ -1,0 +1,35 @@
+// Builds the block partition the Schur solver consumes (numeric/schur)
+// from the slice naming conventions of the procedural macros.
+//
+// The bank and chip generators prefix every slice-local net: "s12_x"
+// is slice 12 of the comparator column, "dec3_n1" is decoder slice 3,
+// "ckg_*" / "bg_*" are the clock and bias generators. Everything else
+// -- ladder taps (ref12), input taps (in12), supply/clock/bias trunks,
+// bench sources -- is the shared interface. A device whose terminals
+// span two blocks (an inter-slice bridge fault, the decoder's gate
+// taps into s*_q) would break the arrowhead, so its foreign nets are
+// demoted to the interface; demotion only ever shrinks blocks, so a
+// single pass over the device list suffices.
+//
+// The builder runs per netlist: fault netlists get their own partition,
+// so injected bridges / split nets land in the right region without any
+// special-casing (an unrecognized generated net name simply becomes
+// interface, which is always valid).
+#pragma once
+
+#include <memory>
+
+#include "numeric/schur.hpp"
+#include "spice/mna.hpp"
+#include "spice/netlist.hpp"
+
+namespace dot::spice {
+
+/// Derives the per-slice block partition of the MNA unknowns of
+/// `netlist` under `map`. Returns a trivial partition (block_count < 2,
+/// BlockPartition::trivial()) when the netlist exposes no repeated-
+/// slice structure worth exploiting; callers then keep the flat solver.
+std::shared_ptr<const numeric::BlockPartition> make_slice_partition(
+    const Netlist& netlist, const MnaMap& map);
+
+}  // namespace dot::spice

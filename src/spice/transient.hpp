@@ -37,9 +37,17 @@ struct TranOptions {
 struct TranStats {
   std::size_t unknowns = 0;           ///< MNA system size.
   std::size_t newton_iterations = 0;  ///< Across all step attempts.
+  std::size_t gshunt_rescues = 0;     ///< Steps saved by the gshunt ladder.
   std::size_t factorizations = 0;     ///< Numeric factor() calls.
   std::size_t symbolic_analyses = 0;  ///< From-scratch sparse analyses.
   bool sparse = false;  ///< Sparse path active on the last factor.
+  bool schur = false;   ///< Block-arrowhead path active on the last factor.
+  /// Schur block-factor accounting (zero on the flat paths): full block
+  /// refactorizations, bit-identical block reuses, and exact low-rank
+  /// (SMW) updates across all factor() calls of the run.
+  std::size_t block_refreshes = 0;
+  std::size_t block_reuses = 0;
+  std::size_t lowrank_updates = 0;
   /// Wall-time breakdown by phase (device eval / assembly / factor /
   /// solve); all zero unless TranOptions::collect_phase_times was set.
   PhaseTimes phases;
@@ -50,6 +58,16 @@ struct TranStats {
                ? 0.0
                : 1.0 - static_cast<double>(factorizations) /
                            static_cast<double>(newton_iterations);
+  }
+
+  /// Fraction of per-block factor decisions resolved without a full
+  /// block refactorization (bit-identical reuse or low-rank update).
+  double block_reuse_rate() const {
+    const std::size_t total = block_refreshes + block_reuses + lowrank_updates;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(block_reuses + lowrank_updates) /
+                     static_cast<double>(total);
   }
 };
 
@@ -122,6 +140,7 @@ class TranStepper {
   double time() const { return t_; }
   const std::vector<double>& state() const { return x_; }
   std::size_t newton_iterations() const { return newton_iterations_; }
+  std::size_t gshunt_rescues() const { return gshunt_rescues_; }
 
   /// Stamp template used for every assembly: the batched path sets its
   /// hook fields (mos_companions / prepare_assembly / stream_tag) here.
@@ -130,6 +149,15 @@ class TranStepper {
   StampOptions& stamp_overrides() { return stamp_; }
 
  private:
+  /// Last-resort rescue once the step cascade has halved dt below
+  /// dt_min: re-attempt a dt_min step under a gshunt continuation
+  /// ladder (heavy node-to-ground shunts relaxed rung by rung, exactly
+  /// the DC gmin ladder). The final rung runs at the nominal gshunt, so
+  /// an accepted point solves the TRUE system -- the ladder only
+  /// supplies warm starts. Returns false (leaving the state untouched)
+  /// when even the ladder fails.
+  bool gshunt_rescue();
+
   const Netlist& netlist_;
   const MnaMap& map_;
   TranOptions options_;
@@ -140,6 +168,7 @@ class TranStepper {
   double t_ = 0.0;
   double dt_ = 0.0;
   std::size_t newton_iterations_ = 0;
+  std::size_t gshunt_rescues_ = 0;
 };
 
 /// Runs the transient simulation. Throws util::ConvergenceError when a

@@ -33,6 +33,7 @@ using dot::util::JsonValue;
 using dot::util::JsonWriter;
 
 const char* kGoldenPath = DOT_GOLDEN_DIR "/comparator_signatures.json";
+const char* kChipGoldenPath = DOT_GOLDEN_DIR "/chip_signatures.json";
 
 /// The pinned campaign behind the corpus. Small enough for the test
 /// budget; the distributions are still spread over every signature
@@ -44,6 +45,23 @@ dot::flashadc::CampaignConfig golden_config() {
   config.max_classes = 16;
   config.seed = 19950307;
   config.with_noncatastrophic = true;
+  return config;
+}
+
+/// The pinned full-chip campaign: the smallest legal chip (8 slices
+/// plus biasgen / clockgen / decoder) on the Schur path, few classes --
+/// enough to pin the chip macro's composition, fault projection and
+/// block-solver verdicts without a minutes-long corpus run.
+dot::flashadc::CampaignConfig chip_golden_config() {
+  dot::flashadc::CampaignConfig config;
+  config.macro_selection = "chip";
+  config.chip_slices = 8;
+  config.solver.mode = dot::spice::SolverMode::kSchur;
+  config.defect_count = 20000;
+  config.envelope_samples = 2;
+  config.max_classes = 6;
+  config.seed = 19950307;
+  config.with_noncatastrophic = false;
   return config;
 }
 
@@ -83,14 +101,15 @@ void write_population(JsonWriter& w, const MacroCampaignResult& result,
   w.end_object();
 }
 
-std::string render_corpus(const MacroCampaignResult& result) {
-  const auto config = golden_config();
+std::string render_corpus(const MacroCampaignResult& result,
+                          const dot::flashadc::CampaignConfig& config,
+                          const char* macro_name) {
   JsonWriter w;
   w.begin_object();
   w.key("schema");
   w.value("dot-golden-v1");
   w.key("macro");
-  w.value("comparator");
+  w.value(macro_name);
   w.key("config");
   w.begin_object();
   w.key("defects");
@@ -101,11 +120,19 @@ std::string render_corpus(const MacroCampaignResult& result) {
   w.value(config.max_classes);
   w.key("seed");
   w.value(static_cast<std::size_t>(config.seed));
+  if (config.macro_selection == "chip") {
+    w.key("chip_slices");
+    w.value(static_cast<std::size_t>(config.chip_slices));
+    w.key("solver");
+    w.value(dot::spice::solver_mode_name(config.solver.mode));
+  }
   w.end_object();
   w.key("catastrophic");
   write_population(w, result, false);
-  w.key("noncatastrophic");
-  write_population(w, result, true);
+  if (config.with_noncatastrophic) {
+    w.key("noncatastrophic");
+    write_population(w, result, true);
+  }
   w.end_object();
   return w.str();
 }
@@ -143,7 +170,7 @@ TEST(GoldenSignatureTest, ComparatorDistributionsMatchCorpus) {
   if (std::getenv("DOT_REGEN_GOLDEN") != nullptr) {
     std::ofstream out(kGoldenPath);
     ASSERT_TRUE(out) << "cannot write " << kGoldenPath;
-    out << render_corpus(result) << "\n";
+    out << render_corpus(result, golden_config(), "comparator") << "\n";
     ASSERT_TRUE(out.good());
     GTEST_SKIP() << "regenerated " << kGoldenPath << "; review the diff";
   }
@@ -172,6 +199,46 @@ TEST(GoldenSignatureTest, ComparatorDistributionsMatchCorpus) {
                    "catastrophic");
   check_population(golden.get("noncatastrophic"), result, true,
                    "noncatastrophic");
+}
+
+TEST(GoldenSignatureTest, ChipDistributionsMatchCorpus) {
+  const auto config = chip_golden_config();
+  const auto global = dot::flashadc::run_campaign(config);
+  ASSERT_EQ(global.macros.size(), 1u);
+  const MacroCampaignResult& result = global.macros.front();
+
+  if (std::getenv("DOT_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(kChipGoldenPath);
+    ASSERT_TRUE(out) << "cannot write " << kChipGoldenPath;
+    out << render_corpus(result, config, "chip") << "\n";
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "regenerated " << kChipGoldenPath
+                 << "; review the diff";
+  }
+
+  std::ifstream in(kChipGoldenPath);
+  ASSERT_TRUE(in) << "missing corpus " << kChipGoldenPath
+                  << " -- regenerate with DOT_REGEN_GOLDEN=1";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue golden = dot::util::parse_json(buffer.str());
+
+  ASSERT_EQ(golden.get("schema").as_string(), "dot-golden-v1");
+  ASSERT_EQ(golden.get("macro").as_string(), "chip");
+  const auto& gc = golden.get("config");
+  ASSERT_EQ(gc.get("defects").as_size(), config.defect_count);
+  ASSERT_EQ(gc.get("envelope_samples").as_size(),
+            static_cast<std::size_t>(config.envelope_samples));
+  ASSERT_EQ(gc.get("max_classes").as_size(), config.max_classes);
+  ASSERT_EQ(gc.get("seed").as_size(),
+            static_cast<std::size_t>(config.seed));
+  ASSERT_EQ(gc.get("chip_slices").as_size(),
+            static_cast<std::size_t>(config.chip_slices));
+  ASSERT_EQ(gc.get("solver").as_string(),
+            dot::spice::solver_mode_name(config.solver.mode));
+
+  check_population(golden.get("catastrophic"), result, false,
+                   "catastrophic");
 }
 
 }  // namespace

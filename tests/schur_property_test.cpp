@@ -1,0 +1,193 @@
+// Schur-vs-sparse differential properties on real faulted banks: the
+// two solver arms run the same Newton iteration against the same
+// assembled matrices (the schur path is exact algebra, never a stale
+// preconditioner), so decisions must be bit-identical and per-node
+// voltages must agree to Newton's vtol -- the rounding headroom two
+// different factorization orders are entitled to. Faults cover the
+// cases the partition builder has to survive: fault-free, a bridge
+// straddling two slice blocks (demoted net), and an adjacent-tap short
+// living entirely on the interface.
+//
+// Also pins the equivalence-bucket contract of the ISSUE: an
+// inter-slice bridge class projects to FaultLocality::kInterSlice --
+// its own bucket, never mixed into the slice-local or shared weight.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "flashadc/bank.hpp"
+#include "flashadc/chip.hpp"
+#include "flashadc/comparator_sim.hpp"
+#include "flashadc/tech.hpp"
+#include "macro/equivalence.hpp"
+#include "spice/transient.hpp"
+#include "util/error.hpp"
+
+namespace dot {
+namespace {
+
+using flashadc::BankOptions;
+using flashadc::ComparatorRun;
+using spice::Netlist;
+
+/// Voltage agreement bound between the two arms: Newton stops at
+/// vtol = 1e-6 on |dV|, so two exact linear solvers may land up to
+/// O(vtol) apart per accepted iterate. Saturated digital nodes and the
+/// clock trunks sit far inside that bound.
+constexpr double kVoltTol = 5e-6;
+/// Currents are slope-limited through the same iterates.
+constexpr double kAmpTol = 1e-6;
+
+struct ArmResult {
+  ComparatorRun run;
+  bool schur_active = false;
+  std::size_t block_refreshes = 0;
+};
+
+ArmResult run_arm(const Netlist& macro_netlist, const BankOptions& opt,
+                  int slice, double delta_v, spice::SolverMode mode) {
+  const Netlist bench =
+      flashadc::instantiate_bank_bench(macro_netlist, opt, slice, delta_v);
+  spice::TranOptions tran = flashadc::bank_tran_options();
+  tran.solver.mode = mode;
+  const spice::TranResult result = spice::transient(bench, tran);
+  ArmResult arm;
+  arm.run = flashadc::extract_bank_run(result, opt, slice);
+  arm.schur_active = result.stats().schur;
+  arm.block_refreshes = result.stats().block_refreshes;
+  return arm;
+}
+
+void expect_runs_agree(const ComparatorRun& a, const ComparatorRun& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.converged, b.converged) << label;
+  if (!a.converged) return;
+  // The verdict -- the bit the campaign classifies on -- must be
+  // bit-identical between the arms.
+  EXPECT_EQ(a.decision, b.decision) << label;
+  for (std::size_t i = 0; i < a.clock_levels.size(); ++i)
+    EXPECT_NEAR(a.clock_levels[i], b.clock_levels[i], kVoltTol)
+        << label << " clock level " << i;
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_NEAR(a.ivdd[p], b.ivdd[p], kAmpTol) << label << " ivdd " << p;
+    EXPECT_NEAR(a.iddq[p], b.iddq[p], kAmpTol) << label << " iddq " << p;
+    EXPECT_NEAR(a.iin[p], b.iin[p], kAmpTol) << label << " iin " << p;
+    EXPECT_NEAR(a.iref[p], b.iref[p], kAmpTol) << label << " iref " << p;
+  }
+}
+
+/// One faulted-bank comparison at one input level.
+void compare_arms(const Netlist& macro_netlist, const BankOptions& opt,
+                  int slice, double delta_v, const std::string& label) {
+  const ArmResult sparse =
+      run_arm(macro_netlist, opt, slice, delta_v, spice::SolverMode::kSparse);
+  const ArmResult schur =
+      run_arm(macro_netlist, opt, slice, delta_v, spice::SolverMode::kSchur);
+  EXPECT_FALSE(sparse.schur_active) << label;
+  // The schur arm must actually be on the block path -- a silent flat
+  // fallback would make this test vacuous. (Bit-identical block reuse
+  // does not occur inside one scalar transient -- every Newton iterate
+  // perturbs the MOS stamps -- so only refresh activity is asserted;
+  // the reuse/SMW paths are pinned by the schur unit tests.)
+  EXPECT_TRUE(schur.schur_active) << label;
+  EXPECT_GT(schur.block_refreshes, 0u) << label;
+  expect_runs_agree(sparse.run, schur.run, label);
+}
+
+TEST(SchurDifferential, FaultFreeBanksMatchSparse) {
+  for (const int size : {2, 4, 8}) {
+    BankOptions opt;
+    opt.size = size;
+    const Netlist macro_netlist = flashadc::build_bank_netlist(opt);
+    compare_arms(macro_netlist, opt, size / 2, flashadc::kDecisionGrid.front(),
+                 "fault-free size " + std::to_string(size));
+    compare_arms(macro_netlist, opt, size / 2, flashadc::kDecisionGrid.back(),
+                 "fault-free size " + std::to_string(size) + " hi");
+  }
+}
+
+TEST(SchurDifferential, InterSliceBridgeMatchesSparse) {
+  for (const int size : {2, 4, 8}) {
+    BankOptions opt;
+    opt.size = size;
+    Netlist macro_netlist = flashadc::build_bank_netlist(opt);
+    // A latch-output bridge between adjacent slices: the bridge device
+    // spans two blocks, so the partition builder demotes one end to
+    // the interface -- the arrowhead shape survives the fault.
+    macro_netlist.add_resistor("RBRIDGE", "s0_outp", "s1_outp", 2e3);
+    compare_arms(macro_netlist, opt, 0, flashadc::kDecisionGrid.front(),
+                 "inter-slice bridge size " + std::to_string(size));
+  }
+}
+
+TEST(SchurDifferential, AdjacentTapShortMatchesSparse) {
+  BankOptions opt;
+  opt.size = 4;
+  Netlist macro_netlist = flashadc::build_bank_netlist(opt);
+  // The paper's genuine inter-slice reference fault: both ends live on
+  // the interface (tap string), no block is touched structurally.
+  macro_netlist.add_resistor("RTAPSHORT", "ref1", "ref2", 10.0);
+  compare_arms(macro_netlist, opt, 1, flashadc::kDecisionGrid.front(),
+               "adjacent-tap short");
+  compare_arms(macro_netlist, opt, 2, flashadc::kDecisionGrid.back(),
+               "adjacent-tap short hi");
+}
+
+TEST(SchurDifferential, ChipMacroMatchesSparse) {
+  // The full chip at its smallest legal height: comparator column plus
+  // biasgen / clockgen / decoder blocks, both arms, one input level.
+  flashadc::ChipOptions opt;
+  opt.slices = 8;
+  const Netlist macro_netlist = flashadc::build_chip_netlist(opt);
+  const int slice = 4;
+  const double delta = flashadc::kDecisionGrid.front();
+
+  auto run_chip = [&](spice::SolverMode mode) {
+    const Netlist bench =
+        flashadc::instantiate_chip_bench(macro_netlist, opt, slice, delta);
+    spice::TranOptions tran = flashadc::chip_tran_options();
+    tran.solver.mode = mode;
+    const spice::TranResult result = spice::transient(bench, tran);
+    ArmResult arm;
+    arm.run = flashadc::extract_chip_run(result, opt, slice);
+    arm.schur_active = result.stats().schur;
+    arm.block_refreshes = result.stats().block_refreshes;
+    return arm;
+  };
+  const ArmResult sparse = run_chip(spice::SolverMode::kSparse);
+  const ArmResult schur = run_chip(spice::SolverMode::kSchur);
+  // The clockgen block demotes itself to the interface when its local
+  // LU goes singular (cross-coupled feedback through shared nets); the
+  // slice and decoder blocks must keep the schur path alive.
+  EXPECT_TRUE(schur.schur_active);
+  EXPECT_GT(schur.block_refreshes, 0u);
+  expect_runs_agree(sparse.run, schur.run, "chip-8");
+}
+
+TEST(SchurDifferential, InterSliceClassesKeepTheirOwnBucket) {
+  BankOptions opt;
+  opt.size = 8;
+  const macro::SliceMapper mapper = flashadc::bank_slice_mapper(opt);
+
+  fault::CircuitFault bridge;
+  bridge.kind = fault::FaultKind::kShort;
+  bridge.nets = {"s0_outp", "s1_outp"};
+  const auto projected = macro::project_fault(bridge, mapper);
+  EXPECT_EQ(projected.locality, macro::FaultLocality::kInterSlice);
+  EXPECT_FALSE(projected.fault.has_value());
+
+  // Chip support-macro hardware: unmappable, also its own bucket.
+  flashadc::ChipOptions chip_opt;
+  chip_opt.slices = 8;
+  fault::CircuitFault dec_bridge;
+  dec_bridge.kind = fault::FaultKind::kShort;
+  dec_bridge.nets = {"dec0_r0", "dec0_r1"};
+  const auto dec_projected = macro::project_fault(
+      dec_bridge, flashadc::chip_slice_mapper(chip_opt));
+  EXPECT_EQ(dec_projected.locality, macro::FaultLocality::kUnmappable);
+}
+
+}  // namespace
+}  // namespace dot

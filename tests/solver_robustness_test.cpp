@@ -5,10 +5,12 @@
 
 #include <cmath>
 
+#include "flashadc/chip.hpp"
 #include "flashadc/comparator.hpp"
 #include "flashadc/comparator_sim.hpp"
 #include "fault/model.hpp"
 #include "spice/dc.hpp"
+#include "spice/montecarlo.hpp"
 #include "spice/transient.hpp"
 #include "util/error.hpp"
 
@@ -133,6 +135,33 @@ TEST(Robustness, DcThrowsOnConflictingSources) {
   n.add_resistor("RL", "a", "0", 1e3);
   const MnaMap map(n);
   EXPECT_THROW(dc_operating_point(n, map), util::ConvergenceError);
+}
+
+TEST(Robustness, GshuntLadderRescuesColumnSizedZeroStateStep) {
+  // Regression for the full-chip envelope: this exact Monte-Carlo
+  // sample of the perturbed 64-slice chip bench (seed 1995 ^ 0xc41b,
+  // split index 1 -- vt_shift about -30 mV at 59 C) fails the t = 0
+  // zero-state Newton step at EVERY dt down to dt_min, because the
+  // failure is the operating region, not the step size. The transient
+  // must fall back to the gshunt continuation ladder and complete; the
+  // accepted trajectory is exact (the ladder's final rung runs the
+  // unmodified system). Before the ladder existed this run threw
+  // ConvergenceError and column-scale envelopes lost every sample.
+  flashadc::ChipOptions chip_opt;
+  chip_opt.slices = 64;
+  const auto cell = flashadc::build_chip_macro(chip_opt);
+  const int mid_slice = chip_opt.slices / 2;
+  ProcessSpread spread;
+  const util::Rng master(1995ull ^ 0xc41b);
+  util::Rng rng = master.split(1);
+  const auto env = sample_environment(spread, rng);
+  const Netlist bench =
+      perturb(flashadc::instantiate_chip_bench(
+                  cell.netlist, chip_opt, mid_slice,
+                  flashadc::kDecisionGrid.front()),
+              spread, env, {"VDDA", "VDDD"}, rng);
+  const auto run = flashadc::run_chip_bench(bench, chip_opt, mid_slice);
+  EXPECT_TRUE(run.converged);
 }
 
 }  // namespace

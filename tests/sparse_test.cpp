@@ -17,6 +17,7 @@
 #include "spice/mna.hpp"
 #include "spice/netlist.hpp"
 #include "spice/solver.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace dot {
@@ -401,9 +402,12 @@ TEST(SolverMode, ParseAndName) {
   EXPECT_EQ(spice::parse_solver_mode("auto"), spice::SolverMode::kAuto);
   EXPECT_EQ(spice::parse_solver_mode("dense"), spice::SolverMode::kDense);
   EXPECT_EQ(spice::parse_solver_mode("sparse"), spice::SolverMode::kSparse);
+  EXPECT_EQ(spice::parse_solver_mode("schur"), spice::SolverMode::kSchur);
   EXPECT_STREQ(spice::solver_mode_name(spice::SolverMode::kAuto), "auto");
   EXPECT_STREQ(spice::solver_mode_name(spice::SolverMode::kDense), "dense");
   EXPECT_STREQ(spice::solver_mode_name(spice::SolverMode::kSparse), "sparse");
+  EXPECT_STREQ(spice::solver_mode_name(spice::SolverMode::kSchur), "schur");
+  EXPECT_THROW(spice::parse_solver_mode("shur"), util::InvalidInputError);
 }
 
 }  // namespace
