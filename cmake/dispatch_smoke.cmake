@@ -1,0 +1,28 @@
+# dispatch-smoke: thin -P wrapper around cmake/dispatch_smoke.sh (the
+# chaos run needs background processes and SIGKILL, which a pure CMake
+# script cannot express). Invoked by CTest as:
+#   cmake -DDAEMON=<dispatch_daemon> -DWORKER=<dispatch_worker>
+#         -DCLIENT=<dispatch_client> -DADC=<adc_coverage>
+#         -DMERGE=<merge_shards> -DDIR=<scratch> -DSCRIPT=<dispatch_smoke.sh>
+#         -P dispatch_smoke.cmake
+if(NOT DAEMON OR NOT WORKER OR NOT CLIENT OR NOT ADC OR NOT MERGE
+   OR NOT DIR OR NOT SCRIPT)
+  message(FATAL_ERROR "dispatch_smoke: DAEMON, WORKER, CLIENT, ADC, MERGE, "
+                      "DIR and SCRIPT must be defined")
+endif()
+
+find_program(DOT_BASH bash)
+if(NOT DOT_BASH)
+  message(FATAL_ERROR "dispatch_smoke: bash not found")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          DAEMON=${DAEMON} WORKER=${WORKER} CLIENT=${CLIENT}
+          ADC=${ADC} MERGE=${MERGE} DIR=${DIR}
+          ${DOT_BASH} ${SCRIPT}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dispatch_smoke: chaos run failed (${rc}); logs under "
+                      "${DIR}")
+endif()

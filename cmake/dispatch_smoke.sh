@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Chaos smoke for the distributed dispatcher: dispatch_daemon plus two
+# loopback workers, one SIGKILLed mid-shard. The dead worker's shard is
+# re-issued to the survivor with its journal tail, and the daemon's
+# merged report must come out byte-identical to an undisturbed
+# single-host adc_coverage run -- the fleet-level restatement of the
+# "shard union == unsharded run" contract. A status poll through
+# dispatch_client rides along mid-campaign.
+# Driven by cmake/dispatch_smoke.cmake; inputs arrive as env vars:
+#   DAEMON WORKER CLIENT ADC MERGE DIR
+set -u
+: "${DAEMON:?}" "${WORKER:?}" "${CLIENT:?}" "${ADC:?}" "${MERGE:?}" "${DIR:?}"
+
+fail() { echo "dispatch_smoke: $*" >&2; exit 1; }
+
+rm -rf "$DIR"
+mkdir -p "$DIR/w1" "$DIR/w2"
+
+# Undisturbed single-host reference.
+"$ADC" --smoke --threads=2 --journal="$DIR/reference.jsonl" \
+  >"$DIR/reference.log" 2>&1 || fail "reference campaign failed"
+"$MERGE" --out="$DIR/reference.json" "$DIR/reference.jsonl" \
+  || fail "reference merge failed"
+
+# Daemon on an ephemeral port, master journal checkpointed per record
+# so the kill can be timed off observed progress.
+"$DAEMON" --smoke --threads=2 --shards=2 --journal="$DIR/master.jsonl" \
+  --journal-sync=1 --heartbeat-ms=200 --port=0 --port-file="$DIR/port" \
+  --report="$DIR/dispatched.json" >"$DIR/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do [ -s "$DIR/port" ] && break; sleep 0.1; done
+[ -s "$DIR/port" ] || { cat "$DIR/daemon.log" >&2; \
+                        fail "daemon never wrote its port file"; }
+PORT=$(cat "$DIR/port")
+
+# The victim starts streaming its shard...
+"$WORKER" --smoke --threads=2 --connect="127.0.0.1:$PORT" \
+  --journal-dir="$DIR/w1" >"$DIR/victim.log" 2>&1 &
+VICTIM_PID=$!
+
+# ...and a one-shot status poll answers while the campaign is live.
+"$CLIENT" --connect="127.0.0.1:$PORT" >"$DIR/status.json" 2>&1 \
+  || fail "status poll failed"
+grep -q '"done":' "$DIR/status.json" \
+  || fail "status poll returned no campaign state: $(cat "$DIR/status.json")"
+
+# SIGKILL the victim once at least one of its class records reached the
+# master journal: mid-shard, no goodbye, no flush.
+for _ in $(seq 1 300); do
+  grep -q '"type":"class"' "$DIR/master.jsonl" 2>/dev/null && break
+  kill -0 "$VICTIM_PID" 2>/dev/null || \
+    { cat "$DIR/victim.log" >&2; fail "victim exited before the kill"; }
+  sleep 0.1
+done
+grep -q '"type":"class"' "$DIR/master.jsonl" 2>/dev/null \
+  || fail "victim never streamed a class record"
+kill -9 "$VICTIM_PID" 2>/dev/null
+wait "$VICTIM_PID" 2>/dev/null
+
+# The survivor inherits the dead worker's journal tail and finishes the
+# whole campaign.
+"$WORKER" --smoke --threads=2 --connect="127.0.0.1:$PORT" \
+  --journal-dir="$DIR/w2" >"$DIR/survivor.log" 2>&1 &
+SURVIVOR_PID=$!
+
+wait "$DAEMON_PID"
+DAEMON_RC=$?
+[ "$DAEMON_RC" -eq 0 ] || { cat "$DIR/daemon.log" >&2; \
+                            fail "daemon exited with $DAEMON_RC"; }
+wait "$SURVIVOR_PID"
+SURVIVOR_RC=$?
+[ "$SURVIVOR_RC" -eq 0 ] || { cat "$DIR/survivor.log" >&2; \
+                              fail "survivor exited with $SURVIVOR_RC"; }
+
+cmp -s "$DIR/dispatched.json" "$DIR/reference.json" \
+  || fail "dispatched report differs from the single-host reference \
+($DIR/dispatched.json vs $DIR/reference.json)"
+
+echo "dispatch_smoke: ok (worker SIGKILLed mid-shard, merged run" \
+     "bit-identical to single-host)"

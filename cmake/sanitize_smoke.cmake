@@ -35,8 +35,12 @@ run_step("configure" ${CMAKE_COMMAND} -S ${SRC} -B ${BIN}
          -DDOT_SANITIZE=${SANITIZER})
 run_step("build" ${CMAKE_COMMAND} --build ${BIN} --parallel ${JOBS})
 
-# ASAN_OPTIONS makes leak/ODR findings fatal rather than advisory.
-set(ENV{ASAN_OPTIONS} "detect_leaks=1:halt_on_error=1")
+# Sanitizer findings are fatal rather than advisory.
+if(SANITIZER MATCHES "address")
+  set(ENV{ASAN_OPTIONS} "detect_leaks=1:halt_on_error=1")
+elseif(SANITIZER MATCHES "thread")
+  set(ENV{TSAN_OPTIONS} "halt_on_error=1")
+endif()
 execute_process(
   COMMAND ${CMAKE_CTEST_COMMAND} -L unit --output-on-failure -j ${JOBS}
   WORKING_DIRECTORY ${BIN}

@@ -11,6 +11,8 @@
 //   --shards=N --shard=K  evaluate only shard K of N (K in 0..N-1); the
 //                         union of all shards equals the unsharded run
 //   --journal=PATH        crash-safe JSONL journal of completed classes
+//   --journal-sync=N      journal records per checkpoint flush (default
+//                         16; 1 = flush every record)
 //   --resume              replay the journal, skipping completed classes
 //   --class-timeout-ms=T  wall-clock budget per class attempt (0 = off)
 //   --max-retries=N       retries under escalating solver aid (default 3)
@@ -39,15 +41,21 @@
 //   --json=FILE           write the full campaign report as JSON
 //   --quick               small preset for a fast demonstration run
 //   --smoke               tiny preset for CI (seconds, not minutes)
+//
+// SIGINT/SIGTERM drain the campaign at class granularity: the journal
+// is flushed, the report is printed/written with an explicit
+// "interrupted" marker, and the exit status is 128+signal.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "campaign_args.hpp"
 #include "flashadc/campaign.hpp"
 #include "flashadc/report.hpp"
 #include "util/parallel.hpp"
+#include "util/shutdown.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -55,13 +63,10 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--defects=N] [--envelope=N] [--classes=N] [--seed=N]\n"
-      "          [--threads=N] [--shards=N] [--shard=K] [--journal=PATH]\n"
-      "          [--resume] [--class-timeout-ms=T] [--max-retries=N]\n"
-      "          [--batch=N|auto] [--phase-times] [--macro=NAME]\n"
-      "          [--bank-size=N] [--chip-slices=N] [--solver=MODE]\n"
-      "          [--equivalence] [--json=FILE] [--quick] [--smoke]\n",
-      argv0);
+      "usage: %s [--shards=N] [--shard=K] [--journal=PATH]\n"
+      "          [--journal-sync=N] [--resume] [--equivalence]\n"
+      "          [--json=FILE]\n%s",
+      argv0, dot::examples::campaign_usage());
 }
 
 }  // namespace
@@ -77,88 +82,37 @@ int main(int argc, char** argv) {
   unsigned threads = 0;  // 0 = hardware_concurrency
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto value = [&](const char* prefix) -> const char* {
-      const std::size_t n = std::strlen(prefix);
-      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
-    };
-    if (const char* v = value("--defects=")) {
-      config.defect_count = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--envelope=")) {
-      config.envelope_samples = std::atoi(v);
-    } else if (const char* v = value("--classes=")) {
-      config.max_classes = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--seed=")) {
-      config.seed = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--threads=")) {
-      threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-    } else if (const char* v = value("--shards=")) {
+    switch (examples::parse_campaign_arg(argv[0], arg, config, threads)) {
+      case examples::ArgParse::kConsumed:
+        continue;
+      case examples::ArgParse::kBad:
+        usage(argv[0]);
+        return 2;
+      case examples::ArgParse::kUnknown:
+        break;
+    }
+    if (const char* v = examples::arg_value(arg, "--shards=")) {
       config.resilience.shard_count = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--shard=")) {
+    } else if (const char* v = examples::arg_value(arg, "--shard=")) {
       config.resilience.shard_index = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--journal=")) {
+    } else if (const char* v = examples::arg_value(arg, "--journal=")) {
       config.resilience.journal_path = v;
-    } else if (arg == "--resume") {
-      config.resilience.resume = true;
-    } else if (const char* v = value("--class-timeout-ms=")) {
-      config.resilience.class_timeout_ms = std::atof(v);
-    } else if (const char* v = value("--max-retries=")) {
-      config.resilience.max_retries = std::atoi(v);
-    } else if (const char* v = value("--batch=")) {
-      // "auto" maps to the sentinel 0; anything else must be a whole
-      // number, or garbage would silently select auto via strtoull.
+    } else if (const char* v = examples::arg_value(arg, "--journal-sync=")) {
       char* end = nullptr;
-      config.batch =
-          std::strcmp(v, "auto") == 0 ? 0 : std::strtoull(v, &end, 10);
-      if (std::strcmp(v, "auto") != 0 && (end == v || *end != '\0')) {
-        std::fprintf(stderr, "%s: bad --batch value '%s'\n", argv[0], v);
-        usage(argv[0]);
-        return 2;
-      }
-    } else if (arg == "--phase-times") {
-      config.collect_phase_times = true;
-    } else if (const char* v = value("--macro=")) {
-      config.macro_selection = v;
-    } else if (const char* v = value("--bank-size=")) {
-      // Strict whole-number parse: atoi would silently turn garbage
-      // into 0 and surface as a confusing bank-size error much later.
-      char* end = nullptr;
-      const long size = std::strtol(v, &end, 10);
-      if (end == v || *end != '\0' || size < 2 || size > 256) {
-        std::fprintf(stderr, "%s: bad --bank-size value '%s'\n", argv[0], v);
-        usage(argv[0]);
-        return 2;
-      }
-      config.bank_size = static_cast<int>(size);
-    } else if (const char* v = value("--chip-slices=")) {
-      char* end = nullptr;
-      const long slices = std::strtol(v, &end, 10);
-      if (end == v || *end != '\0' || slices < 4 || slices > 256) {
-        std::fprintf(stderr, "%s: bad --chip-slices value '%s'\n", argv[0],
+      const long sync = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || sync < 1) {
+        std::fprintf(stderr, "%s: bad --journal-sync value '%s'\n", argv[0],
                      v);
         usage(argv[0]);
         return 2;
       }
-      config.chip_slices = static_cast<int>(slices);
-    } else if (const char* v = value("--solver=")) {
-      try {
-        config.solver.mode = spice::parse_solver_mode(v);
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
-        usage(argv[0]);
-        return 2;
-      }
+      config.resilience.checkpoint_block = static_cast<std::size_t>(sync);
+    } else if (arg == "--resume") {
+      config.resilience.resume = true;
     } else if (arg == "--equivalence") {
       with_equivalence = true;
-    } else if (const char* v = value("--json=")) {
+    } else if (const char* v = examples::arg_value(arg, "--json=")) {
       json_path = v;
-    } else if (arg == "--quick") {
-      config.defect_count = 50000;
-      config.envelope_samples = 8;
-      config.max_classes = 30;
-    } else if (arg == "--smoke") {
-      config.defect_count = 8000;
-      config.envelope_samples = 4;
-      config.max_classes = 8;
     } else if (arg == "--help") {
       usage(argv[0]);
       return 0;
@@ -188,6 +142,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   util::ThreadPool::set_global_thread_count(threads);
+  util::arm_shutdown_handler();
 
   const bool sharded = config.resilience.shard_count > 1;
   const bool single = config.macro_selection != "all" &&
@@ -208,6 +163,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
     return 1;
   }
+  const bool interrupted = util::shutdown_requested();
+  if (interrupted)
+    std::printf("*** interrupted (signal %d): partial results below; the "
+                "journal holds every completed class ***\n\n",
+                util::shutdown_signal());
 
   util::TextTable table({"macro", "instances", "area um^2", "classes",
                          "coverage %", "current %", "unresolved"});
@@ -237,7 +197,7 @@ int main(int argc, char** argv) {
               "(paper: 93.1 %%)\n",
               100.0 * noncat.detected());
 
-  if (with_equivalence) {
+  if (with_equivalence && !interrupted) {
     std::printf("\ndiffing the flat %s against the per-comparator "
                 "decomposition...\n",
                 config.macro_selection.c_str());
@@ -280,7 +240,7 @@ int main(int argc, char** argv) {
                    json_path.c_str());
       return 1;
     }
-    out << flashadc::to_json(global) << '\n';
+    out << flashadc::to_json(global, interrupted) << '\n';
     out.flush();
     if (!out) {
       std::fprintf(stderr, "%s: failed writing %s\n", argv[0],
@@ -289,5 +249,5 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return 0;
+  return interrupted ? util::shutdown_exit_status() : 0;
 }

@@ -1,0 +1,730 @@
+#include "dispatch/dispatcher.hpp"
+
+#include <algorithm>
+
+#include "dispatch/framing.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/shutdown.hpp"
+#include "util/socket.hpp"
+
+namespace dot::dispatch {
+
+using util::JsonValue;
+using util::JsonWriter;
+
+DispatchCore::DispatchCore(DispatcherConfig config, Transport& transport)
+    : config_(std::move(config)),
+      transport_(transport),
+      table_(config_.shard_count),
+      monitor_(config_.heartbeat_timeout_ms > 0.0
+                   ? config_.heartbeat_timeout_ms
+                   : 4.0 * config_.heartbeat_ms) {
+  if (config_.shard_count == 0)
+    throw util::InvalidInputError("dispatcher: shard_count must be >= 1");
+  if (config_.journal_path.empty())
+    throw util::InvalidInputError("dispatcher: empty master journal path");
+  if (config_.meta.empty())
+    throw util::InvalidInputError("dispatcher: empty campaign meta record");
+  if (config_.heartbeat_ms <= 0.0)
+    throw util::InvalidInputError("dispatcher: heartbeat_ms must be > 0");
+  if (config_.expected_macros.empty())
+    throw util::InvalidInputError(
+        "dispatcher: expected_macros must name the campaign's macros");
+  if (!config_.validate)
+    config_.validate = [](const std::string& a, const std::string& b) {
+      return a == b ? std::string() : std::string("meta");
+    };
+  shard_received_.assign(config_.shard_count, 0);
+  shard_expected_.assign(config_.shard_count, 0);
+
+  std::vector<std::string> resumed;
+  if (config_.resume) {
+    const util::JournalContents contents =
+        util::read_journal(config_.journal_path);
+    for (std::size_t i = 0; i < contents.records.size(); ++i) {
+      const JsonValue& record = contents.records[i];
+      const std::string& line = contents.lines[i];
+      const std::string& type = record.get("type").as_string();
+      if (i == 0) {
+        if (type != "meta")
+          throw util::ShardError("master journal " + config_.journal_path +
+                                 " does not start with a meta record");
+        const std::string field = config_.validate(config_.meta, line);
+        if (!field.empty())
+          throw util::ShardError("master journal " + config_.journal_path +
+                                 " belongs to a different campaign (field '" +
+                                 field + "' differs); refusing to resume");
+        resumed.push_back(line);
+        continue;
+      }
+      if (type == "meta")
+        throw util::ShardError("master journal " + config_.journal_path +
+                               " has a second meta record");
+      if (type == "macro") {
+        const std::string& name = record.get("macro").as_string();
+        auto it = macro_lines_.find(name);
+        if (it != macro_lines_.end())
+          throw util::InvalidInputError("master journal " +
+                                        config_.journal_path +
+                                        ": duplicate macro record for '" +
+                                        name + "'");
+        macro_lines_[name] = line;
+        note_macro(name, record.get("fault_classes").as_size());
+        resumed.push_back(line);
+        continue;
+      }
+      if (type == "class") {
+        const std::string& name = record.get("macro").as_string();
+        const std::size_t index = record.get("index").as_size();
+        bool byte_mismatch = false;
+        if (!note_class(name, index, line, byte_mismatch))
+          throw util::InvalidInputError(
+              "master journal " + config_.journal_path +
+              ": duplicate class record (macro '" + name + "' class " +
+              std::to_string(index) + ")");
+        ++shard_received_[index % config_.shard_count];
+        ++stats_.classes_received;
+        resumed.push_back(line);
+        continue;
+      }
+      throw util::InvalidInputError("master journal " + config_.journal_path +
+                                    ": unknown record type '" + type + "'");
+    }
+  }
+
+  journal_ = std::make_unique<util::JournalWriter>(
+      config_.journal_path, config_.resume,
+      std::max<std::size_t>(1, config_.journal_sync));
+  if (resumed.empty()) journal_->append(config_.meta);
+
+  // Shards fully covered by the resumed journal settle immediately.
+  if (macros_known_)
+    for (std::size_t s = 0; s < config_.shard_count; ++s)
+      if (shard_received_[s] == shard_expected_[s]) table_.mark_done(s);
+}
+
+std::size_t DispatchCore::owned_classes(std::size_t truncated,
+                                        std::size_t shard) const {
+  const std::size_t n = config_.shard_count;
+  return truncated / n + (shard < truncated % n ? 1 : 0);
+}
+
+void DispatchCore::note_macro(const std::string& name,
+                              std::size_t fault_classes) {
+  std::size_t truncated = fault_classes;
+  if (config_.max_classes > 0)
+    truncated = std::min(truncated, config_.max_classes);
+  for (std::size_t s = 0; s < config_.shard_count; ++s)
+    shard_expected_[s] += owned_classes(truncated, s);
+  macros_known_ = true;
+  for (const std::string& m : config_.expected_macros)
+    if (macro_lines_.find(m) == macro_lines_.end()) {
+      macros_known_ = false;
+      break;
+    }
+}
+
+bool DispatchCore::note_class(const std::string& macro, std::size_t index,
+                              const std::string& line, bool& byte_mismatch) {
+  auto& per_macro = class_lines_[macro];
+  auto it = per_macro.find(index);
+  if (it != per_macro.end()) {
+    byte_mismatch = it->second != line;
+    return false;
+  }
+  per_macro[index] = line;
+  byte_mismatch = false;
+  return true;
+}
+
+void DispatchCore::on_connect(int conn, double now) {
+  (void)now;
+  conns_[conn] = Conn{};
+}
+
+void DispatchCore::on_payload(int conn, const std::string& payload,
+                              double now) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) return;
+  Message msg;
+  try {
+    msg = decode_message(payload);
+  } catch (const util::ProtocolError& e) {
+    violation(conn, e.what(), now);
+    return;
+  }
+  const Conn::Role role = it->second.role;
+  if (role == Conn::Role::kWorker) monitor_.beat(conn, now);
+
+  switch (msg.type) {
+    case MsgType::kHello:
+      if (role != Conn::Role::kNew) {
+        violation(conn, "repeated hello", now);
+        return;
+      }
+      handle_hello(conn, msg, now);
+      return;
+    case MsgType::kStatus: {
+      Message reply;
+      reply.type = MsgType::kStatusReply;
+      reply.status = status_json();
+      send_msg(conn, reply);
+      if (role == Conn::Role::kNew) {
+        // One-shot poller: reply, then hang up.
+        conns_.erase(conn);
+        transport_.drop(conn);
+      }
+      return;
+    }
+    case MsgType::kHeartbeat:
+      if (role != Conn::Role::kWorker) violation(conn, "heartbeat before hello", now);
+      return;
+    case MsgType::kRecord:
+      if (role != Conn::Role::kWorker) {
+        violation(conn, "record before hello", now);
+        return;
+      }
+      handle_record(conn, msg, now);
+      return;
+    case MsgType::kShardDone:
+      if (role != Conn::Role::kWorker) {
+        violation(conn, "shard_done before hello", now);
+        return;
+      }
+      handle_shard_done(conn, msg, now);
+      return;
+    case MsgType::kShardFailed:
+      if (role != Conn::Role::kWorker) {
+        violation(conn, "shard_failed before hello", now);
+        return;
+      }
+      handle_shard_failed(conn, msg, now);
+      return;
+    default:
+      violation(conn, std::string("unexpected message '") +
+                          msg_type_name(msg.type) + "' from peer", now);
+      return;
+  }
+}
+
+void DispatchCore::handle_hello(int conn, const Message& msg, double now) {
+  if (msg.protocol != kProtocolVersion) {
+    Message reject;
+    reject.type = MsgType::kReject;
+    reject.reason = "protocol version " + std::to_string(msg.protocol) +
+                    " (dispatcher speaks " +
+                    std::to_string(kProtocolVersion) + ")";
+    send_msg(conn, reject);
+    ++stats_.rejected_workers;
+    conns_.erase(conn);
+    transport_.drop(conn);
+    return;
+  }
+  const std::string field = config_.validate(config_.meta, msg.meta);
+  if (!field.empty()) {
+    Message reject;
+    reject.type = MsgType::kReject;
+    reject.reason =
+        "campaign identity differs in field '" + field +
+        "' -- a mismatched worker would corrupt the merged coverage";
+    send_msg(conn, reject);
+    ++stats_.rejected_workers;
+    conns_.erase(conn);
+    transport_.drop(conn);
+    return;
+  }
+  conns_[conn].role = Conn::Role::kWorker;
+  ++stats_.workers_seen;
+  monitor_.track(conn, now);
+  Message welcome;
+  welcome.type = MsgType::kWelcome;
+  welcome.worker_id = conn;
+  welcome.heartbeat_ms = config_.heartbeat_ms;
+  send_msg(conn, welcome);
+  try_assign(now);
+}
+
+void DispatchCore::handle_record(int conn, const Message& msg, double now) {
+  Conn& c = conns_[conn];
+  if (!c.shard || *c.shard != msg.shard) {
+    // A worker racing an in-flight abandon: its shard settled (or was
+    // re-homed) while records were on the wire. Benign; drop the line.
+    ++stats_.duplicate_records;
+    return;
+  }
+  JsonValue record;
+  std::string type;
+  try {
+    record = util::parse_json(msg.line);
+    type = record.get("type").as_string();
+  } catch (const util::InvalidInputError& e) {
+    violation(conn, std::string("unparseable journal line: ") + e.what(),
+              now);
+    return;
+  }
+  try {
+    if (type == "macro") {
+      const std::string& name = record.get("macro").as_string();
+      if (std::find(config_.expected_macros.begin(),
+                    config_.expected_macros.end(),
+                    name) == config_.expected_macros.end()) {
+        violation(conn, "macro record for unexpected macro '" + name + "'",
+                  now);
+        return;
+      }
+      auto it = macro_lines_.find(name);
+      if (it != macro_lines_.end()) {
+        if (it->second != msg.line)
+          violation(conn,
+                    "macro record for '" + name +
+                        "' disagrees with the copy on file "
+                        "(worker determinism broken)",
+                    now);
+        return;
+      }
+      macro_lines_[name] = msg.line;
+      note_macro(name, record.get("fault_classes").as_size());
+      if (!finished_) journal_->append(msg.line);
+      // Knowing a macro's class count can settle shards that own zero
+      // remaining classes, so re-check them all.
+      for (std::size_t s = 0; s < config_.shard_count; ++s)
+        check_shard_completion(s, now);
+      return;
+    }
+    if (type == "class") {
+      const std::string& name = record.get("macro").as_string();
+      const std::size_t index = record.get("index").as_size();
+      const std::size_t owner = index % config_.shard_count;
+      if (owner != msg.shard) {
+        violation(conn,
+                  "class " + std::to_string(index) + " of '" + name +
+                      "' is owned by shard " + std::to_string(owner) +
+                      ", not shard " + std::to_string(msg.shard),
+                  now);
+        return;
+      }
+      if (macro_lines_.find(name) == macro_lines_.end()) {
+        violation(conn,
+                  "class record for '" + name +
+                      "' arrived before its macro record",
+                  now);
+        return;
+      }
+      bool byte_mismatch = false;
+      if (!note_class(name, index, msg.line, byte_mismatch)) {
+        if (byte_mismatch) {
+          violation(conn,
+                    "class " + std::to_string(index) + " of '" + name +
+                        "' disagrees with the copy on file "
+                        "(worker determinism broken)",
+                    now);
+          return;
+        }
+        // Speculative race: first completion won; fold silently.
+        ++stats_.duplicate_records;
+        return;
+      }
+      if (!finished_) journal_->append(msg.line);
+      ++shard_received_[owner];
+      ++stats_.classes_received;
+      check_shard_completion(owner, now);
+      return;
+    }
+  } catch (const util::InvalidInputError& e) {
+    violation(conn, std::string("malformed journal record: ") + e.what(),
+              now);
+    return;
+  }
+  violation(conn, "journal record of type '" + type + "' over the wire",
+            now);
+}
+
+void DispatchCore::check_shard_completion(std::size_t shard, double now) {
+  if (!macros_known_) return;
+  if (table_.info(shard).state == ShardState::kDone) return;
+  if (shard_received_[shard] != shard_expected_[shard]) return;
+  const std::vector<int> attached = table_.mark_done(shard);
+  Message abandon;
+  abandon.type = MsgType::kAbandon;
+  abandon.shard = shard;
+  for (int w : attached) {
+    auto it = conns_.find(w);
+    if (it == conns_.end()) continue;
+    it->second.shard.reset();
+    send_msg(w, abandon);
+  }
+  try_assign(now);
+}
+
+bool DispatchCore::shard_records_complete(std::size_t shard) const {
+  return macros_known_ && shard_received_[shard] == shard_expected_[shard];
+}
+
+void DispatchCore::handle_shard_done(int conn, const Message& msg,
+                                     double now) {
+  Conn& c = conns_[conn];
+  if (!c.shard || *c.shard != msg.shard) return;  // settled already; benign
+  if (!shard_records_complete(msg.shard)) {
+    violation(conn,
+              "shard_done for shard " + std::to_string(msg.shard) +
+                  " with class records missing",
+              now);
+    return;
+  }
+  // Normally the final class record already settled the shard and reset
+  // this connection; reaching here means a revival path (e.g. a shard
+  // completed after being declared unresolved), so release explicitly.
+  c.shard.reset();
+  table_.detach_worker(conn);
+  check_shard_completion(msg.shard, now);
+  try_assign(now);
+}
+
+void DispatchCore::handle_shard_failed(int conn, const Message& msg,
+                                       double now) {
+  ++stats_.shard_failures;
+  Conn& c = conns_[conn];
+  if (!c.shard || *c.shard != msg.shard) return;
+  c.shard.reset();
+  table_.detach_worker(conn);
+  escalate(msg.shard, now);
+  try_assign(now);
+}
+
+void DispatchCore::violation(int conn, const std::string& why, double now) {
+  (void)why;
+  ++stats_.protocol_errors;
+  release_shard(conn, now);
+  monitor_.forget(conn);
+  conns_.erase(conn);
+  transport_.drop(conn);
+  try_assign(now);
+}
+
+void DispatchCore::release_shard(int conn, double now) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) return;
+  table_.detach_worker(conn);
+  if (it->second.shard) {
+    const std::size_t s = *it->second.shard;
+    it->second.shard.reset();
+    escalate(s, now);
+  }
+}
+
+void DispatchCore::escalate(std::size_t shard, double now) {
+  (void)now;
+  if (table_.settled(shard)) return;
+  for (int w : table_.info(shard).workers) {
+    auto it = conns_.find(w);
+    if (it != conns_.end() && !monitor_.stalled(w))
+      return;  // a live copy is still running; nothing to do
+  }
+  if (table_.info(shard).reissues < config_.max_reissues) {
+    table_.enqueue(shard, /*reissue=*/true);
+  } else {
+    table_.mark_unresolved(shard);
+  }
+}
+
+void DispatchCore::on_disconnect(int conn, double now) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) return;
+  const bool worker = it->second.role == Conn::Role::kWorker;
+  release_shard(conn, now);
+  monitor_.forget(conn);
+  conns_.erase(conn);
+  if (worker) try_assign(now);
+}
+
+void DispatchCore::on_tick(double now) {
+  for (int w : monitor_.tick(now)) {
+    auto it = conns_.find(w);
+    if (it == conns_.end() || !it->second.shard) continue;
+    // Keep the stalled worker attached: if it was merely slow, its
+    // results still win the race; the shard just gets a second runner.
+    escalate(*it->second.shard, now);
+  }
+  try_assign(now);
+}
+
+void DispatchCore::try_assign(double now) {
+  (void)now;
+  for (;;) {
+    const std::optional<std::size_t> next = table_.peek_assignable();
+    if (!next) return;
+    int chosen = -1;
+    for (auto& [id, c] : conns_) {
+      if (c.role != Conn::Role::kWorker) continue;
+      if (c.shard) continue;
+      if (monitor_.stalled(id)) continue;
+      chosen = id;
+      break;
+    }
+    if (chosen < 0) return;
+    table_.pop_assignable();
+    table_.attach(*next, chosen);
+    conns_[chosen].shard = *next;
+    Message assign;
+    assign.type = MsgType::kAssign;
+    assign.shard = *next;
+    assign.shard_count = config_.shard_count;
+    for (const auto& [macro, per_macro] : class_lines_)
+      for (const auto& [index, line] : per_macro)
+        if (index % config_.shard_count == *next)
+          assign.completed.push_back(line);
+    send_msg(chosen, assign);
+  }
+}
+
+void DispatchCore::send_msg(int conn, const Message& msg) {
+  transport_.send(conn, encode_message(msg));
+}
+
+bool DispatchCore::clean() const {
+  return complete() && table_.count_in_state(ShardState::kUnresolved) == 0;
+}
+
+void DispatchCore::finish() {
+  if (finished_) return;
+  finished_ = true;
+  journal_->close();
+  Message bye;
+  bye.type = MsgType::kBye;
+  for (const auto& [id, c] : conns_) {
+    (void)c;
+    send_msg(id, bye);
+  }
+}
+
+void DispatchCore::flush() { journal_->checkpoint(); }
+
+std::size_t DispatchCore::connected_workers() const {
+  std::size_t n = 0;
+  for (const auto& [id, c] : conns_) {
+    (void)id;
+    if (c.role == Conn::Role::kWorker) ++n;
+  }
+  return n;
+}
+
+std::string DispatchCore::status_json() const {
+  std::size_t expected_total = 0;
+  for (std::size_t e : shard_expected_) expected_total += e;
+  JsonWriter w;
+  w.begin_object();
+  w.key("protocol");
+  w.value(kProtocolVersion);
+  w.key("done");
+  w.value(complete());
+  w.key("clean");
+  w.value(clean());
+  w.key("shards");
+  w.begin_object();
+  w.key("total");
+  w.value(table_.count());
+  w.key("pending");
+  w.value(table_.count_in_state(ShardState::kPending));
+  w.key("active");
+  w.value(table_.count_in_state(ShardState::kActive));
+  w.key("done");
+  w.value(table_.count_in_state(ShardState::kDone));
+  w.key("unresolved");
+  w.value(table_.count_in_state(ShardState::kUnresolved));
+  w.end_object();
+  w.key("unresolved_shards");
+  w.begin_array();
+  for (std::size_t s : table_.unresolved_shards()) w.value(s);
+  w.end_array();
+  w.key("reissues");
+  w.value(static_cast<std::size_t>(table_.total_reissues()));
+  w.key("workers");
+  w.begin_object();
+  w.key("connected");
+  w.value(connected_workers());
+  w.key("stalled");
+  w.value(monitor_.stalled_count());
+  w.key("seen");
+  w.value(stats_.workers_seen);
+  w.key("rejected");
+  w.value(stats_.rejected_workers);
+  w.end_object();
+  w.key("classes");
+  w.begin_object();
+  w.key("received");
+  w.value(stats_.classes_received);
+  w.key("expected");
+  w.value(expected_total);
+  w.key("macros_known");
+  w.value(macros_known_);
+  w.key("duplicates");
+  w.value(stats_.duplicate_records);
+  w.end_object();
+  w.key("shard_failures");
+  w.value(stats_.shard_failures);
+  w.key("protocol_errors");
+  w.value(stats_.protocol_errors);
+  w.key("journal");
+  w.value(config_.journal_path);
+  w.end_object();
+  return w.str();
+}
+
+// ---------------------------------------------------------------------------
+// Socket-backed event loop.
+
+namespace {
+
+struct PeerConn {
+  util::TcpSocket sock;
+  FrameDecoder decoder;
+};
+
+class SocketTransport : public Transport {
+ public:
+  std::map<int, PeerConn>* peers = nullptr;
+  std::vector<int>* pending_drop = nullptr;
+  double io_timeout_ms = 10000.0;
+
+  void send(int conn, const std::string& payload) override {
+    auto it = peers->find(conn);
+    if (it == peers->end()) return;
+    std::string frame;
+    try {
+      frame = encode_frame(payload);
+    } catch (const util::ProtocolError&) {
+      pending_drop->push_back(conn);
+      return;
+    }
+    if (!it->second.sock.write_all(frame.data(), frame.size(), io_timeout_ms))
+      pending_drop->push_back(conn);
+  }
+
+  void drop(int conn) override { pending_drop->push_back(conn); }
+};
+
+}  // namespace
+
+struct Dispatcher::Impl {
+  std::map<int, PeerConn> peers;
+  std::vector<int> pending_drop;
+  SocketTransport transport;
+  util::TcpListener listener;
+  std::unique_ptr<DispatchCore> core;
+  double poll_ms = 100.0;
+};
+
+Dispatcher::Dispatcher(DispatcherConfig config, std::uint16_t port,
+                       bool any_interface)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->transport.peers = &impl_->peers;
+  impl_->transport.pending_drop = &impl_->pending_drop;
+  impl_->listener = util::TcpListener::bind(port, any_interface);
+  impl_->poll_ms = std::min(100.0, std::max(10.0, config.heartbeat_ms / 4.0));
+  impl_->core =
+      std::make_unique<DispatchCore>(std::move(config), impl_->transport);
+}
+
+Dispatcher::~Dispatcher() = default;
+
+std::uint16_t Dispatcher::port() const { return impl_->listener.port(); }
+
+DispatchCore& Dispatcher::core() { return *impl_->core; }
+
+int Dispatcher::run(const std::function<void()>& on_idle) {
+  Impl& im = *impl_;
+  char buf[64 * 1024];
+  for (;;) {
+    if (util::shutdown_requested()) {
+      // Graceful interrupt: flush the master journal so everything
+      // received so far survives, then report the partial state.
+      im.core->flush();
+      return util::shutdown_exit_status();
+    }
+    if (im.core->complete()) {
+      im.core->finish();
+      for (auto& [fd, peer] : im.peers) peer.sock.close();
+      im.peers.clear();
+      return im.core->clean() ? 0 : 3;
+    }
+
+    std::vector<util::PollItem> items;
+    items.push_back({im.listener.fd(), false, false});
+    for (const auto& [fd, peer] : im.peers) items.push_back({fd, false, false});
+    util::poll_readable(items, im.poll_ms);
+
+    const double now = util::mono_ms();
+    if (items[0].readable) {
+      for (;;) {
+        util::TcpSocket sock = im.listener.accept();
+        if (!sock.valid()) break;
+        const int fd = sock.fd();
+        im.peers[fd].sock = std::move(sock);
+        im.core->on_connect(fd, now);
+      }
+    }
+
+    std::vector<int> closed;
+    for (std::size_t i = 1; i < items.size(); ++i) {
+      if (!items[i].readable && !items[i].hangup) continue;
+      const int fd = items[i].fd;
+      auto it = im.peers.find(fd);
+      if (it == im.peers.end()) continue;
+      bool dead = false;
+      for (;;) {
+        std::size_t got = 0;
+        util::ReadStatus status = util::ReadStatus::kClosed;
+        try {
+          status = it->second.sock.read_some(buf, sizeof(buf), got);
+        } catch (const util::IoError&) {
+          dead = true;
+          break;
+        }
+        if (status == util::ReadStatus::kWouldBlock) break;
+        if (status == util::ReadStatus::kClosed) {
+          dead = true;
+          break;
+        }
+        try {
+          it->second.decoder.feed(buf, got);
+        } catch (const util::ProtocolError&) {
+          dead = true;  // oversized length prefix: unrecoverable stream
+          break;
+        }
+        while (std::optional<std::string> payload = it->second.decoder.next())
+          im.core->on_payload(fd, *payload, now);
+        if (im.peers.find(fd) == im.peers.end()) break;  // dropped itself
+      }
+      if (dead) closed.push_back(fd);
+    }
+    for (int fd : closed) {
+      im.core->on_disconnect(fd, now);
+      auto it = im.peers.find(fd);
+      if (it != im.peers.end()) {
+        it->second.sock.close();
+        im.peers.erase(it);
+      }
+    }
+
+    im.core->on_tick(now);
+
+    // Connections the core asked to drop (rejects, violations) or that
+    // failed a send: close them; on_disconnect is a no-op for conns the
+    // core already forgot.
+    std::vector<int> drops;
+    drops.swap(im.pending_drop);
+    for (int fd : drops) {
+      auto it = im.peers.find(fd);
+      if (it == im.peers.end()) continue;
+      im.core->on_disconnect(fd, util::mono_ms());
+      it->second.sock.close();
+      im.peers.erase(it);
+    }
+
+    if (on_idle) on_idle();
+  }
+}
+
+}  // namespace dot::dispatch

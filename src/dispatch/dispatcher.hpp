@@ -1,0 +1,198 @@
+// Campaign dispatcher: farms shards of a defect-coverage campaign to
+// remote workers and folds their class records into one crash-safe
+// master journal.
+//
+// Layering: DispatchCore is the entire control plane -- handshake,
+// shard assignment, heartbeat liveness, the speculative re-issue
+// ladder, duplicate folding, and master-journal appends -- expressed
+// against an abstract Transport and caller-supplied timestamps, so
+// every failure mode is unit-testable without sockets or sleeps. The
+// Dispatcher wraps a DispatchCore in a poll(2) event loop over real
+// TCP connections.
+//
+// The master journal uses the exact JSONL schema of a single-host
+// shard journal with a shard_count=1 meta, so it can be merged (and
+// polled mid-campaign) with the same merge_shard_journals path, and
+// the finished campaign is bit-comparable to an uninterrupted
+// single-host run. Class record lines are appended byte-identically as
+// received; duplicates from speculative races are folded
+// first-completion-wins, which is safe because workers are
+// deterministic: a byte-differing duplicate is treated as a protocol
+// violation, not silently merged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dispatch/liveness.hpp"
+#include "dispatch/protocol.hpp"
+#include "util/journal.hpp"
+
+namespace dot::dispatch {
+
+/// Compares the master campaign identity (a journal meta record line)
+/// against a connecting worker's; returns the first mismatching field
+/// name, or "" when compatible. The flashadc glue installs the journal
+/// layer's own meta-mismatch interlock here; the default is byte
+/// equality.
+using MetaValidator =
+    std::function<std::string(const std::string& master_meta,
+                              const std::string& worker_meta)>;
+
+struct DispatcherConfig {
+  std::size_t shard_count = 1;
+  /// Interval workers are told to beacon at.
+  double heartbeat_ms = 2000.0;
+  /// Liveness timeout; <= 0 derives 4x heartbeat_ms.
+  double heartbeat_timeout_ms = 0.0;
+  /// Speculative re-issues per shard before it is declared unresolved.
+  int max_reissues = 2;
+  /// Master journal path (required).
+  std::string journal_path;
+  /// Checkpoint interval of the master journal (--journal-sync).
+  std::size_t journal_sync = 16;
+  /// Resume from an existing master journal instead of starting fresh.
+  bool resume = false;
+  /// Campaign identity: the meta record line written to the master
+  /// journal (single-shard view) and validated against worker hellos.
+  std::string meta;
+  /// Class cap per macro (0 = all); must mirror the campaign config so
+  /// per-shard completion is computable from macro records.
+  std::size_t max_classes = 0;
+  /// Macros the campaign evaluates, in campaign order. Completion of a
+  /// shard requires every macro's record plus its owned class count.
+  std::vector<std::string> expected_macros;
+  MetaValidator validate;
+};
+
+/// How the core reaches its peers; the socket pump implements this over
+/// TCP, tests with an in-memory mailbox. send() must not throw -- a
+/// peer that cannot be written is reported dead via dead_conns().
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual void send(int conn, const std::string& payload) = 0;
+  /// Requests the connection be closed once the current event unwinds.
+  virtual void drop(int conn) = 0;
+};
+
+struct DispatchStats {
+  std::size_t classes_received = 0;
+  std::size_t duplicate_records = 0;
+  std::size_t protocol_errors = 0;
+  std::size_t workers_seen = 0;
+  std::size_t rejected_workers = 0;
+  std::size_t shard_failures = 0;
+};
+
+class DispatchCore {
+ public:
+  DispatchCore(DispatcherConfig config, Transport& transport);
+
+  /// A connection appeared; `conn` is any id unique among open
+  /// connections (the pump uses the fd).
+  void on_connect(int conn, double now);
+  /// One framed payload arrived. Malformed or out-of-protocol input
+  /// never throws out of here: the offending connection is dropped and
+  /// its shards re-issued.
+  void on_payload(int conn, const std::string& payload, double now);
+  /// Peer vanished (close, reset, torn frame). Idempotent.
+  void on_disconnect(int conn, double now);
+  /// Advances liveness: newly stalled workers trigger the re-issue
+  /// ladder for their shards. Call at least every heartbeat interval.
+  void on_tick(double now);
+
+  /// True once every shard is done or unresolved.
+  bool complete() const { return table_.all_settled(); }
+  /// True when complete with no unresolved shards.
+  bool clean() const;
+  /// Sends bye to every peer and closes the journal. Idempotent.
+  void finish();
+  /// Checkpoints the master journal (graceful-shutdown flush).
+  void flush();
+
+  /// Status JSON served to pollers and written next to the report.
+  std::string status_json() const;
+  const DispatchStats& stats() const { return stats_; }
+  const ShardTable& shards() const { return table_; }
+  std::size_t connected_workers() const;
+
+ private:
+  struct Conn {
+    enum class Role { kNew, kWorker, kClient };
+    Role role = Role::kNew;
+    std::optional<std::size_t> shard;
+  };
+
+  void handle_hello(int conn, const Message& msg, double now);
+  void handle_record(int conn, const Message& msg, double now);
+  void handle_shard_done(int conn, const Message& msg, double now);
+  void handle_shard_failed(int conn, const Message& msg, double now);
+  /// Protocol violation: count it, drop the peer, re-issue its shard.
+  void violation(int conn, const std::string& why, double now);
+  /// Detaches `conn` from its shard (if any) and escalates the shard.
+  void release_shard(int conn, double now);
+  /// The re-issue ladder for a shard whose live coverage may be gone.
+  void escalate(std::size_t shard, double now);
+  void try_assign(double now);
+  void send_msg(int conn, const Message& msg);
+
+  std::size_t owned_classes(std::size_t truncated, std::size_t shard) const;
+  void note_macro(const std::string& name, std::size_t fault_classes);
+  /// Records arrival of class `index` of `macro`; returns false on a
+  /// duplicate (kept-first).
+  bool note_class(const std::string& macro, std::size_t index,
+                  const std::string& line, bool& byte_mismatch);
+  void check_shard_completion(std::size_t shard, double now);
+  bool shard_records_complete(std::size_t shard) const;
+
+  DispatcherConfig config_;
+  Transport& transport_;
+  ShardTable table_;
+  HeartbeatMonitor monitor_;
+  std::map<int, Conn> conns_;
+  std::unique_ptr<util::JournalWriter> journal_;
+
+  /// Byte-identical record lines already folded, keyed for dedup.
+  std::map<std::string, std::map<std::size_t, std::string>> class_lines_;
+  std::map<std::string, std::string> macro_lines_;
+  std::vector<std::size_t> shard_received_;
+  std::vector<std::size_t> shard_expected_;
+  bool macros_known_ = false;
+  bool finished_ = false;
+  DispatchStats stats_;
+};
+
+/// TCP front end: owns the listener, the per-connection frame
+/// decoders, and the poll loop; delegates every decision to
+/// DispatchCore.
+class Dispatcher {
+ public:
+  /// Binds the listen socket immediately (port 0 picks an ephemeral
+  /// port); `any_interface` exposes it beyond loopback.
+  Dispatcher(DispatcherConfig config, std::uint16_t port,
+             bool any_interface = false);
+  ~Dispatcher();
+
+  std::uint16_t port() const;
+
+  /// Runs the event loop until the campaign settles or a shutdown
+  /// signal is raised. Returns 0 on a clean campaign, 3 when shards
+  /// ended unresolved, 128+sig on interruption (journal flushed).
+  /// `on_idle` (optional) runs once per poll iteration.
+  int run(const std::function<void()>& on_idle = {});
+
+  DispatchCore& core();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dot::dispatch

@@ -1,0 +1,48 @@
+#include "dispatch/framing.hpp"
+
+#include "util/error.hpp"
+
+namespace dot::dispatch {
+
+std::string encode_frame(const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes)
+    throw util::ProtocolError("frame payload of " +
+                              std::to_string(payload.size()) +
+                              " bytes exceeds the frame cap");
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xff));
+  out.push_back(static_cast<char>((n >> 16) & 0xff));
+  out.push_back(static_cast<char>((n >> 8) & 0xff));
+  out.push_back(static_cast<char>(n & 0xff));
+  out += payload;
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  buffer_.append(data, n);
+  for (;;) {
+    if (buffer_.size() < 4) return;
+    const auto b = [&](std::size_t i) {
+      return static_cast<std::uint32_t>(
+          static_cast<unsigned char>(buffer_[i]));
+    };
+    const std::uint32_t len = (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+    if (len > kMaxFrameBytes)
+      throw util::ProtocolError("frame length " + std::to_string(len) +
+                                " exceeds the frame cap (corrupt stream)");
+    if (buffer_.size() < 4 + static_cast<std::size_t>(len)) return;
+    ready_.emplace_back(buffer_, 4, len);
+    buffer_.erase(0, 4 + static_cast<std::size_t>(len));
+  }
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (ready_.empty()) return std::nullopt;
+  std::string payload = std::move(ready_.front());
+  ready_.pop_front();
+  return payload;
+}
+
+}  // namespace dot::dispatch

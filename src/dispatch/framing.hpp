@@ -1,0 +1,55 @@
+// Length-prefixed message framing for the dispatch wire protocol.
+//
+// A frame is a 4-byte big-endian payload length followed by the payload
+// bytes (one JSON document; the framing layer treats it as opaque).
+// TCP delivers a byte stream, not messages, so the decoder is fully
+// incremental: feed() accepts arbitrary splits -- a frame torn across
+// ten 1-byte reads reassembles exactly like one delivered whole -- and
+// next() pops complete frames in order. An incomplete frame simply
+// waits for more bytes; at connection close the partial tail is dropped
+// by the caller the same way the journal reader drops a torn final
+// record. A length above kMaxFrameBytes means a corrupt or hostile
+// stream and throws ProtocolError (the connection is unrecoverable:
+// resynchronizing inside a byte stream is guesswork).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+namespace dot::dispatch {
+
+/// Upper bound on one frame's payload. Assign messages carry a shard's
+/// completed journal tail, so the cap is generous; anything larger is
+/// corruption, not data.
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/// Encodes one payload as a wire frame (4-byte big-endian length +
+/// bytes). Throws ProtocolError when the payload exceeds kMaxFrameBytes.
+std::string encode_frame(const std::string& payload);
+
+/// Incremental frame reassembler; one per connection.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the stream; complete frames become
+  /// retrievable via next(). Throws ProtocolError on an oversized
+  /// length prefix.
+  void feed(const char* data, std::size_t n);
+  void feed(const std::string& bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// Pops the next complete payload, or nullopt when none is buffered.
+  std::optional<std::string> next();
+
+  /// Bytes of an incomplete trailing frame still waiting for input
+  /// (0 = the stream is at a clean frame boundary). Used to report torn
+  /// tails when a peer disconnects mid-frame.
+  std::size_t partial_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  std::deque<std::string> ready_;
+};
+
+}  // namespace dot::dispatch

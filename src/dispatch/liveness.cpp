@@ -1,0 +1,189 @@
+#include "dispatch/liveness.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dot::dispatch {
+
+void HeartbeatMonitor::track(int id, double now) {
+  entries_[id] = Entry{now, false};
+}
+
+void HeartbeatMonitor::forget(int id) { entries_.erase(id); }
+
+bool HeartbeatMonitor::beat(int id, double now) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  const bool revived = it->second.stalled;
+  it->second.last_seen = now;
+  it->second.stalled = false;
+  return revived;
+}
+
+bool HeartbeatMonitor::stalled(int id) const {
+  auto it = entries_.find(id);
+  return it != entries_.end() && it->second.stalled;
+}
+
+std::size_t HeartbeatMonitor::stalled_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, entry] : entries_)
+    if (entry.stalled) ++n;
+  return n;
+}
+
+std::vector<int> HeartbeatMonitor::tick(double now) {
+  std::vector<int> expired;
+  if (timeout_ms_ <= 0.0) return expired;
+  for (auto& [id, entry] : entries_) {
+    if (entry.stalled) continue;
+    if (now - entry.last_seen >= timeout_ms_) {
+      entry.stalled = true;
+      expired.push_back(id);
+    }
+  }
+  return expired;
+}
+
+const char* shard_state_name(ShardState state) {
+  switch (state) {
+    case ShardState::kPending: return "pending";
+    case ShardState::kActive: return "active";
+    case ShardState::kDone: return "done";
+    case ShardState::kUnresolved: return "unresolved";
+  }
+  return "unknown";
+}
+
+ShardTable::ShardTable(std::size_t count) : shards_(count) {
+  for (std::size_t s = 0; s < count; ++s) {
+    shards_[s].queued = true;
+    queue_.push_back(s);
+  }
+}
+
+const ShardInfo& ShardTable::info(std::size_t shard) const {
+  if (shard >= shards_.size())
+    throw util::InvalidInputError("shard index " + std::to_string(shard) +
+                                  " out of range");
+  return shards_[shard];
+}
+
+std::optional<std::size_t> ShardTable::peek_assignable() const {
+  for (std::size_t s : queue_)
+    if (!settled(s)) return s;
+  return std::nullopt;
+}
+
+void ShardTable::pop_assignable() {
+  while (!queue_.empty()) {
+    const std::size_t s = queue_.front();
+    queue_.pop_front();
+    if (!settled(s)) {
+      shards_[s].queued = false;
+      return;
+    }
+    shards_[s].queued = false;
+  }
+}
+
+void ShardTable::attach(std::size_t shard, int worker) {
+  ShardInfo& s = shards_.at(shard);
+  if (s.state == ShardState::kDone || s.state == ShardState::kUnresolved)
+    return;
+  s.state = ShardState::kActive;
+  if (std::find(s.workers.begin(), s.workers.end(), worker) ==
+      s.workers.end())
+    s.workers.push_back(worker);
+  if (s.queued) {
+    s.queued = false;
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), shard),
+                 queue_.end());
+  }
+}
+
+std::vector<std::size_t> ShardTable::detach_worker(int worker) {
+  std::vector<std::size_t> held;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto& workers = shards_[s].workers;
+    auto it = std::find(workers.begin(), workers.end(), worker);
+    if (it != workers.end()) {
+      workers.erase(it);
+      held.push_back(s);
+    }
+  }
+  return held;
+}
+
+std::vector<int> ShardTable::mark_done(std::size_t shard) {
+  ShardInfo& s = shards_.at(shard);
+  std::vector<int> attached;
+  if (s.state == ShardState::kDone) return attached;
+  attached = s.workers;
+  s.workers.clear();
+  s.state = ShardState::kDone;
+  if (s.queued) {
+    s.queued = false;
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), shard),
+                 queue_.end());
+  }
+  return attached;
+}
+
+void ShardTable::mark_unresolved(std::size_t shard) {
+  ShardInfo& s = shards_.at(shard);
+  if (s.state == ShardState::kDone) return;
+  s.state = ShardState::kUnresolved;
+  s.workers.clear();
+  if (s.queued) {
+    s.queued = false;
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), shard),
+                 queue_.end());
+  }
+}
+
+void ShardTable::enqueue(std::size_t shard, bool reissue) {
+  ShardInfo& s = shards_.at(shard);
+  if (settled(shard)) return;
+  if (reissue) ++s.reissues;
+  if (s.queued) return;
+  s.queued = true;
+  if (reissue)
+    queue_.push_front(shard);
+  else
+    queue_.push_back(shard);
+}
+
+bool ShardTable::settled(std::size_t shard) const {
+  const ShardState st = shards_.at(shard).state;
+  return st == ShardState::kDone || st == ShardState::kUnresolved;
+}
+
+bool ShardTable::all_settled() const {
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    if (!settled(s)) return false;
+  return true;
+}
+
+std::size_t ShardTable::count_in_state(ShardState state) const {
+  std::size_t n = 0;
+  for (const ShardInfo& s : shards_)
+    if (s.state == state) ++n;
+  return n;
+}
+
+std::vector<std::size_t> ShardTable::unresolved_shards() const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    if (shards_[s].state == ShardState::kUnresolved) out.push_back(s);
+  return out;
+}
+
+int ShardTable::total_reissues() const {
+  int n = 0;
+  for (const ShardInfo& s : shards_) n += s.reissues;
+  return n;
+}
+
+}  // namespace dot::dispatch

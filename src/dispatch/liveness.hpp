@@ -1,0 +1,108 @@
+// Liveness bookkeeping for the dispatcher: per-worker heartbeat expiry
+// and the per-shard assignment/escalation table. Both are pure state
+// machines over caller-supplied timestamps -- no sockets, no clock --
+// so the escalation ladder is unit-testable with a synthetic clock.
+//
+// The ladder a shard climbs (driven by DispatchCore):
+//
+//   pending --assign--> active --records complete / shard_done--> done
+//      ^                   |
+//      |            heartbeat miss or disconnect of its last live worker
+//      |                   v
+//      +---- re-queued (speculative re-issue; original worker stays
+//            attached -- if it was merely slow, its results still win
+//            the race) ... until `max_reissues` re-issues are spent,
+//            then --> unresolved (structured give-up, never silent).
+//
+// Re-issued shards are queued ahead of fresh ones so stragglers surface
+// early instead of at the tail of the campaign.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace dot::dispatch {
+
+/// Tracks the last-seen time of each worker against a timeout. Any
+/// message counts as a beat; a stalled worker that speaks again is
+/// revived (partitions heal).
+class HeartbeatMonitor {
+ public:
+  explicit HeartbeatMonitor(double timeout_ms) : timeout_ms_(timeout_ms) {}
+
+  void track(int id, double now);
+  void forget(int id);
+  /// Records a beat; returns true when this revived a stalled worker.
+  bool beat(int id, double now);
+  bool stalled(int id) const;
+  std::size_t stalled_count() const;
+
+  /// Advances time; returns the ids that crossed the timeout since the
+  /// last call (each id is reported once per stall episode).
+  std::vector<int> tick(double now);
+
+ private:
+  struct Entry {
+    double last_seen = 0.0;
+    bool stalled = false;
+  };
+  double timeout_ms_;
+  std::map<int, Entry> entries_;
+};
+
+enum class ShardState { kPending, kActive, kDone, kUnresolved };
+
+const char* shard_state_name(ShardState state);
+
+struct ShardInfo {
+  ShardState state = ShardState::kPending;
+  /// Times the shard was handed to an additional/replacement worker.
+  int reissues = 0;
+  /// Attached workers (first assignee + speculative re-issues).
+  std::vector<int> workers;
+  bool queued = false;
+};
+
+class ShardTable {
+ public:
+  explicit ShardTable(std::size_t count);
+
+  std::size_t count() const { return shards_.size(); }
+  const ShardInfo& info(std::size_t shard) const;
+
+  /// Front of the assignment queue without popping (nullopt = empty).
+  std::optional<std::size_t> peek_assignable() const;
+  void pop_assignable();
+
+  /// Attaches a worker (marks the shard active, dequeues it).
+  void attach(std::size_t shard, int worker);
+  /// Detaches a worker from every shard; returns the shards it held.
+  std::vector<std::size_t> detach_worker(int worker);
+
+  /// Marks done; returns the workers that were still attached (the
+  /// dispatcher abandons the losers of a speculative race). Idempotent.
+  std::vector<int> mark_done(std::size_t shard);
+  void mark_unresolved(std::size_t shard);
+
+  /// Queues the shard for (re-)assignment. Re-issues go to the front of
+  /// the queue and bump the reissue counter. No-op when already queued
+  /// or settled.
+  void enqueue(std::size_t shard, bool reissue);
+
+  bool settled(std::size_t shard) const;
+  /// True once every shard is done or unresolved.
+  bool all_settled() const;
+
+  std::size_t count_in_state(ShardState state) const;
+  std::vector<std::size_t> unresolved_shards() const;
+  int total_reissues() const;
+
+ private:
+  std::vector<ShardInfo> shards_;
+  std::deque<std::size_t> queue_;
+};
+
+}  // namespace dot::dispatch

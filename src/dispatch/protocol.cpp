@@ -1,0 +1,158 @@
+#include "dispatch/protocol.hpp"
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace dot::dispatch {
+
+using util::JsonValue;
+using util::JsonWriter;
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kWelcome: return "welcome";
+    case MsgType::kReject: return "reject";
+    case MsgType::kAssign: return "assign";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kRecord: return "record";
+    case MsgType::kShardDone: return "shard_done";
+    case MsgType::kShardFailed: return "shard_failed";
+    case MsgType::kAbandon: return "abandon";
+    case MsgType::kBye: return "bye";
+    case MsgType::kStatus: return "status";
+    case MsgType::kStatusReply: return "status_reply";
+  }
+  return "unknown";
+}
+
+std::string encode_message(const Message& msg) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value(msg_type_name(msg.type));
+  switch (msg.type) {
+    case MsgType::kHello:
+      w.key("protocol");
+      w.value(msg.protocol);
+      w.key("meta");
+      w.value(msg.meta);
+      break;
+    case MsgType::kWelcome:
+      w.key("protocol");
+      w.value(msg.protocol);
+      w.key("worker_id");
+      w.value(msg.worker_id);
+      w.key("heartbeat_ms");
+      w.value(msg.heartbeat_ms);
+      break;
+    case MsgType::kReject:
+    case MsgType::kShardFailed:
+      w.key("reason");
+      w.value(msg.reason);
+      if (msg.type == MsgType::kShardFailed) {
+        w.key("shard");
+        w.value(msg.shard);
+      }
+      break;
+    case MsgType::kAssign:
+      w.key("shard");
+      w.value(msg.shard);
+      w.key("shard_count");
+      w.value(msg.shard_count);
+      w.key("completed");
+      w.begin_array();
+      for (const std::string& line : msg.completed) w.value(line);
+      w.end_array();
+      break;
+    case MsgType::kRecord:
+      w.key("shard");
+      w.value(msg.shard);
+      w.key("line");
+      w.value(msg.line);
+      break;
+    case MsgType::kShardDone:
+    case MsgType::kAbandon:
+      w.key("shard");
+      w.value(msg.shard);
+      break;
+    case MsgType::kStatusReply:
+      w.key("status");
+      w.value(msg.status);
+      break;
+    case MsgType::kHeartbeat:
+    case MsgType::kBye:
+    case MsgType::kStatus:
+      break;
+  }
+  w.end_object();
+  return w.str();
+}
+
+Message decode_message(const std::string& payload) {
+  JsonValue v;
+  try {
+    v = util::parse_json(payload);
+  } catch (const util::InvalidInputError& e) {
+    throw util::ProtocolError(std::string("unparseable message: ") +
+                              e.what());
+  }
+  if (!v.is_object())
+    throw util::ProtocolError("message is not a JSON object");
+
+  Message msg;
+  std::string type;
+  try {
+    type = v.get("type").as_string();
+    if (type == "hello") {
+      msg.type = MsgType::kHello;
+      msg.protocol = static_cast<int>(v.get("protocol").as_size());
+      msg.meta = v.get("meta").as_string();
+    } else if (type == "welcome") {
+      msg.type = MsgType::kWelcome;
+      msg.protocol = static_cast<int>(v.get("protocol").as_size());
+      msg.worker_id = static_cast<int>(v.get("worker_id").as_size());
+      msg.heartbeat_ms = v.get("heartbeat_ms").as_number();
+    } else if (type == "reject") {
+      msg.type = MsgType::kReject;
+      msg.reason = v.get("reason").as_string();
+    } else if (type == "assign") {
+      msg.type = MsgType::kAssign;
+      msg.shard = v.get("shard").as_size();
+      msg.shard_count = v.get("shard_count").as_size();
+      for (const JsonValue& line : v.get("completed").items())
+        msg.completed.push_back(line.as_string());
+    } else if (type == "heartbeat") {
+      msg.type = MsgType::kHeartbeat;
+    } else if (type == "record") {
+      msg.type = MsgType::kRecord;
+      msg.shard = v.get("shard").as_size();
+      msg.line = v.get("line").as_string();
+    } else if (type == "shard_done") {
+      msg.type = MsgType::kShardDone;
+      msg.shard = v.get("shard").as_size();
+    } else if (type == "shard_failed") {
+      msg.type = MsgType::kShardFailed;
+      msg.shard = v.get("shard").as_size();
+      msg.reason = v.get("reason").as_string();
+    } else if (type == "abandon") {
+      msg.type = MsgType::kAbandon;
+      msg.shard = v.get("shard").as_size();
+    } else if (type == "bye") {
+      msg.type = MsgType::kBye;
+    } else if (type == "status") {
+      msg.type = MsgType::kStatus;
+    } else if (type == "status_reply") {
+      msg.type = MsgType::kStatusReply;
+      msg.status = v.get("status").as_string();
+    } else {
+      throw util::ProtocolError("unknown message type '" + type + "'");
+    }
+  } catch (const util::InvalidInputError& e) {
+    throw util::ProtocolError("malformed '" + type +
+                              "' message: " + e.what());
+  }
+  return msg;
+}
+
+}  // namespace dot::dispatch

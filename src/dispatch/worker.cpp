@@ -1,0 +1,307 @@
+#include "dispatch/worker.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "dispatch/framing.hpp"
+#include "dispatch/protocol.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/shutdown.hpp"
+#include "util/socket.hpp"
+
+namespace dot::dispatch {
+
+namespace {
+
+/// State shared between the main (evaluating) thread and the reader/
+/// heartbeat thread. The socket itself is split by direction: only the
+/// reader thread reads; writes from either thread serialize on
+/// write_mu so frames never interleave.
+struct Shared {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<ShardAssignment> queue;
+  bool bye = false;
+  bool conn_lost = false;
+  bool stop = false;
+  bool abandon_current = false;
+  bool have_current = false;
+  std::size_t current_shard = 0;
+  double heartbeat_ms = 1000.0;
+};
+
+bool send_frame(util::TcpSocket& sock, std::mutex& write_mu,
+                const Message& msg, double timeout_ms) {
+  const std::string frame = encode_frame(encode_message(msg));
+  std::lock_guard<std::mutex> lock(write_mu);
+  return sock.write_all(frame.data(), frame.size(), timeout_ms);
+}
+
+/// Blocking read of one message during the handshake (before the
+/// reader thread exists).
+Message read_one(util::TcpSocket& sock, FrameDecoder& decoder,
+                 double timeout_ms) {
+  const util::Deadline deadline(timeout_ms);
+  char buf[16384];
+  for (;;) {
+    if (std::optional<std::string> payload = decoder.next())
+      return decode_message(*payload);
+    if (deadline.expired())
+      throw util::IoError("handshake timed out waiting for the dispatcher");
+    std::vector<util::PollItem> items;
+    items.push_back({sock.fd(), false, false});
+    util::poll_readable(items, std::min(100.0, deadline.remaining_ms()));
+    std::size_t got = 0;
+    const util::ReadStatus status = sock.read_some(buf, sizeof(buf), got);
+    if (status == util::ReadStatus::kClosed)
+      throw util::IoError("dispatcher closed the connection mid-handshake");
+    if (status == util::ReadStatus::kData) decoder.feed(buf, got);
+  }
+}
+
+void reader_loop(util::TcpSocket& sock, std::mutex& write_mu, Shared& sh,
+                 double io_timeout_ms, FrameDecoder& decoder) {
+  char buf[16384];
+  double next_beat = util::mono_ms() + sh.heartbeat_ms;
+  // Drains every fully-buffered frame out of the decoder; returns false
+  // when the reader must exit (bye or malformed stream).
+  const auto process_pending = [&]() -> bool {
+    while (std::optional<std::string> payload = decoder.next()) {
+      Message msg;
+      try {
+        msg = decode_message(*payload);
+      } catch (const util::ProtocolError&) {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        sh.conn_lost = true;
+        sh.cv.notify_all();
+        return false;
+      }
+      std::lock_guard<std::mutex> lock(sh.mu);
+      switch (msg.type) {
+        case MsgType::kAssign: {
+          ShardAssignment a;
+          a.shard = msg.shard;
+          a.shard_count = msg.shard_count;
+          a.completed = std::move(msg.completed);
+          sh.queue.push_back(std::move(a));
+          sh.cv.notify_all();
+          break;
+        }
+        case MsgType::kAbandon:
+          if (sh.have_current && sh.current_shard == msg.shard)
+            sh.abandon_current = true;
+          break;
+        case MsgType::kBye:
+          sh.bye = true;
+          sh.cv.notify_all();
+          return false;
+        default:
+          break;  // heartbeat echoes etc.: ignore
+      }
+    }
+    return true;
+  };
+  for (;;) {
+    // The handshake read may have buffered frames past the welcome --
+    // the dispatcher pipelines the first assign right behind it, with
+    // nothing further on the wire to wake the poll below. Drain before
+    // waiting for new bytes.
+    if (!process_pending()) return;
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      if (sh.stop || sh.bye || sh.conn_lost) return;
+    }
+    const double now = util::mono_ms();
+    if (now >= next_beat) {
+      Message beat;
+      beat.type = MsgType::kHeartbeat;
+      if (!send_frame(sock, write_mu, beat, io_timeout_ms)) {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        sh.conn_lost = true;
+        sh.cv.notify_all();
+        return;
+      }
+      next_beat = now + sh.heartbeat_ms;
+    }
+    std::vector<util::PollItem> items;
+    items.push_back({sock.fd(), false, false});
+    util::poll_readable(items,
+                        std::clamp(next_beat - now, 10.0, 100.0));
+    if (!items[0].readable && !items[0].hangup) continue;
+    for (;;) {
+      std::size_t got = 0;
+      util::ReadStatus status = util::ReadStatus::kClosed;
+      try {
+        status = sock.read_some(buf, sizeof(buf), got);
+      } catch (const util::IoError&) {
+        status = util::ReadStatus::kClosed;
+      }
+      if (status == util::ReadStatus::kWouldBlock) break;
+      if (status == util::ReadStatus::kClosed) {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        sh.conn_lost = true;
+        sh.cv.notify_all();
+        return;
+      }
+      try {
+        decoder.feed(buf, got);
+      } catch (const util::ProtocolError&) {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        sh.conn_lost = true;
+        sh.cv.notify_all();
+        return;
+      }
+      if (!process_pending()) return;
+    }
+  }
+}
+
+}  // namespace
+
+WorkerReport run_worker(const WorkerOptions& options) {
+  if (!options.runner)
+    throw util::InvalidInputError("run_worker: no ShardRunner supplied");
+  if (options.meta.empty())
+    throw util::InvalidInputError("run_worker: empty campaign meta record");
+
+  util::TcpSocket sock = util::TcpSocket::connect(
+      options.host, options.port, options.connect_timeout_ms);
+  std::mutex write_mu;
+  FrameDecoder decoder;
+
+  Message hello;
+  hello.type = MsgType::kHello;
+  hello.protocol = kProtocolVersion;
+  hello.meta = options.meta;
+  if (!send_frame(sock, write_mu, hello, options.io_timeout_ms))
+    throw util::IoError("dispatcher unreachable during handshake");
+  const Message first = read_one(sock, decoder, options.io_timeout_ms);
+  if (first.type == MsgType::kReject)
+    throw util::ShardError("dispatcher rejected this worker: " +
+                           first.reason);
+  if (first.type == MsgType::kBye) {
+    // The campaign settled while our hello was in flight: the
+    // dispatcher dismisses every connection as it exits. Nothing to
+    // do is not an error.
+    return WorkerReport{};
+  }
+  if (first.type != MsgType::kWelcome)
+    throw util::ProtocolError(std::string("expected welcome, got '") +
+                              msg_type_name(first.type) + "'");
+  if (first.protocol != kProtocolVersion)
+    throw util::ProtocolError("dispatcher speaks protocol " +
+                              std::to_string(first.protocol) + " (worker " +
+                              std::to_string(kProtocolVersion) + ")");
+
+  Shared sh;
+  sh.heartbeat_ms = std::max(50.0, first.heartbeat_ms);
+  std::thread reader(reader_loop, std::ref(sock), std::ref(write_mu),
+                     std::ref(sh), options.io_timeout_ms,
+                     std::ref(decoder));
+
+  WorkerReport report;
+  bool lost = false;
+  for (;;) {
+    ShardAssignment assignment;
+    {
+      std::unique_lock<std::mutex> lk(sh.mu);
+      sh.cv.wait_for(lk, std::chrono::milliseconds(100), [&] {
+        return sh.bye || sh.conn_lost || !sh.queue.empty();
+      });
+      if (util::shutdown_requested()) {
+        report.interrupted = true;
+        break;
+      }
+      if (sh.bye) break;
+      if (sh.conn_lost) {
+        lost = true;
+        break;
+      }
+      if (sh.queue.empty()) continue;
+      assignment = std::move(sh.queue.front());
+      sh.queue.pop_front();
+      sh.abandon_current = false;
+      sh.have_current = true;
+      sh.current_shard = assignment.shard;
+    }
+
+    ShardSink sink;
+    sink.emit = [&](const std::string& line) {
+      if (util::shutdown_requested()) throw AbandonShard("interrupted");
+      {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        if (sh.abandon_current)
+          throw AbandonShard("dispatcher abandoned the shard");
+        if (sh.conn_lost || sh.bye)
+          throw AbandonShard("connection closed");
+      }
+      Message record;
+      record.type = MsgType::kRecord;
+      record.shard = assignment.shard;
+      record.line = line;
+      if (!send_frame(sock, write_mu, record, options.io_timeout_ms)) {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        sh.conn_lost = true;
+        sh.cv.notify_all();
+        throw AbandonShard("connection closed");
+      }
+    };
+
+    bool shard_interrupted = false;
+    try {
+      options.runner(assignment, sink);
+      Message done;
+      done.type = MsgType::kShardDone;
+      done.shard = assignment.shard;
+      send_frame(sock, write_mu, done, options.io_timeout_ms);
+      ++report.shards_completed;
+    } catch (const AbandonShard&) {
+      if (util::shutdown_requested()) {
+        shard_interrupted = true;
+      } else {
+        // Dispatcher-initiated (race lost) or lost connection: not a
+        // failure, just move on to the next assignment (if any).
+        ++report.shards_abandoned;
+      }
+    } catch (const std::exception& e) {
+      Message failed;
+      failed.type = MsgType::kShardFailed;
+      failed.shard = assignment.shard;
+      failed.reason = e.what();
+      send_frame(sock, write_mu, failed, options.io_timeout_ms);
+      ++report.shards_failed;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      sh.have_current = false;
+      sh.abandon_current = false;
+    }
+    if (shard_interrupted) {
+      Message failed;
+      failed.type = MsgType::kShardFailed;
+      failed.shard = assignment.shard;
+      failed.reason = "interrupted";
+      send_frame(sock, write_mu, failed, options.io_timeout_ms);
+      ++report.shards_failed;
+      report.interrupted = true;
+      break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.stop = true;
+  }
+  reader.join();
+  sock.close();
+  if (lost && !report.interrupted)
+    throw util::IoError("dispatcher connection lost");
+  return report;
+}
+
+}  // namespace dot::dispatch

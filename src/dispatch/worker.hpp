@@ -1,0 +1,82 @@
+// Worker side of the dispatch protocol: connects to a dispatcher,
+// presents the campaign identity, and runs assigned shards through a
+// caller-supplied ShardRunner, streaming each completed journal record
+// line back as it lands.
+//
+// The runner is deliberately opaque to this layer (dot_dispatch knows
+// journal lines, not fault models); the flashadc glue wraps the real
+// campaign evaluator. A background thread owns the socket reads and
+// the heartbeat beacon so a long class evaluation never starves the
+// liveness protocol; abandon messages flip a flag that the record sink
+// converts into an AbandonShard unwind at the next record boundary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dot::dispatch {
+
+/// One shard assignment from the dispatcher. `completed` holds the
+/// journal class-record lines already folded into the master journal
+/// (the journal tail of a predecessor worker); the runner seeds its
+/// resume state from them and only evaluates -- and emits -- the rest.
+struct ShardAssignment {
+  std::size_t shard = 0;
+  std::size_t shard_count = 1;
+  std::vector<std::string> completed;
+};
+
+/// Thrown out of a ShardRunner (via the sink) when the dispatcher
+/// abandoned the shard or the process is shutting down: unwinds the
+/// evaluation without treating it as a failure.
+class AbandonShard : public std::runtime_error {
+ public:
+  explicit AbandonShard(const std::string& why)
+      : std::runtime_error("shard abandoned: " + why) {}
+};
+
+/// Callback handed to the runner for streaming results. emit() sends
+/// one journal record line to the dispatcher; it throws AbandonShard
+/// when the shard should be dropped (dispatcher abandon, shutdown
+/// signal, lost connection), so call it at every record boundary.
+struct ShardSink {
+  std::function<void(const std::string& line)> emit;
+};
+
+/// Evaluates one shard, emitting every journal record (macro records
+/// included) through the sink. Must be deterministic: two workers
+/// handed the same assignment must emit byte-identical record lines.
+using ShardRunner =
+    std::function<void(const ShardAssignment&, const ShardSink&)>;
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Campaign identity: journal meta record line (single-shard view).
+  std::string meta;
+  ShardRunner runner;
+  double connect_timeout_ms = 5000.0;
+  /// Per-write stall cap; a dispatcher gone silent for this long kills
+  /// the worker rather than wedging it.
+  double io_timeout_ms = 30000.0;
+};
+
+struct WorkerReport {
+  std::size_t shards_completed = 0;
+  std::size_t shards_abandoned = 0;
+  std::size_t shards_failed = 0;
+  /// Ended by SIGINT/SIGTERM (the current shard was reported failed
+  /// with reason "interrupted"; exit 128+sig).
+  bool interrupted = false;
+};
+
+/// Runs the worker loop until the dispatcher says bye (normal end) or a
+/// shutdown signal arrives. Throws util::ShardError when the dispatcher
+/// rejects the handshake (mismatched campaign identity or protocol) and
+/// util::IoError when the connection dies.
+WorkerReport run_worker(const WorkerOptions& options);
+
+}  // namespace dot::dispatch

@@ -24,6 +24,7 @@
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/shutdown.hpp"
 
 namespace dot::flashadc {
 
@@ -196,6 +197,10 @@ void evaluate_classes(const std::string& macro_name, const Netlist& good,
         return eval;
       }
     }
+    // Graceful shutdown: skip classes not yet evaluated (restored and
+    // precomputed ones above still land in the partial report); the
+    // caller marks the report `interrupted` and exits nonzero.
+    if (util::shutdown_requested()) return eval;
     const int attempts_allowed = 1 + std::max(0, res.max_retries);
     std::string failure;
     for (int attempt = 1; attempt <= attempts_allowed; ++attempt) {
@@ -304,6 +309,7 @@ PrecomputedEvals batch_prepass(
   };
 
   for (std::size_t start = 0; start < pending.size(); start += chunk) {
+    if (util::shutdown_requested()) break;  // graceful-interrupt drain
     const std::size_t end = std::min(pending.size(), start + chunk);
     std::vector<std::unique_ptr<Netlist>> benches;
     std::vector<spice::BatchJob> jobs;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -51,6 +52,13 @@ struct ResilienceOptions {
   bool resume = false;
   /// Records per checkpoint flush.
   std::size_t checkpoint_block = 16;
+  /// Optional hook invoked with every journal record line (macro and
+  /// class records, never the meta record) just before it is appended
+  /// to the journal. The dispatch worker streams records to the
+  /// dispatcher through it. May be called concurrently from evaluation
+  /// workers; exceptions propagate out of the evaluation (the dispatch
+  /// layer uses this to unwind abandoned shards).
+  std::function<void(const std::string& line)> journal_observer;
 };
 
 struct CampaignConfig {

@@ -303,7 +303,8 @@ const std::string& checked_journal_path(const CampaignConfig& config) {
 
 CampaignJournal::CampaignJournal(const CampaignConfig& config)
     : writer_(checked_journal_path(config), config.resilience.resume,
-              std::max<std::size_t>(1, config.resilience.checkpoint_block)) {
+              std::max<std::size_t>(1, config.resilience.checkpoint_block)),
+      observer_(config.resilience.journal_observer) {
   const MetaInfo live = meta_of(config);
   if (config.resilience.resume) {
     const util::JournalContents contents = util::read_journal(writer_.path());
@@ -351,13 +352,19 @@ void CampaignJournal::record_macro(const MacroCampaignResult& result) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!macros_recorded_.insert(result.macro_name).second) return;
   }
-  writer_.append(encode_macro(result));
+  const std::string line = encode_macro(result);
+  // Observer first: a record the observer's consumer (the dispatcher)
+  // never saw must not look locally complete either.
+  if (observer_) observer_(line);
+  writer_.append(line);
 }
 
 void CampaignJournal::record_class(const std::string& macro, std::size_t index,
                                    const std::optional<FaultOutcome>& cat,
                                    const std::optional<FaultOutcome>& noncat) {
-  writer_.append(encode_class(macro, index, cat, noncat));
+  const std::string line = encode_class(macro, index, cat, noncat);
+  if (observer_) observer_(line);
+  writer_.append(line);
 }
 
 const ClassRecord* CampaignJournal::completed(const std::string& macro,
@@ -385,34 +392,47 @@ GlobalResult merge_shard_journals(const std::vector<std::string>& paths) {
   std::set<std::size_t> shards_seen;
   std::map<std::string, MacroMeta> macro_meta;
   std::map<std::string, std::map<std::size_t, ClassRecord>> classes;
+  /// macro -> class index -> shard that first contributed the record,
+  /// so an overlapping shard set is reported with BOTH offenders.
+  std::map<std::string, std::map<std::size_t, std::size_t>> class_shard;
 
   for (const std::string& path : paths) {
     const util::JournalContents contents = util::read_journal(path);
     if (contents.records.empty())
       throw util::ShardError("merge: journal " + path +
                              " is empty or missing");
+    // Pass 1: bind this journal's shard identity before touching its
+    // records, so every record-level diagnostic can name the shard.
     bool meta_seen = false;
     std::size_t shard_index = 0;
     for (const JsonValue& record : contents.records) {
+      if (record.get("type").as_string() != "meta") continue;
+      const MetaInfo meta = decode_meta(record, path);
+      if (!have_meta) {
+        first = meta;
+        have_meta = true;
+      } else {
+        const std::string mismatch = meta_mismatch(first, meta, false);
+        if (!mismatch.empty())
+          throw util::ShardError("merge: journal " + path +
+                                 " belongs to a different campaign "
+                                 "(mismatched " +
+                                 mismatch + ")");
+      }
+      shard_index = meta.shard_index;
+      if (!shards_seen.insert(shard_index).second)
+        throw util::ShardError("merge: duplicate journal for shard " +
+                               std::to_string(shard_index));
+      meta_seen = true;
+    }
+    if (!meta_seen)
+      throw util::ShardError("merge: journal " + path + " has no meta record");
+
+    // Pass 2: fold the records.
+    for (const JsonValue& record : contents.records) {
       const std::string& type = record.get("type").as_string();
       if (type == "meta") {
-        const MetaInfo meta = decode_meta(record, path);
-        if (!have_meta) {
-          first = meta;
-          have_meta = true;
-        } else {
-          const std::string mismatch = meta_mismatch(first, meta, false);
-          if (!mismatch.empty())
-            throw util::ShardError("merge: journal " + path +
-                                   " belongs to a different campaign "
-                                   "(mismatched " +
-                                   mismatch + ")");
-        }
-        shard_index = meta.shard_index;
-        if (!shards_seen.insert(shard_index).second)
-          throw util::ShardError("merge: duplicate journal for shard " +
-                                 std::to_string(shard_index));
-        meta_seen = true;
+        continue;  // consumed by pass 1
       } else if (type == "macro") {
         const std::string& name = record.get("macro").as_string();
         const MacroMeta meta = decode_macro(record);
@@ -425,15 +445,20 @@ GlobalResult merge_shard_journals(const std::vector<std::string>& paths) {
         const std::string& name = record.get("macro").as_string();
         ClassRecord decoded = decode_class(record);
         const std::size_t index = decoded.index;
-        if (!classes[name].emplace(index, std::move(decoded)).second)
-          throw util::ShardError("merge: duplicate record", index, name);
+        if (!classes[name].emplace(index, std::move(decoded)).second) {
+          const std::size_t other = class_shard[name][index];
+          throw util::ShardError(
+              "merge: duplicate class record: shard " + std::to_string(other) +
+                  " and shard " + std::to_string(shard_index) +
+                  " both contributed it (overlapping shard ownership)",
+              index, name);
+        }
+        class_shard[name][index] = shard_index;
       } else {
         throw util::ShardError("merge: journal " + path +
                                ": unknown record type '" + type + "'");
       }
     }
-    if (!meta_seen)
-      throw util::ShardError("merge: journal " + path + " has no meta record");
   }
 
   if (shards_seen.size() != first.shard_count)
@@ -484,6 +509,34 @@ GlobalResult merge_shard_journals(const std::vector<std::string>& paths) {
     macros.push_back(std::move(result));
   }
   return compile_global(std::move(macros));
+}
+
+std::string campaign_meta_record(const CampaignConfig& config) {
+  MetaInfo m = meta_of(config);
+  m.shard_count = 1;
+  m.shard_index = 0;
+  return encode_meta(m);
+}
+
+std::string shard_meta_record(const CampaignConfig& config) {
+  return encode_meta(meta_of(config));
+}
+
+std::string campaign_identity_mismatch(const std::string& meta_a,
+                                       const std::string& meta_b) {
+  MetaInfo a, b;
+  try {
+    a = decode_meta(util::parse_json(meta_a), "<identity a>");
+    b = decode_meta(util::parse_json(meta_b), "<identity b>");
+  } catch (const std::exception&) {
+    // Unparseable / wrong-schema identity: report the coarsest field.
+    return "meta";
+  }
+  // Shard geometry is dispatcher-owned (it travels in assign messages),
+  // so two identities differing only there describe the same campaign.
+  a.shard_count = b.shard_count = 1;
+  a.shard_index = b.shard_index = 0;
+  return meta_mismatch(a, b, false);
 }
 
 }  // namespace dot::flashadc

@@ -146,8 +146,16 @@ std::string to_json(const MacroCampaignResult& result) {
 }
 
 std::string to_json(const GlobalResult& result) {
+  return to_json(result, false);
+}
+
+std::string to_json(const GlobalResult& result, bool interrupted) {
   util::JsonWriter w;
   w.begin_object();
+  if (interrupted) {
+    w.key("interrupted");
+    w.value(true);
+  }
   w.key("macros");
   w.begin_array();
   for (const auto& m : result.macros) write_macro(w, m);

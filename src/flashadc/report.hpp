@@ -14,7 +14,12 @@ namespace dot::flashadc {
 std::string to_json(const MacroCampaignResult& result);
 
 /// Serializes a whole-circuit result (per-macro summaries + global
-/// Venn figures).
+/// Venn figures). With `interrupted`, the report leads with an explicit
+/// "interrupted": true marker so downstream tooling never mistakes a
+/// partial (SIGINT/SIGTERM-drained) campaign for a finished one; a
+/// completed campaign's report is byte-identical to the one-argument
+/// overload.
 std::string to_json(const GlobalResult& result);
+std::string to_json(const GlobalResult& result, bool interrupted);
 
 }  // namespace dot::flashadc

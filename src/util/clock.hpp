@@ -1,0 +1,44 @@
+// Monotonic wall-clock helpers for the dispatch liveness layer.
+//
+// Every deadline in the dispatcher/worker pair is computed against the
+// steady clock: heartbeat expiry must keep working across NTP steps and
+// suspend/resume, and a re-issued shard must never be triggered by the
+// system clock jumping backwards. The double-milliseconds unit matches
+// the resilience layer's timeout knobs.
+#pragma once
+
+#include <chrono>
+
+namespace dot::util {
+
+/// Milliseconds on the monotonic (steady) clock. Only differences are
+/// meaningful; the epoch is unspecified.
+inline double mono_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A monotonic deadline: armed at construction, queried cheaply.
+/// timeout_ms <= 0 disarms it (never expires), mirroring the campaign
+/// budget convention of "0 = unlimited".
+class Deadline {
+ public:
+  explicit Deadline(double timeout_ms, double now = mono_ms())
+      : expiry_(timeout_ms > 0.0 ? now + timeout_ms : 0.0) {}
+
+  bool armed() const { return expiry_ != 0.0; }
+  bool expired(double now = mono_ms()) const {
+    return armed() && now >= expiry_;
+  }
+  /// Milliseconds until expiry (clamped at 0); -1 when disarmed.
+  double remaining_ms(double now = mono_ms()) const {
+    if (!armed()) return -1.0;
+    return expiry_ > now ? expiry_ - now : 0.0;
+  }
+
+ private:
+  double expiry_ = 0.0;
+};
+
+}  // namespace dot::util

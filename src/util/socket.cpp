@@ -1,0 +1,243 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace dot::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw_errno("fcntl(O_NONBLOCK)");
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best-effort: NODELAY failing (e.g. on a socketpair in tests) only
+  // costs latency, never correctness.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in parse_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved =
+      host.empty() || host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1)
+    throw IoError("bad IPv4 address '" + host + "'");
+  return addr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// TcpSocket.
+
+TcpSocket::TcpSocket(int fd) : fd_(fd) {
+  set_nonblocking(fd_);
+  set_nodelay(fd_);
+}
+
+TcpSocket::~TcpSocket() { close(); }
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpSocket TcpSocket::connect(const std::string& host, std::uint16_t port,
+                             double timeout_ms) {
+  const sockaddr_in addr = parse_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  TcpSocket sock(fd);  // owns + sets nonblocking before connect
+
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0)
+    return sock;
+  if (errno != EINPROGRESS)
+    throw_errno("connect to " + host + ":" + std::to_string(port));
+
+  // Nonblocking connect: poll for writability, then read SO_ERROR.
+  const Deadline deadline(timeout_ms);
+  for (;;) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const double wait =
+        deadline.armed() ? deadline.remaining_ms() : 100.0;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(wait) + 1);
+    if (rc < 0 && errno != EINTR) throw_errno("poll(connect)");
+    if (rc > 0) break;
+    if (deadline.expired())
+      throw IoError("connect to " + host + ":" + std::to_string(port) +
+                    " timed out");
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0)
+    throw_errno("getsockopt(SO_ERROR)");
+  if (err != 0)
+    throw IoError("connect to " + host + ":" + std::to_string(port) + ": " +
+                  std::strerror(err));
+  return sock;
+}
+
+ReadStatus TcpSocket::read_some(void* buf, std::size_t n, std::size_t& got) {
+  got = 0;
+  const ssize_t rc = ::recv(fd_, buf, n, 0);
+  if (rc > 0) {
+    got = static_cast<std::size_t>(rc);
+    return ReadStatus::kData;
+  }
+  if (rc == 0) return ReadStatus::kClosed;
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+    return ReadStatus::kWouldBlock;
+  if (errno == ECONNRESET || errno == EPIPE) return ReadStatus::kClosed;
+  throw_errno("recv");
+}
+
+bool TcpSocket::write_all(const void* data, std::size_t n,
+                          double timeout_ms) {
+  const char* p = static_cast<const char*>(data);
+  const Deadline deadline(timeout_ms);
+  while (n > 0) {
+    const ssize_t rc = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (rc > 0) {
+      p += rc;
+      n -= static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+        errno != EINTR) {
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw_errno("send");
+    }
+    if (deadline.expired()) return false;
+    pollfd pfd{fd_, POLLOUT, 0};
+    const double wait = deadline.armed() ? deadline.remaining_ms() : 100.0;
+    if (::poll(&pfd, 1, static_cast<int>(wait) + 1) < 0 && errno != EINTR)
+      throw_errno("poll(send)");
+    if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) return false;
+  }
+  return true;
+}
+
+void TcpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------
+// TcpListener.
+
+TcpListener::~TcpListener() { close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+TcpListener TcpListener::bind(std::uint16_t port, bool any_interface) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(listen)");
+  TcpListener listener;
+  listener.fd_ = fd;
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(any_interface ? INADDR_ANY : INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0)
+    throw_errno("bind port " + std::to_string(port));
+  if (::listen(fd, 64) < 0) throw_errno("listen");
+  set_nonblocking(fd);
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    throw_errno("getsockname");
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+TcpSocket TcpListener::accept() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd >= 0) return TcpSocket(fd);
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+      errno == ECONNABORTED)
+    return TcpSocket();
+  throw_errno("accept");
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------
+// poll.
+
+int poll_readable(std::vector<PollItem>& items, double timeout_ms) {
+  std::vector<pollfd> pfds;
+  pfds.reserve(items.size());
+  for (const PollItem& item : items)
+    pfds.push_back(pollfd{item.fd, POLLIN, 0});
+  const int timeout =
+      timeout_ms < 0 ? -1 : static_cast<int>(timeout_ms);
+  const int rc = ::poll(pfds.data(), pfds.size(), timeout);
+  if (rc < 0) {
+    if (errno == EINTR) return 0;
+    throw_errno("poll");
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].readable = (pfds[i].revents & POLLIN) != 0;
+    items[i].hangup =
+        (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+  }
+  return rc;
+}
+
+}  // namespace dot::util

@@ -1,0 +1,109 @@
+// Thin POSIX TCP + poll(2) wrappers for the campaign dispatch layer.
+//
+// Scope is deliberately narrow: IPv4 stream sockets, nonblocking reads,
+// bounded blocking writes, and a poll wrapper -- just enough transport
+// for the dispatcher event loop and the worker client, with every
+// failure surfaced as util::IoError (errno text included) instead of a
+// raw -1. Reads never block (the event loop owns the waiting); writes
+// poll for writability with a deadline so a dead peer with a full
+// socket buffer stalls the caller for at most the timeout, not forever.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dot::util {
+
+/// Result of a nonblocking read.
+enum class ReadStatus {
+  kData,        ///< >= 1 byte read.
+  kWouldBlock,  ///< Nothing buffered; try again after poll.
+  kClosed,      ///< Peer closed (EOF) or connection reset.
+};
+
+/// Move-only owner of one connected TCP stream. The descriptor is
+/// nonblocking and TCP_NODELAY (frames are small; latency matters for
+/// heartbeats). Writes suppress SIGPIPE via MSG_NOSIGNAL.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  /// Adopts a connected descriptor (sets nonblocking + nodelay).
+  explicit TcpSocket(int fd);
+  ~TcpSocket();
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Connects to host:port (dotted IPv4 or "localhost") within
+  /// timeout_ms. Throws IoError on refusal, timeout, or a bad host.
+  static TcpSocket connect(const std::string& host, std::uint16_t port,
+                           double timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Nonblocking read of up to `n` bytes into `buf`; `got` receives the
+  /// byte count on kData. Hard errors throw IoError; a reset peer is
+  /// reported as kClosed (the dispatch layer treats resets like EOF --
+  /// a dead worker, not an infrastructure failure).
+  ReadStatus read_some(void* buf, std::size_t n, std::size_t& got);
+
+  /// Writes the whole buffer, polling for writability whenever the
+  /// socket buffer fills. Returns false when the peer is gone or the
+  /// deadline expires (callers treat both as a dead connection); throws
+  /// IoError only on unexpected local failures.
+  bool write_all(const void* data, std::size_t n, double timeout_ms);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Move-only listening socket, loopback-bound by default (the test and
+/// smoke topology); port 0 picks an ephemeral port, readable via
+/// port(). `any_interface` binds 0.0.0.0 for real fleets.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  static TcpListener bind(std::uint16_t port, bool any_interface = false);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// The bound port (resolves port 0 to the kernel's pick).
+  std::uint16_t port() const { return port_; }
+
+  /// Accepts one pending connection, or an invalid socket when none is
+  /// queued (the listener is nonblocking).
+  TcpSocket accept();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// One descriptor in a poll set. `readable`/`hangup` are outputs.
+struct PollItem {
+  int fd = -1;
+  bool readable = false;
+  bool hangup = false;
+};
+
+/// poll(2) for readability over `items` with a timeout in milliseconds
+/// (<0 = wait forever, 0 = nonblocking). Returns the number of ready
+/// descriptors; EINTR is reported as 0 ready, not an error, so signal
+/// arrival falls through to the caller's shutdown poll.
+int poll_readable(std::vector<PollItem>& items, double timeout_ms);
+
+}  // namespace dot::util

@@ -1,0 +1,332 @@
+// Dispatcher + worker over real loopback TCP: end-to-end campaign
+// completion, handshake rejection, torn (byte-by-byte) frames, a
+// worker killed mid-shard, and a stalled heartbeat -- each recovering
+// to a master journal bit-identical to an undisturbed run.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dispatch/dispatcher.hpp"
+#include "dispatch/framing.hpp"
+#include "dispatch/protocol.hpp"
+#include "dispatch/worker.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/socket.hpp"
+
+namespace dot {
+namespace {
+
+using dispatch::Message;
+using dispatch::MsgType;
+
+std::string temp_path(const std::string& name) {
+  static const std::string prefix =
+      ::testing::TempDir() + std::to_string(static_cast<long>(::getpid())) +
+      "_sock_";
+  return prefix + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+const char kMeta[] = "{\"type\":\"meta\",\"schema\":2,\"seed\":7}";
+const char kMacroLine[] =
+    "{\"type\":\"macro\",\"macro\":\"comparator\",\"fault_classes\":4}";
+
+std::string class_line(std::size_t index) {
+  return "{\"type\":\"class\",\"macro\":\"comparator\",\"index\":" +
+         std::to_string(index) + ",\"detected\":true}";
+}
+
+dispatch::DispatcherConfig test_config(const std::string& journal_name,
+                                       std::size_t shards) {
+  dispatch::DispatcherConfig config;
+  config.shard_count = shards;
+  config.heartbeat_ms = 50.0;  // liveness timeout derives to 200ms
+  config.max_reissues = 2;
+  config.journal_path = temp_path(journal_name);
+  config.journal_sync = 1;
+  config.meta = kMeta;
+  config.expected_macros = {"comparator"};
+  return config;
+}
+
+/// Deterministic stand-in for the campaign evaluator: emits the macro
+/// record plus every owned class not already in the completed tail.
+dispatch::ShardRunner fake_runner(double delay_ms = 0.0) {
+  return [delay_ms](const dispatch::ShardAssignment& a,
+                    const dispatch::ShardSink& sink) {
+    sink.emit(kMacroLine);
+    const std::set<std::string> done(a.completed.begin(), a.completed.end());
+    for (std::size_t i = a.shard; i < 4; i += a.shard_count) {
+      const std::string line = class_line(i);
+      if (done.count(line)) continue;
+      if (delay_ms > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+      sink.emit(line);
+    }
+  };
+}
+
+dispatch::WorkerOptions worker_options(std::uint16_t port,
+                                       const std::string& meta = kMeta) {
+  dispatch::WorkerOptions options;
+  options.host = "127.0.0.1";
+  options.port = port;
+  options.meta = meta;
+  options.runner = fake_runner();
+  return options;
+}
+
+/// Raw protocol client for fault injection (no liveness thread, no
+/// runner: the test scripts every byte).
+struct RawPeer {
+  util::TcpSocket sock;
+  dispatch::FrameDecoder decoder;
+
+  void connect(std::uint16_t port) {
+    sock = util::TcpSocket::connect("127.0.0.1", port, 2000.0);
+  }
+  void send(const Message& msg, bool byte_by_byte = false) {
+    const std::string frame =
+        dispatch::encode_frame(dispatch::encode_message(msg));
+    if (byte_by_byte) {
+      // Worst-case TCP delivery: every byte its own segment.
+      for (char c : frame)
+        if (!sock.write_all(&c, 1, 2000.0))
+          throw std::runtime_error("peer closed during torn send");
+    } else if (!sock.write_all(frame.data(), frame.size(), 2000.0)) {
+      throw std::runtime_error("peer closed during send");
+    }
+  }
+  Message read(double timeout_ms = 5000.0) {
+    util::Deadline deadline(timeout_ms);
+    char buf[4096];
+    for (;;) {
+      if (auto payload = decoder.next())
+        return dispatch::decode_message(*payload);
+      if (deadline.expired()) throw std::runtime_error("read timed out");
+      std::vector<util::PollItem> items{{sock.fd(), false, false}};
+      util::poll_readable(items, 50.0);
+      std::size_t got = 0;
+      switch (sock.read_some(buf, sizeof buf, got)) {
+        case util::ReadStatus::kData:
+          decoder.feed(buf, got);
+          break;
+        case util::ReadStatus::kWouldBlock:
+          break;
+        case util::ReadStatus::kClosed:
+          if (auto payload = decoder.next())
+            return dispatch::decode_message(*payload);
+          throw std::runtime_error("peer closed");
+      }
+    }
+  }
+  Message read_until(MsgType type, double timeout_ms = 5000.0) {
+    for (;;) {
+      const Message msg = read(timeout_ms);
+      if (msg.type == type) return msg;
+    }
+  }
+  Message hello_handshake(std::uint16_t port) {
+    connect(port);
+    Message h;
+    h.type = MsgType::kHello;
+    h.meta = kMeta;
+    send(h);
+    return read_until(MsgType::kWelcome);
+  }
+  void send_record(std::size_t shard, const std::string& line) {
+    Message msg;
+    msg.type = MsgType::kRecord;
+    msg.shard = shard;
+    msg.line = line;
+    send(msg);
+  }
+};
+
+void check_journal_complete(const std::string& path) {
+  const std::string journal = read_file(path);
+  EXPECT_NE(journal.find(kMeta), std::string::npos);
+  EXPECT_NE(journal.find(kMacroLine), std::string::npos);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::string line = class_line(i);
+    const std::size_t first = journal.find(line);
+    ASSERT_NE(first, std::string::npos) << line;
+    EXPECT_EQ(journal.find(line, first + 1), std::string::npos) << line;
+  }
+}
+
+TEST(DispatchSocket, TwoWorkersCompleteTheCampaign) {
+  auto config = test_config("e2e.jsonl", 2);
+  dispatch::Dispatcher dispatcher(config, 0);
+  const std::uint16_t port = dispatcher.port();
+  int rc = -1;
+  std::thread daemon([&] { rc = dispatcher.run(); });
+
+  dispatch::WorkerReport reports[2];
+  std::thread w1([&] { reports[0] = dispatch::run_worker(worker_options(port)); });
+  std::thread w2([&] { reports[1] = dispatch::run_worker(worker_options(port)); });
+  w1.join();
+  w2.join();
+  daemon.join();
+
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(reports[0].shards_completed + reports[1].shards_completed, 2u);
+  EXPECT_FALSE(reports[0].interrupted);
+  check_journal_complete(config.journal_path);
+  EXPECT_EQ(dispatcher.core().stats().protocol_errors, 0u);
+}
+
+TEST(DispatchSocket, MismatchedWorkerRejectedCampaignStillFinishes) {
+  auto config = test_config("reject.jsonl", 1);
+  dispatch::Dispatcher dispatcher(config, 0);
+  const std::uint16_t port = dispatcher.port();
+  int rc = -1;
+  std::thread daemon([&] { rc = dispatcher.run(); });
+
+  auto bad = worker_options(port, "{\"type\":\"meta\",\"schema\":2,\"seed\":8}");
+  EXPECT_THROW(dispatch::run_worker(bad), util::ShardError);
+
+  std::thread good([&] { dispatch::run_worker(worker_options(port)); });
+  good.join();
+  daemon.join();
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(dispatcher.core().stats().rejected_workers, 1u);
+  check_journal_complete(config.journal_path);
+}
+
+TEST(DispatchSocket, FramesTornToSingleBytesStillSpeakTheProtocol) {
+  auto config = test_config("torn.jsonl", 1);
+  dispatch::Dispatcher dispatcher(config, 0);
+  const std::uint16_t port = dispatcher.port();
+  int rc = -1;
+  std::thread daemon([&] { rc = dispatcher.run(); });
+
+  RawPeer peer;
+  peer.connect(port);
+  Message h;
+  h.type = MsgType::kHello;
+  h.meta = kMeta;
+  peer.send(h, /*byte_by_byte=*/true);
+  peer.read_until(MsgType::kWelcome);
+  const Message assign = peer.read_until(MsgType::kAssign);
+  EXPECT_EQ(assign.shard, 0u);
+
+  Message record;
+  record.type = MsgType::kRecord;
+  record.shard = 0;
+  record.line = kMacroLine;
+  peer.send(record, true);
+  for (std::size_t i = 0; i < 4; ++i) {
+    record.line = class_line(i);
+    peer.send(record, true);
+  }
+  peer.read_until(MsgType::kBye);
+  daemon.join();
+  EXPECT_EQ(rc, 0);
+  check_journal_complete(config.journal_path);
+}
+
+TEST(DispatchSocket, WorkerKilledMidShardIsReissuedWithItsTail) {
+  auto config = test_config("midshard.jsonl", 1);
+  dispatch::Dispatcher dispatcher(config, 0);
+  const std::uint16_t port = dispatcher.port();
+  int rc = -1;
+  std::thread daemon([&] { rc = dispatcher.run(); });
+
+  // First worker dies abruptly after streaming one class record.
+  {
+    RawPeer victim;
+    victim.hello_handshake(port);
+    victim.read_until(MsgType::kAssign);
+    victim.send_record(0, kMacroLine);
+    victim.send_record(0, class_line(0));
+    victim.sock.close();  // SIGKILL equivalent: no goodbye, no flush
+  }
+
+  // The replacement inherits the journal tail and finishes the rest;
+  // the merged journal is bit-identical to an undisturbed run.
+  dispatch::WorkerReport report;
+  std::thread good([&] { report = dispatch::run_worker(worker_options(port)); });
+  good.join();
+  daemon.join();
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(report.shards_completed, 1u);
+  EXPECT_GE(dispatcher.core().shards().info(0).reissues, 1);
+  check_journal_complete(config.journal_path);
+}
+
+TEST(DispatchSocket, StalledHeartbeatTriggersSpeculativeReissue) {
+  auto config = test_config("stalled.jsonl", 1);
+  dispatch::Dispatcher dispatcher(config, 0);
+  const std::uint16_t port = dispatcher.port();
+  int rc = -1;
+  std::thread daemon([&] { rc = dispatcher.run(); });
+
+  // This peer takes the shard, streams one record, then goes silent
+  // with the connection open -- a hung process, not a dead one.
+  RawPeer mute;
+  mute.hello_handshake(port);
+  mute.read_until(MsgType::kAssign);
+  mute.send_record(0, kMacroLine);
+  mute.send_record(0, class_line(0));
+
+  // Past the 200ms liveness timeout a live worker inherits the shard
+  // speculatively and completes it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  dispatch::WorkerReport report;
+  std::thread good([&] { report = dispatch::run_worker(worker_options(port)); });
+  good.join();
+  daemon.join();
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(report.shards_completed, 1u);
+  EXPECT_GE(dispatcher.core().shards().info(0).reissues, 1);
+  EXPECT_EQ(dispatcher.core().stats().protocol_errors, 0u);
+  check_journal_complete(config.journal_path);
+}
+
+TEST(DispatchSocket, StatusPollAnswersMidCampaignWithoutDisturbingWorkers) {
+  auto config = test_config("statuspoll.jsonl", 1);
+  dispatch::Dispatcher dispatcher(config, 0);
+  const std::uint16_t port = dispatcher.port();
+  int rc = -1;
+  std::thread daemon([&] { rc = dispatcher.run(); });
+
+  // Poll while the campaign is idle (no workers yet).
+  {
+    RawPeer poller;
+    poller.connect(port);
+    Message ask;
+    ask.type = MsgType::kStatus;
+    poller.send(ask);
+    const Message reply = poller.read_until(MsgType::kStatusReply);
+    EXPECT_NE(reply.status.find("\"done\":false"), std::string::npos);
+    EXPECT_NE(reply.status.find("\"connected\":0"), std::string::npos);
+  }
+
+  std::thread good([&] { dispatch::run_worker(worker_options(port)); });
+  good.join();
+  daemon.join();
+  EXPECT_EQ(rc, 0);
+  check_journal_complete(config.journal_path);
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,467 @@
+// DispatchCore control plane, unit-tested against a fake transport and
+// a synthetic clock: handshake/reject interlock, shard assignment, the
+// heartbeat-miss -> speculative re-issue -> unresolved escalation
+// ladder, first-completion-wins duplicate folding (order invariant),
+// protocol-violation handling, and master-journal resume.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dispatch/dispatcher.hpp"
+#include "dispatch/liveness.hpp"
+#include "dispatch/protocol.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace dot {
+namespace {
+
+using dispatch::Message;
+using dispatch::MsgType;
+
+std::string temp_path(const std::string& name) {
+  static const std::string prefix =
+      ::testing::TempDir() + std::to_string(static_cast<long>(::getpid())) +
+      "_dispatch_";
+  return prefix + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << contents;
+  ASSERT_TRUE(out.good());
+}
+
+// Campaign fixture: one macro of 4 classes over 2 shards, so shard 0
+// owns classes {0, 2} and shard 1 owns {1, 3}.
+const char kMeta[] = "{\"type\":\"meta\",\"schema\":2,\"seed\":7}";
+const char kMacroLine[] =
+    "{\"type\":\"macro\",\"macro\":\"comparator\",\"fault_classes\":4}";
+
+std::string class_line(std::size_t index) {
+  return "{\"type\":\"class\",\"macro\":\"comparator\",\"index\":" +
+         std::to_string(index) + ",\"detected\":true}";
+}
+
+struct FakeTransport : dispatch::Transport {
+  std::map<int, std::vector<Message>> sent;
+  std::vector<int> drops;
+
+  void send(int conn, const std::string& payload) override {
+    sent[conn].push_back(dispatch::decode_message(payload));
+  }
+  void drop(int conn) override { drops.push_back(conn); }
+
+  std::optional<Message> last(int conn, MsgType type) const {
+    auto it = sent.find(conn);
+    if (it == sent.end()) return std::nullopt;
+    for (auto m = it->second.rbegin(); m != it->second.rend(); ++m)
+      if (m->type == type) return *m;
+    return std::nullopt;
+  }
+  std::size_t count(int conn, MsgType type) const {
+    auto it = sent.find(conn);
+    if (it == sent.end()) return 0;
+    std::size_t n = 0;
+    for (const Message& m : it->second) n += m.type == type ? 1u : 0u;
+    return n;
+  }
+};
+
+dispatch::DispatcherConfig test_config(const std::string& journal_name,
+                                       std::size_t shards = 2) {
+  dispatch::DispatcherConfig config;
+  config.shard_count = shards;
+  config.heartbeat_ms = 100.0;  // liveness timeout derives to 400ms
+  config.max_reissues = 2;
+  config.journal_path = temp_path(journal_name);
+  config.journal_sync = 1;
+  config.meta = kMeta;
+  config.expected_macros = {"comparator"};
+  return config;
+}
+
+void hello(dispatch::DispatchCore& core, int conn, double now,
+           const std::string& meta = kMeta, int protocol = -1) {
+  core.on_connect(conn, now);
+  Message msg;
+  msg.type = MsgType::kHello;
+  if (protocol >= 0) msg.protocol = protocol;
+  msg.meta = meta;
+  core.on_payload(conn, dispatch::encode_message(msg), now);
+}
+
+void send_record(dispatch::DispatchCore& core, int conn, std::size_t shard,
+                 const std::string& line, double now) {
+  Message msg;
+  msg.type = MsgType::kRecord;
+  msg.shard = shard;
+  msg.line = line;
+  core.on_payload(conn, dispatch::encode_message(msg), now);
+}
+
+TEST(DispatchCore, HandshakeWelcomesAndAssignsDistinctShards) {
+  FakeTransport transport;
+  dispatch::DispatchCore core(test_config("handshake.jsonl"), transport);
+  hello(core, 1, 0.0);
+  hello(core, 2, 0.0);
+
+  const auto w1 = transport.last(1, MsgType::kWelcome);
+  ASSERT_TRUE(w1.has_value());
+  EXPECT_DOUBLE_EQ(w1->heartbeat_ms, 100.0);
+  const auto a1 = transport.last(1, MsgType::kAssign);
+  const auto a2 = transport.last(2, MsgType::kAssign);
+  ASSERT_TRUE(a1.has_value());
+  ASSERT_TRUE(a2.has_value());
+  EXPECT_NE(a1->shard, a2->shard);
+  EXPECT_EQ(a1->shard_count, 2u);
+  EXPECT_TRUE(a1->completed.empty());
+  EXPECT_EQ(core.connected_workers(), 2u);
+}
+
+TEST(DispatchCore, RejectsProtocolVersionMismatch) {
+  FakeTransport transport;
+  dispatch::DispatchCore core(test_config("reject_version.jsonl"), transport);
+  hello(core, 1, 0.0, kMeta, dispatch::kProtocolVersion + 1);
+
+  const auto reject = transport.last(1, MsgType::kReject);
+  ASSERT_TRUE(reject.has_value());
+  EXPECT_NE(reject->reason.find("protocol version"), std::string::npos);
+  EXPECT_EQ(core.stats().rejected_workers, 1u);
+  EXPECT_EQ(core.connected_workers(), 0u);
+  EXPECT_EQ(transport.drops, std::vector<int>{1});
+}
+
+TEST(DispatchCore, RejectsMismatchedCampaignIdentity) {
+  FakeTransport transport;
+  dispatch::DispatchCore core(test_config("reject_meta.jsonl"), transport);
+  hello(core, 1, 0.0, "{\"type\":\"meta\",\"schema\":2,\"seed\":8}");
+
+  const auto reject = transport.last(1, MsgType::kReject);
+  ASSERT_TRUE(reject.has_value());
+  EXPECT_NE(reject->reason.find("campaign identity"), std::string::npos);
+  EXPECT_EQ(core.stats().rejected_workers, 1u);
+  EXPECT_FALSE(transport.last(1, MsgType::kAssign).has_value());
+}
+
+TEST(DispatchCore, StreamedRecordsCompleteTheCampaign) {
+  FakeTransport transport;
+  auto config = test_config("complete.jsonl");
+  dispatch::DispatchCore core(config, transport);
+  hello(core, 1, 0.0);
+  hello(core, 2, 0.0);
+  const std::size_t s1 = transport.last(1, MsgType::kAssign)->shard;
+  const std::size_t s2 = transport.last(2, MsgType::kAssign)->shard;
+
+  // Both workers re-emit the macro record; the second copy is deduped.
+  send_record(core, 1, s1, kMacroLine, 1.0);
+  send_record(core, 2, s2, kMacroLine, 1.0);
+  for (std::size_t i = 0; i < 4; ++i)
+    send_record(core, i % 2 == s1 ? 1 : 2, i % 2, class_line(i), 2.0);
+
+  EXPECT_TRUE(core.complete());
+  EXPECT_TRUE(core.clean());
+  EXPECT_EQ(core.stats().classes_received, 4u);
+  EXPECT_EQ(core.stats().protocol_errors, 0u);
+  core.finish();
+
+  // Master journal: meta + macro + the four class lines, each once.
+  const std::string journal = read_file(config.journal_path);
+  EXPECT_NE(journal.find(kMeta), std::string::npos);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::string line = class_line(i);
+    const std::size_t first = journal.find(line);
+    ASSERT_NE(first, std::string::npos) << line;
+    EXPECT_EQ(journal.find(line, first + 1), std::string::npos) << line;
+  }
+}
+
+TEST(DispatchCore, HeartbeatMissTriggersSpeculativeReissueWithTail) {
+  FakeTransport transport;
+  dispatch::DispatchCore core(test_config("reissue.jsonl"), transport);
+  hello(core, 1, 0.0);
+  const std::size_t shard = transport.last(1, MsgType::kAssign)->shard;
+  send_record(core, 1, shard, kMacroLine, 10.0);
+  const std::size_t first_class = shard;  // lowest index the shard owns
+  send_record(core, 1, shard, class_line(first_class), 10.0);
+
+  // Silence past the 400ms liveness timeout: the shard is re-queued
+  // ahead of fresh work, the stalled worker stays attached.
+  core.on_tick(600.0);
+  EXPECT_EQ(core.shards().info(shard).reissues, 1);
+  EXPECT_FALSE(core.shards().settled(shard));
+
+  // A fresh worker inherits the shard WITH the completed tail, so it
+  // only evaluates the remainder.
+  hello(core, 2, 610.0);
+  const auto assign = transport.last(2, MsgType::kAssign);
+  ASSERT_TRUE(assign.has_value());
+  EXPECT_EQ(assign->shard, shard);
+  ASSERT_EQ(assign->completed.size(), 1u);
+  EXPECT_EQ(assign->completed[0], class_line(first_class));
+}
+
+// The speculative race resolved in both arrival orders must fold to
+// the same master journal bytes: first completion wins, the straggler
+// duplicate is dropped, and coverage is arrival-order invariant.
+TEST(DispatchCore, FirstCompletionWinsIsArrivalOrderInvariant) {
+  std::string journals[2];
+  for (int order = 0; order < 2; ++order) {
+    FakeTransport transport;
+    auto config = test_config("race_" + std::to_string(order) + ".jsonl");
+    dispatch::DispatchCore core(config, transport);
+    hello(core, 1, 0.0);
+    const std::size_t shard = transport.last(1, MsgType::kAssign)->shard;
+    send_record(core, 1, shard, kMacroLine, 10.0);
+    send_record(core, 1, shard, class_line(shard), 10.0);
+    core.on_tick(600.0);  // worker 1 stalls; shard re-queued
+    hello(core, 2, 610.0);
+    ASSERT_EQ(transport.last(2, MsgType::kAssign)->shard, shard);
+
+    const std::string last = class_line(shard + 2);  // the remaining class
+    const int winner = order == 0 ? 1 : 2;
+    const int loser = order == 0 ? 2 : 1;
+    send_record(core, winner, shard, last, 620.0);
+    EXPECT_TRUE(core.shards().settled(shard));
+    send_record(core, loser, shard, last, 630.0);
+
+    EXPECT_EQ(core.stats().protocol_errors, 0u);
+    EXPECT_GE(core.stats().duplicate_records, 1u);
+    core.flush();
+    journals[order] = read_file(config.journal_path);
+  }
+  EXPECT_EQ(journals[0], journals[1]);
+  EXPECT_FALSE(journals[0].empty());
+}
+
+TEST(DispatchCore, ExhaustedReissueBudgetMarksUnresolvedThenRevives) {
+  FakeTransport transport;
+  auto config = test_config("unresolved.jsonl", /*shards=*/1);
+  config.max_reissues = 0;
+  dispatch::DispatchCore core(config, transport);
+  hello(core, 1, 0.0);
+  send_record(core, 1, 0, kMacroLine, 1.0);
+  send_record(core, 1, 0, class_line(0), 1.0);
+
+  // No re-issue budget: the first heartbeat miss is terminal.
+  core.on_tick(600.0);
+  EXPECT_TRUE(core.complete());
+  EXPECT_FALSE(core.clean());
+  EXPECT_EQ(core.shards().unresolved_shards(),
+            std::vector<std::size_t>{0});
+  EXPECT_NE(core.status_json().find("\"unresolved\""), std::string::npos);
+
+  // The stalled worker was merely slow: its remaining records revive
+  // the shard -- unresolved is an escalation state, not a verdict.
+  for (std::size_t i = 1; i < 4; ++i)
+    send_record(core, 1, 0, class_line(i), 700.0);
+  EXPECT_TRUE(core.complete());
+  EXPECT_TRUE(core.clean());
+}
+
+TEST(DispatchCore, ForeignClassOwnershipIsAViolation) {
+  FakeTransport transport;
+  dispatch::DispatchCore core(test_config("foreign.jsonl"), transport);
+  hello(core, 1, 0.0);
+  const std::size_t shard = transport.last(1, MsgType::kAssign)->shard;
+  send_record(core, 1, shard, kMacroLine, 1.0);
+  // Class owned by the OTHER shard, claimed for this one: ownership
+  // math is part of the protocol, not a convention.
+  send_record(core, 1, shard, class_line(shard == 0 ? 1 : 0), 2.0);
+
+  EXPECT_EQ(core.stats().protocol_errors, 1u);
+  EXPECT_EQ(core.connected_workers(), 0u);
+  EXPECT_EQ(core.shards().info(shard).reissues, 1);
+  EXPECT_EQ(core.stats().classes_received, 0u);
+}
+
+TEST(DispatchCore, ClassBeforeMacroIsAViolation) {
+  FakeTransport transport;
+  dispatch::DispatchCore core(test_config("orphan_class.jsonl"), transport);
+  hello(core, 1, 0.0);
+  const std::size_t shard = transport.last(1, MsgType::kAssign)->shard;
+  send_record(core, 1, shard, class_line(shard), 1.0);
+  EXPECT_EQ(core.stats().protocol_errors, 1u);
+  EXPECT_EQ(core.connected_workers(), 0u);
+}
+
+TEST(DispatchCore, ByteDifferingDuplicateIsDeterminismViolation) {
+  FakeTransport transport;
+  dispatch::DispatchCore core(test_config("determinism.jsonl"), transport);
+  hello(core, 1, 0.0);
+  const std::size_t shard = transport.last(1, MsgType::kAssign)->shard;
+  send_record(core, 1, shard, kMacroLine, 10.0);
+  core.on_tick(600.0);  // stall worker 1; speculative re-issue
+  hello(core, 2, 610.0);
+  ASSERT_EQ(transport.last(2, MsgType::kAssign)->shard, shard);
+
+  send_record(core, 1, shard, class_line(shard), 620.0);
+  // Worker 2 disagrees byte-for-byte on the same class: that is broken
+  // determinism, never silently merged.
+  std::string tampered = class_line(shard);
+  tampered.replace(tampered.find("true"), 4, "false");
+  ASSERT_EQ(tampered.size(), class_line(shard).size() + 1);
+  send_record(core, 2, shard, tampered, 630.0);
+
+  EXPECT_EQ(core.stats().protocol_errors, 1u);
+  EXPECT_EQ(core.connected_workers(), 1u);  // worker 2 dropped
+}
+
+TEST(DispatchCore, DisconnectReissuesTheShard) {
+  FakeTransport transport;
+  dispatch::DispatchCore core(test_config("disconnect.jsonl"), transport);
+  hello(core, 1, 0.0);
+  const std::size_t shard = transport.last(1, MsgType::kAssign)->shard;
+  core.on_disconnect(1, 5.0);
+  core.on_disconnect(1, 5.0);  // idempotent
+
+  hello(core, 2, 10.0);
+  const auto assign = transport.last(2, MsgType::kAssign);
+  ASSERT_TRUE(assign.has_value());
+  EXPECT_EQ(assign->shard, shard);
+  EXPECT_EQ(core.shards().info(shard).reissues, 1);
+}
+
+TEST(DispatchCore, ResumePrefillsAndAssignsOnlyTheTail) {
+  FakeTransport transport;
+  auto config = test_config("resume.jsonl");
+  write_file(config.journal_path, std::string(kMeta) + "\n" + kMacroLine +
+                                      "\n" + class_line(0) + "\n" +
+                                      class_line(1) + "\n");
+  config.resume = true;
+  dispatch::DispatchCore core(config, transport);
+  EXPECT_EQ(core.stats().classes_received, 2u);
+  EXPECT_FALSE(core.complete());
+
+  hello(core, 1, 0.0);
+  const auto a1 = transport.last(1, MsgType::kAssign);
+  ASSERT_TRUE(a1.has_value());
+  ASSERT_EQ(a1->completed.size(), 1u);
+  EXPECT_EQ(a1->completed[0], class_line(a1->shard));
+  send_record(core, 1, a1->shard, class_line(a1->shard + 2), 1.0);
+
+  // Settling the first shard immediately re-arms the now-idle worker
+  // with the other shard -- again carrying only its resumed tail.
+  const auto a2 = transport.last(1, MsgType::kAssign);
+  ASSERT_TRUE(a2.has_value());
+  EXPECT_NE(a2->shard, a1->shard);
+  ASSERT_EQ(a2->completed.size(), 1u);
+  EXPECT_EQ(a2->completed[0], class_line(a2->shard));
+  send_record(core, 1, a2->shard, class_line(a2->shard + 2), 3.0);
+
+  EXPECT_TRUE(core.complete());
+  EXPECT_TRUE(core.clean());
+  core.finish();
+  // No second meta record, no re-appended resumed lines.
+  const std::string journal = read_file(config.journal_path);
+  EXPECT_EQ(journal.find(kMeta), journal.rfind(kMeta));
+  const std::size_t first0 = journal.find(class_line(0));
+  EXPECT_EQ(journal.find(class_line(0), first0 + 1), std::string::npos);
+}
+
+TEST(DispatchCore, ResumeRejectsForeignMasterJournal) {
+  FakeTransport transport;
+  auto config = test_config("resume_foreign.jsonl");
+  write_file(config.journal_path,
+             "{\"type\":\"meta\",\"schema\":2,\"seed\":999}\n");
+  config.resume = true;
+  EXPECT_THROW(dispatch::DispatchCore core(config, transport),
+               util::ShardError);
+}
+
+TEST(DispatchCore, ResumeOfFinishedJournalSettlesImmediately) {
+  FakeTransport transport;
+  auto config = test_config("resume_done.jsonl");
+  std::string text = std::string(kMeta) + "\n" + kMacroLine + "\n";
+  for (std::size_t i = 0; i < 4; ++i) text += class_line(i) + "\n";
+  write_file(config.journal_path, text);
+  config.resume = true;
+  dispatch::DispatchCore core(config, transport);
+  EXPECT_TRUE(core.complete());
+  EXPECT_TRUE(core.clean());
+}
+
+TEST(DispatchCore, StatusJsonReportsShardAndWorkerState) {
+  FakeTransport transport;
+  dispatch::DispatchCore core(test_config("status.jsonl"), transport);
+  hello(core, 1, 0.0);
+  const auto status = util::parse_json(core.status_json());
+  EXPECT_FALSE(status.get("done").as_bool());
+  EXPECT_EQ(status.get("shards").get("total").as_size(), 2u);
+  EXPECT_EQ(status.get("shards").get("active").as_size(), 1u);
+  EXPECT_EQ(status.get("workers").get("connected").as_size(), 1u);
+  EXPECT_FALSE(status.get("classes").get("macros_known").as_bool());
+}
+
+TEST(DispatchCore, StatusPollFromBareConnectionIsOneShot) {
+  FakeTransport transport;
+  dispatch::DispatchCore core(test_config("poll.jsonl"), transport);
+  core.on_connect(7, 0.0);
+  Message ask;
+  ask.type = MsgType::kStatus;
+  core.on_payload(7, dispatch::encode_message(ask), 0.0);
+  const auto reply = transport.last(7, MsgType::kStatusReply);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NE(reply->status.find("\"done\":false"), std::string::npos);
+  EXPECT_EQ(transport.drops, std::vector<int>{7});
+}
+
+// ---------------------------------------------------------------------
+// Liveness primitives.
+
+TEST(HeartbeatMonitor, ReportsEachStallOnceAndRevivesOnTraffic) {
+  dispatch::HeartbeatMonitor monitor(100.0);
+  monitor.track(1, 0.0);
+  monitor.track(2, 0.0);
+  monitor.beat(2, 80.0);
+
+  EXPECT_EQ(monitor.tick(150.0), std::vector<int>{1});
+  EXPECT_TRUE(monitor.tick(160.0).empty());  // once per stall episode
+  EXPECT_TRUE(monitor.stalled(1));
+  EXPECT_FALSE(monitor.stalled(2));
+
+  EXPECT_TRUE(monitor.beat(1, 170.0));  // revived
+  EXPECT_FALSE(monitor.stalled(1));
+  EXPECT_EQ(monitor.tick(300.0), (std::vector<int>{1, 2}));
+}
+
+TEST(ShardTable, ReissueQueuesAheadOfFreshShards) {
+  dispatch::ShardTable table(3);
+  ASSERT_EQ(table.peek_assignable(), std::size_t{0});
+  table.attach(0, 10);
+  // Shard 0 lost its worker: the re-issue jumps the queue.
+  table.detach_worker(10);
+  table.enqueue(0, /*reissue=*/true);
+  EXPECT_EQ(table.peek_assignable(), std::size_t{0});
+  EXPECT_EQ(table.info(0).reissues, 1);
+  EXPECT_EQ(table.total_reissues(), 1);
+}
+
+TEST(ShardTable, MarkDoneReturnsAttachedWorkersOnce) {
+  dispatch::ShardTable table(1);
+  table.attach(0, 1);
+  table.enqueue(0, true);
+  table.pop_assignable();
+  table.attach(0, 2);
+  const auto losers = table.mark_done(0);
+  EXPECT_EQ(losers, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(table.mark_done(0).empty());  // idempotent
+  EXPECT_TRUE(table.all_settled());
+}
+
+}  // namespace
+}  // namespace dot

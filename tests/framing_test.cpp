@@ -1,0 +1,148 @@
+// Dispatch wire layer: length-prefixed framing (incremental reassembly
+// under arbitrary byte splits, oversized-length rejection) and the
+// JSON message codec (round trips, strict decode).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dispatch/framing.hpp"
+#include "dispatch/protocol.hpp"
+#include "util/error.hpp"
+
+namespace dot {
+namespace {
+
+TEST(Framing, RoundTripsOnePayload) {
+  const std::string payload = "{\"type\":\"heartbeat\"}";
+  dispatch::FrameDecoder decoder;
+  decoder.feed(dispatch::encode_frame(payload));
+  const auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.partial_bytes(), 0u);
+}
+
+TEST(Framing, RoundTripsEmptyAndBinaryPayloads) {
+  dispatch::FrameDecoder decoder;
+  std::string binary("\x00\xff\n\x01", 4);
+  decoder.feed(dispatch::encode_frame(""));
+  decoder.feed(dispatch::encode_frame(binary));
+  auto a = decoder.next();
+  auto b = decoder.next();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, "");
+  EXPECT_EQ(*b, binary);
+}
+
+TEST(Framing, ReassemblesFramesTornToSingleBytes) {
+  // TCP may deliver one byte at a time; ten frames fed byte-by-byte
+  // must pop in order, byte-identical.
+  std::vector<std::string> payloads;
+  std::string stream;
+  for (int i = 0; i < 10; ++i) {
+    payloads.push_back("payload-" + std::to_string(i) +
+                       std::string(static_cast<std::size_t>(i) * 7, 'x'));
+    stream += dispatch::encode_frame(payloads.back());
+  }
+  dispatch::FrameDecoder decoder;
+  std::vector<std::string> out;
+  for (char c : stream) {
+    decoder.feed(&c, 1);
+    while (auto payload = decoder.next()) out.push_back(*payload);
+  }
+  EXPECT_EQ(out, payloads);
+  EXPECT_EQ(decoder.partial_bytes(), 0u);
+}
+
+TEST(Framing, ReportsPartialTailBytes) {
+  const std::string frame = dispatch::encode_frame("abcdef");
+  dispatch::FrameDecoder decoder;
+  decoder.feed(frame.substr(0, frame.size() - 2));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_GT(decoder.partial_bytes(), 0u);
+  decoder.feed(frame.substr(frame.size() - 2));
+  const auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, "abcdef");
+}
+
+TEST(Framing, RejectsOversizedLengthPrefix) {
+  // 0xffffffff exceeds kMaxFrameBytes: a corrupt or hostile stream,
+  // unrecoverable by design.
+  dispatch::FrameDecoder decoder;
+  const char evil[4] = {'\xff', '\xff', '\xff', '\xff'};
+  EXPECT_THROW(decoder.feed(evil, 4), util::ProtocolError);
+  EXPECT_THROW(dispatch::encode_frame(
+                   std::string(dispatch::kMaxFrameBytes + 1, 'x')),
+               util::ProtocolError);
+}
+
+TEST(Protocol, RoundTripsEveryMessageType) {
+  using dispatch::Message;
+  using dispatch::MsgType;
+
+  Message hello;
+  hello.type = MsgType::kHello;
+  hello.meta = "{\"type\":\"meta\",\"seed\":7}";
+  Message welcome;
+  welcome.type = MsgType::kWelcome;
+  welcome.worker_id = 42;
+  welcome.heartbeat_ms = 250.0;
+  Message reject;
+  reject.type = MsgType::kReject;
+  reject.reason = "campaign identity differs in field 'seed'";
+  Message assign;
+  assign.type = MsgType::kAssign;
+  assign.shard = 3;
+  assign.shard_count = 8;
+  assign.completed = {"{\"type\":\"class\",\"index\":3}",
+                      "{\"type\":\"class\",\"index\":11}"};
+  Message record;
+  record.type = MsgType::kRecord;
+  record.shard = 3;
+  record.line = "{\"type\":\"class\",\"index\":19}";
+  Message failed;
+  failed.type = MsgType::kShardFailed;
+  failed.shard = 3;
+  failed.reason = "interrupted";
+  Message status_reply;
+  status_reply.type = MsgType::kStatusReply;
+  status_reply.status = "{\"done\":false}";
+
+  for (const Message& msg :
+       {hello, welcome, reject, assign, record, failed, status_reply}) {
+    const Message out = dispatch::decode_message(dispatch::encode_message(msg));
+    EXPECT_EQ(out.type, msg.type);
+    EXPECT_EQ(out.meta, msg.meta);
+    EXPECT_EQ(out.worker_id, msg.worker_id);
+    EXPECT_DOUBLE_EQ(out.heartbeat_ms, msg.heartbeat_ms);
+    EXPECT_EQ(out.reason, msg.reason);
+    EXPECT_EQ(out.shard, msg.shard);
+    EXPECT_EQ(out.shard_count, msg.shard_count);
+    EXPECT_EQ(out.completed, msg.completed);
+    EXPECT_EQ(out.line, msg.line);
+    EXPECT_EQ(out.status, msg.status);
+  }
+}
+
+TEST(Protocol, HelloCarriesProtocolVersion) {
+  dispatch::Message hello;
+  hello.type = dispatch::MsgType::kHello;
+  hello.meta = "{}";
+  const auto out = dispatch::decode_message(dispatch::encode_message(hello));
+  EXPECT_EQ(out.protocol, dispatch::kProtocolVersion);
+}
+
+TEST(Protocol, RejectsMalformedPayloads) {
+  EXPECT_THROW(dispatch::decode_message("not json"), util::ProtocolError);
+  EXPECT_THROW(dispatch::decode_message("{\"no\":\"type\"}"),
+               util::ProtocolError);
+  EXPECT_THROW(dispatch::decode_message("{\"type\":\"mystery\"}"),
+               util::ProtocolError);
+}
+
+}  // namespace
+}  // namespace dot

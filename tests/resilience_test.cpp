@@ -669,5 +669,43 @@ TEST(JournalFuzz, MergeRejectsBankSizeMismatchAcrossShards) {
       << dup;
 }
 
+TEST(JournalFuzz, MergeRejectsOverlappingClassOwnershipNamingBothShards) {
+  // Two real bank shards with disjoint ownership...
+  auto shard0 = tiny_bank_config();
+  shard0.resilience.shard_count = 2;
+  shard0.resilience.shard_index = 0;
+  shard0.resilience.journal_path = temp_path("fuzz_overlap_shard0.jsonl");
+  flashadc::run_campaign(shard0);
+  auto shard1 = shard0;
+  shard1.resilience.shard_index = 1;
+  shard1.resilience.journal_path = temp_path("fuzz_overlap_shard1.jsonl");
+  flashadc::run_campaign(shard1);
+
+  // ...then graft one of shard 0's class records into shard 1's
+  // journal: a misconfigured farm where two workers both believed they
+  // owned the class. The merge must hard-fail naming BOTH shards, not
+  // silently keep either copy.
+  const auto donor = split_lines(read_file(shard0.resilience.journal_path));
+  std::string stolen;
+  for (const auto& line : donor)
+    if (line.find("\"type\":\"class\"") != std::string::npos) {
+      stolen = line;
+      break;
+    }
+  ASSERT_FALSE(stolen.empty());
+  auto lines = split_lines(read_file(shard1.resilience.journal_path));
+  lines.push_back(stolen);
+  const std::string tampered = temp_path("fuzz_overlap_shard1_tampered.jsonl");
+  write_file(tampered, join_lines(lines));
+
+  const std::string message = shard_error_message([&] {
+    flashadc::merge_shard_journals({shard0.resilience.journal_path, tampered});
+  });
+  EXPECT_NE(message.find("duplicate class record"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("shard 0"), std::string::npos) << message;
+  EXPECT_NE(message.find("shard 1"), std::string::npos) << message;
+}
+
 }  // namespace
 }  // namespace dot
